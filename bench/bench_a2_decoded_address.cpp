@@ -1,0 +1,86 @@
+// A2 -- Ablation for section 4.3 / figure 7: per-stage address decoders
+// (7a) versus the novel decoded-address pipeline (7b). Functionally
+// identical (asserted continuously inside AddressPath); what changes is the
+// hardware exercised per wave: S decode operations versus 1 decode plus
+// (S-1) one-hot register transfers -- and the area charged per stage
+// ("a decoded address pipeline register is 2.3 times smaller than the
+// normal address decoder").
+
+#include <cstdio>
+
+#include "area/models.hpp"
+#include "bench_util.hpp"
+#include "core/testbench.hpp"
+
+using namespace pmsb;
+using namespace pmsb::bench;
+
+namespace {
+
+struct PathRun {
+  std::uint64_t decode_ops;
+  std::uint64_t one_hot_transfers;
+  std::uint64_t cells;
+};
+
+PathRun run_mode(AddrPathMode mode, Cycle cycles) {
+  const SwitchConfig cfg = telegraphos3();
+  TrafficSpec spec;
+  spec.arrivals = ArrivalKind::kSaturated;
+  spec.load = 1.0;
+  spec.seed = 17;
+  PipelinedSwitch sw(cfg, mode);
+  Engine eng;
+  UniformDest dests(cfg.n_ports);
+  Rng seeder(spec.seed);
+  std::vector<std::unique_ptr<CellSource>> sources;
+  for (unsigned i = 0; i < cfg.n_ports; ++i) {
+    sources.push_back(std::make_unique<CellSource>(i, &sw.in_link(i), cfg.cell_format(),
+                                                   &dests, spec.arrivals, spec.load,
+                                                   seeder.split()));
+    eng.add(sources.back().get());
+  }
+  eng.add(&sw);
+  eng.run(cycles);
+  return PathRun{sw.memory().addr_path().decode_ops(),
+                 sw.memory().addr_path().one_hot_reg_transfers(),
+                 sw.stats().read_grants};
+}
+
+}  // namespace
+
+int main() {
+  print_banner("A2", "decoded-address pipeline ablation (section 4.3, figure 7)");
+
+  const Cycle kCycles = 30000;
+  const PathRun a = run_mode(AddrPathMode::kPerStageDecoders, kCycles);
+  const PathRun b = run_mode(AddrPathMode::kDecodedPipeline, kCycles);
+
+  std::printf("\nTelegraphos III configuration, saturated uniform traffic, %lld cycles.\n"
+              "Both modes deliver identical behaviour (the decoded-pipeline model\n"
+              "re-encodes its one-hot word lines every stage and asserts equality):\n\n",
+              static_cast<long long>(kCycles));
+  Table t({"address path", "decode operations", "one-hot reg transfers", "cells switched"});
+  t.add_row({"fig 7(a): decoder per stage", Table::integer(static_cast<long long>(a.decode_ops)),
+             Table::integer(static_cast<long long>(a.one_hot_transfers)),
+             Table::integer(static_cast<long long>(a.cells))});
+  t.add_row({"fig 7(b): decoded pipeline", Table::integer(static_cast<long long>(b.decode_ops)),
+             Table::integer(static_cast<long long>(b.one_hot_transfers)),
+             Table::integer(static_cast<long long>(b.cells))});
+  t.print();
+  std::printf("\nDecode operations reduced by %.1fx (S = 16 stages decode once instead\n"
+              "of sixteen times per wave).\n",
+              static_cast<double>(a.decode_ops) / static_cast<double>(b.decode_ops));
+
+  std::printf("\nArea view (per stage, D = 256 word lines, section 4.4 constants):\n\n");
+  const auto tech = area::full_custom_1um();
+  const double decoder_um2 = tech.decoder_um2_per_word * 256;
+  const double line_ff_um2 = decoder_um2 * tech.line_pipe_ratio;
+  Table ar({"per-stage address circuit", "model um^2", "relative"});
+  ar.add_row({"full decoder (7a)", Table::num(decoder_um2, 0), "2.3x"});
+  ar.add_row({"decoded-line pipeline register (7b)", Table::num(line_ff_um2, 0), "1x"});
+  ar.print();
+  std::printf("\n(paper: 'a decoded address pipeline register is 2.3 times smaller than\n"
+              "the normal address decoder')\n");
+  return 0;
+}

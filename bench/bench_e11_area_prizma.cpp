@@ -1,0 +1,86 @@
+// E11 -- Section 5.3: PRIZMA-style interleaved shared buffering pays
+// crossbars proportional to n x M (router) and M x n (selector), versus the
+// pipelined memory's n x 2n blocks: 16x more at Telegraphos III scale
+// (2n = 16, M = 256). The functional throughput of the two organizations is
+// the same -- demonstrated by running both cycle-accurate models -- so the
+// crossbar cost is pure overhead.
+
+#include <cstdio>
+
+#include "arch/prizma/prizma_switch.hpp"
+#include "area/models.hpp"
+#include "bench_util.hpp"
+
+using namespace pmsb;
+using namespace pmsb::bench;
+
+namespace {
+
+double prizma_utilization(unsigned n, unsigned banks, Cycle cycles) {
+  PrizmaConfig cfg;
+  cfg.n_ports = n;
+  cfg.word_bits = 16;
+  cfg.cell_words = 2 * n;
+  cfg.n_banks = banks;
+  TrafficSpec spec;
+  spec.arrivals = ArrivalKind::kSaturated;
+  spec.load = 1.0;
+  spec.seed = 9;
+  Testbench<PrizmaSwitch, PrizmaConfig> tb(cfg, n, cfg.cell_format(), spec,
+                                           /*scoreboard=*/false);
+  tb.run(cycles);
+  const auto& st = tb.dut().stats();
+  return static_cast<double>(st.read_grants) * cfg.cell_words /
+         (static_cast<double>(n) * static_cast<double>(st.cycles));
+}
+
+double pipelined_utilization(unsigned n, unsigned cells, Cycle cycles) {
+  SwitchConfig cfg;
+  cfg.n_ports = n;
+  cfg.word_bits = 16;
+  cfg.cell_words = 2 * n;
+  cfg.capacity_segments = cells;
+  TrafficSpec spec;
+  spec.arrivals = ArrivalKind::kSaturated;
+  spec.load = 1.0;
+  spec.seed = 9;
+  return run_pipelined(cfg, spec, cycles).output_utilization;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("E11", "PRIZMA interleaved vs pipelined shared buffer (section 5.3)");
+
+  std::printf("\nFunctional equivalence first -- both are full-throughput shared\n"
+              "buffers (saturated uniform traffic, equal capacity in cells):\n\n");
+  Table fn({"n", "capacity (cells)", "PRIZMA util", "pipelined util"});
+  for (unsigned n : {4u, 8u}) {
+    const unsigned cells = 32 * n;
+    fn.add_row({Table::integer(n), Table::integer(cells),
+                Table::num(prizma_utilization(n, cells, 30000), 3),
+                Table::num(pipelined_utilization(n, cells, 30000), 3)});
+  }
+  fn.print();
+
+  std::printf("\nCrossbar complexity (the section 5.3 argument): PRIZMA's router and\n"
+              "selector connect n links to M banks; the pipelined memory's two\n"
+              "datapath blocks connect n links to 2n stages:\n\n");
+  Table t({"n", "M (cells)", "PRIZMA ~ n x M", "pipelined ~ n x 2n", "cost ratio",
+           "paper"});
+  for (auto [n, m] : {std::pair{8u, 256u}, {4u, 64u}, {8u, 64u}, {16u, 256u}}) {
+    t.add_row({Table::integer(n), Table::integer(m),
+               Table::integer(static_cast<long long>(n) * m),
+               Table::integer(static_cast<long long>(n) * 2 * n),
+               Table::num(area::prizma_crossbar_ratio(n, m), 1),
+               (n == 8 && m == 256) ? "16x (Telegraphos III scale)" : "-"});
+  }
+  t.print();
+
+  std::printf(
+      "\nShape check vs paper: equal delivered performance, but the interleaved\n"
+      "organization's steering crossbars scale with the buffer CAPACITY (M)\n"
+      "instead of the port count (2n) -- 16x at 2n = 16, M = 256. The PRIZMA\n"
+      "banks were even granted a free extra port (1R1W) in our model.\n");
+  return 0;
+}

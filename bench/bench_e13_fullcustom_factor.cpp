@@ -1,0 +1,50 @@
+// E13 -- Section 4.4: full-custom versus standard-cell implementation of the
+// pipelined buffer datapath. Paper: "the datapath of the shared buffer gains
+// approximately a factor of 22 in speed, capacity, and area: full-custom has
+// twice the number of links, the clock is 2.5 times faster, and the
+// peripheral circuit area is 4.5 times smaller"; and, peripheral area
+// growing with the square of the link count, "an 8x8 standard-cell design
+// would be about 18 times larger than this same configuration in
+// full-custom".
+
+#include <cstdio>
+
+#include "area/models.hpp"
+#include "stats/table.hpp"
+
+using namespace pmsb;
+using namespace pmsb::area;
+
+int main() {
+  print_banner("E13", "full-custom vs standard-cell factor (section 4.4)");
+
+  const FullCustomGain g = full_custom_gain();
+  std::printf("\nThe 'factor of 22' decomposition:\n\n");
+  Table t({"axis", "factor", "evidence"});
+  t.add_row({"links (8x8 vs 4x4)", Table::num(g.link_factor, 1), "T-III vs T-II geometry"});
+  t.add_row({"clock (16 ns vs 40 ns)", Table::num(g.clock_factor, 1),
+             Table::num(std_cell_1um().cycle_ns_worst / full_custom_1um().cycle_ns_worst, 1) +
+                 "x from the model's corners"});
+  t.add_row({"peripheral area", Table::num(g.area_factor, 1), "std-cell penalty in the model"});
+  t.add_row({"combined", Table::num(g.combined(), 1), "paper: 'approximately a factor of 22'"});
+  t.print();
+
+  std::printf("\nQuadratic growth of the peripheral area with link count (std cells):\n\n");
+  Table sq({"configuration", "peripheral mm^2", "vs full-custom 8x8 (9 mm^2)"});
+  for (unsigned n : {4u, 8u, 16u}) {
+    const double mm2 = std_cell_periph_mm2(n);
+    sq.add_row({Table::integer(n) + "x" + Table::integer(n) + " standard cells",
+                Table::num(mm2, 0), Table::num(mm2 / 9.0, 1) + "x"});
+  }
+  sq.print();
+  std::printf("\n(paper: 41 mm^2 at 4x4; the 8x8 standard-cell periphery is ~18x the\n"
+              "9 mm^2 full-custom one)\n");
+
+  std::printf("\nCross-check with the component model (same inventory, both flows):\n\n");
+  const PeriphInventory inv8 = pipelined_inventory(8, 16, 256);
+  Table xc({"flow", "model mm^2"});
+  xc.add_row({"full-custom 1.0 um", Table::num(peripheral_mm2(inv8, full_custom_1um()), 1)});
+  xc.add_row({"standard cells 1.0 um", Table::num(peripheral_mm2(inv8, std_cell_1um()), 1)});
+  xc.print();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E2 -- Section 2.1 / [Dally90 fig. 8, 1 lane]: input-queued wormhole
+// switching with messages longer than the buffers (20-flit messages,
+// 16-flit FIFOs, single lane / no virtual channels) saturates around 25%
+// of link capacity.
+//
+// Regenerates the latency-vs-accepted-traffic curve on an 8x8 mesh of
+// single-lane wormhole routers with credit flow control, plus a buffer-depth
+// ablation showing the "bursts larger than the buffers" regime is what
+// hurts.
+
+#include <cstdio>
+
+#include "net/wormhole.hpp"
+#include "stats/table.hpp"
+
+using namespace pmsb;
+using namespace pmsb::net;
+
+namespace {
+
+struct Point {
+  double offered;
+  double accepted;
+  double latency;
+  std::uint64_t backlog;
+};
+
+Point run_point(double rate, unsigned buffer_flits, unsigned message_flits,
+                std::uint64_t seed, unsigned lanes = 1) {
+  WormholeConfig cfg;
+  cfg.topo = Topology{TopologyKind::kMesh2D, 8, 8};
+  cfg.buffer_flits = buffer_flits;
+  cfg.message_flits = message_flits;
+  cfg.injection_rate = rate;
+  cfg.lanes = lanes;
+  cfg.seed = seed;
+  WormholeNetwork net(cfg);
+  net.run(25000, 5000);
+  return Point{rate, net.accepted_throughput(), net.latency().mean(),
+               net.source_backlog_flits()};
+}
+
+}  // namespace
+
+int main() {
+  print_banner("E2", "bursty wormhole traffic (section 2.1, [Dally90 fig. 8, 1 lane])");
+
+  std::printf(
+      "\n8x8 mesh, single-lane wormhole routers, 20-flit messages, 16-flit\n"
+      "input buffers, uniform destinations. Latency is head-injection to\n"
+      "tail-ejection; saturation shows as accepted << offered + exploding\n"
+      "backlog. Paper citation: saturation at ~25%% of link capacity.\n\n");
+
+  Table t({"offered (flits/node/cy)", "accepted", "mean latency (cy)", "source backlog"});
+  double saturation = 0;
+  for (double rate : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.60, 0.90}) {
+    const Point p = run_point(rate, 16, 20, 7);
+    t.add_row({Table::num(p.offered, 2), Table::num(p.accepted, 3), Table::num(p.latency, 1),
+               Table::integer(static_cast<long long>(p.backlog))});
+    saturation = std::max(saturation, p.accepted);
+  }
+  t.print();
+  std::printf("\nMeasured saturation throughput: %.3f flits/node/cycle (paper: ~0.25).\n",
+              saturation);
+
+  std::printf(
+      "\nAblation -- buffer depth vs message length (offered 0.9, the same\n"
+      "mesh): deeper buffers relieve the 1-lane coupling, shorter messages\n"
+      "relieve it too; 'messages longer than buffers' is the painful corner.\n\n");
+  Table ab({"message flits", "buffer flits", "accepted at offered 0.9"});
+  for (unsigned msg : {20u, 8u}) {
+    for (unsigned buf : {4u, 16u, 64u}) {
+      const Point p = run_point(0.9, buf, msg, 9);
+      ab.add_row({Table::integer(msg), Table::integer(buf), Table::num(p.accepted, 3)});
+    }
+  }
+  ab.print();
+
+  std::printf(
+      "\nVirtual-channel lanes ([Dally90]'s remedy) at CONSTANT total buffering\n"
+      "(16 flits/port, 20-flit messages, offered 0.9): the '1 lane' case the\n"
+      "paper cites is the worst point of Dally's own figure:\n\n");
+  Table lanes({"lanes", "flits per lane", "accepted at offered 0.9"});
+  for (unsigned l : {1u, 2u, 4u}) {
+    const Point p = run_point(0.9, 16, 20, 10, l);
+    lanes.add_row({Table::integer(l), Table::integer(16 / l), Table::num(p.accepted, 3)});
+  }
+  lanes.print();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// E3 -- Section 2.2 / [HlKa88]: buffer size needed for a cell-loss ratio of
+// 1e-3 on a 16x16 switch at load 0.8 (uniform destinations):
+//     shared buffering   ~  86 cells total   (5.4 per output)
+//     output queueing    ~ 178 cells total  (11.1 per output)
+//     input smoothing    ~1300 cells total  (80 per input)
+//
+// Regenerates the table by binary-searching each organization's capacity
+// parameter against simulation.
+
+#include <cstdio>
+#include <memory>
+
+#include "arch/input_smoothing.hpp"
+#include "core/testbench.hpp"
+#include "arch/output_queueing.hpp"
+#include "arch/shared_buffer.hpp"
+#include "bench_util.hpp"
+
+using namespace pmsb;
+using namespace pmsb::bench;
+
+namespace {
+
+constexpr unsigned kN = 16;
+constexpr double kLoad = 0.8;
+constexpr double kTarget = 1e-3;
+constexpr Cycle kSlots = 400000;  // ~5.1M offered cells: resolves 1e-3 well.
+
+double loss_shared(std::size_t cells, std::uint64_t seed) {
+  return run_uniform([&] { return std::make_unique<SharedBufferModel>(kN, cells); }, kN, kLoad,
+                     kSlots, seed)
+      .loss;
+}
+double loss_output(std::size_t per_output, std::uint64_t seed) {
+  return run_uniform([&] { return std::make_unique<OutputQueueing>(kN, per_output); }, kN,
+                     kLoad, kSlots, seed)
+      .loss;
+}
+double loss_smoothing(std::size_t frame, std::uint64_t seed) {
+  return run_uniform([&] { return std::make_unique<InputSmoothing>(kN, frame, Rng(seed + 1)); },
+                     kN, kLoad, kSlots, seed)
+      .loss;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("E3", "buffer sizing for loss <= 1e-3 (section 2.2, [HlKa88])");
+  std::printf("\n16x16 switch, uniform Bernoulli arrivals at load 0.8; binary search of\n"
+              "each organization's capacity for cell-loss ratio <= 1e-3.\n\n");
+
+  const std::size_t shared_cells =
+      min_capacity_for_loss([&](std::size_t c) { return loss_shared(c, 101); }, 16, 256,
+                            kTarget);
+  const std::size_t output_per_port =
+      min_capacity_for_loss([&](std::size_t c) { return loss_output(c, 102); }, 2, 64, kTarget);
+  const std::size_t smoothing_frame =
+      min_capacity_for_loss([&](std::size_t c) { return loss_smoothing(c, 103); }, 4, 256,
+                            kTarget);
+
+  Table t({"organization", "measured total cells", "measured per port", "paper total",
+           "paper per port"});
+  t.add_row({"shared buffering", Table::integer(static_cast<long long>(shared_cells)),
+             Table::num(static_cast<double>(shared_cells) / kN, 1), "86", "5.4 / output"});
+  t.add_row({"output queueing",
+             Table::integer(static_cast<long long>(output_per_port * kN)),
+             Table::num(static_cast<double>(output_per_port), 1), "178", "11.1 / output"});
+  t.add_row({"input smoothing",
+             Table::integer(static_cast<long long>(smoothing_frame * kN)),
+             Table::num(static_cast<double>(smoothing_frame), 1), "1300", "80 / input"});
+  t.print();
+
+  std::printf(
+      "\nLoss at the found sizes (shared %zu, output %zu/port, smoothing frame %zu):\n"
+      "  shared: %.2e   output: %.2e   smoothing: %.2e\n",
+      shared_cells, output_per_port, smoothing_frame, loss_shared(shared_cells, 111),
+      loss_output(output_per_port, 112), loss_smoothing(smoothing_frame, 113));
+
+  std::printf(
+      "\nShape check vs paper: shared << output << smoothing, with roughly the\n"
+      "paper's ratios (shared needs ~2x less than output queueing and ~15x less\n"
+      "than input smoothing). Exact values differ slightly from [HlKa88]'s\n"
+      "analytic queueing model; the ordering and magnitudes are the claim.\n");
+
+  // Cross-check: the CYCLE-ACCURATE pipelined switch under slotted arrivals
+  // is the same queueing system as the behavioural shared-buffer model --
+  // their loss ratios at equal capacity must agree.
+  std::printf("\nCross-check, behavioural model vs cycle-accurate pipelined switch\n"
+              "(8x8, 24-cell buffer, slotted arrivals at load 0.9):\n\n");
+  {
+    const unsigned n = 8;
+    const std::size_t cells = 24;
+    const double load = 0.9;
+    const Cycle slots = 200000;
+    const double behav =
+        run_uniform([&] { return std::make_unique<SharedBufferModel>(n, cells); }, n, load,
+                    slots, 707)
+            .loss;
+    const double behav_plus =
+        run_uniform([&] { return std::make_unique<SharedBufferModel>(n, cells + n); }, n, load,
+                    slots, 707)
+            .loss;
+
+    SwitchConfig cfg;
+    cfg.n_ports = n;
+    cfg.word_bits = 16;
+    cfg.cell_words = 2 * n;
+    cfg.capacity_segments = static_cast<unsigned>(cells);
+    TrafficSpec spec;
+    spec.arrivals = ArrivalKind::kSlotted;
+    spec.load = load;
+    spec.seed = 708;
+    const CycleRun r = run_pipelined(cfg, spec, slots * 2 * n, 0);
+    const double cyc = static_cast<double>(r.stats.dropped()) /
+                       static_cast<double>(r.stats.heads_seen);
+    Table x({"model", "loss ratio"});
+    x.add_row({"behavioural, 24 cells", Table::sci(behav, 2)});
+    x.add_row({"cycle-accurate pipelined switch, 24 cells", Table::sci(cyc, 2)});
+    x.add_row({"behavioural, 24 + n cells", Table::sci(behav_plus, 2)});
+    x.print();
+    std::printf(
+        "\n(The machine lands between the two behavioural capacities: the\n"
+        "pipelined memory recycles a cell's address when its read wave STARTS,\n"
+        "not when the last word has left -- worth up to n extra cells of\n"
+        "effective capacity at saturation. A real, measurable advantage of the\n"
+        "organization; otherwise the RTL machine and the queueing abstraction\n"
+        "follow the same shared-buffer discipline.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E5 -- Sections 3.2-3.3, figures 4-5: the pipelined memory sustains full
+// line rate on all links with at most ONE wave initiation per cycle at M0,
+// and cut-through is automatic with a 2-cycle minimum head latency.
+//
+// Regenerates: output utilization and initiation accounting at saturation,
+// and the head-latency distribution at light load, on the cycle-accurate
+// Telegraphos III configuration (8x8, 16 stages).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/config.hpp"
+
+using namespace pmsb;
+using namespace pmsb::bench;
+
+int main() {
+  print_banner("E5", "full line rate and automatic cut-through (sections 3.2-3.3)");
+  const SwitchConfig cfg = telegraphos3();
+  std::printf("\nDevice: %s\n", cfg.describe().c_str());
+
+  std::printf("\nSaturated traffic (offered 1.0). 'init/cycle' counts physical M0\n"
+              "accesses (a write+snoop pair is ONE access); it can never exceed 1:\n\n");
+  Table t({"pattern", "output util", "init/cycle", "snoop share", "drops"});
+  for (auto [name, pat] : {std::pair{"permutation", PatternKind::kPermutation},
+                           std::pair{"uniform", PatternKind::kUniform}}) {
+    TrafficSpec spec;
+    spec.arrivals = ArrivalKind::kSaturated;
+    spec.pattern = pat;
+    spec.load = 1.0;
+    spec.seed = 5;
+    const CycleRun r = run_pipelined(cfg, spec, 40000, 4000);
+    const double inits =
+        static_cast<double>(r.stats.write_initiations + r.stats.read_initiations +
+                            r.stats.snoop_initiations) /
+        static_cast<double>(r.stats.cycles);
+    const double snoop_share =
+        static_cast<double>(r.stats.snoop_cells) / static_cast<double>(r.stats.read_grants);
+    t.add_row({name, Table::num(r.output_utilization, 3), Table::num(inits, 3),
+               Table::num(snoop_share, 3),
+               Table::integer(static_cast<long long>(r.stats.dropped()))});
+  }
+  t.print();
+
+  std::printf(
+      "\nLight-load cut-through head latency (head word in -> head word out),\n"
+      "geometric arrivals, uniform destinations. Ablation: disabling the\n"
+      "same-cycle write-bus snoop costs exactly one cycle of minimum latency --\n"
+      "and even without it, departures still overlap arrivals by reading the\n"
+      "memory one wave behind the write (cut-through is structural in this\n"
+      "organization; only the wide memory needs extra datapath for it):\n\n");
+  Table lat({"load", "snoop", "min", "mean", "p99", "cut share"});
+  for (double load : {0.05, 0.2, 0.4}) {
+    for (bool ct : {true, false}) {
+      SwitchConfig c = cfg;
+      c.cut_through = ct;
+      TrafficSpec spec;
+      spec.load = load;
+      spec.seed = 6;
+      const CycleRun r = run_pipelined(c, spec, 60000, 6000);
+      lat.add_row({Table::num(load, 2), ct ? "on" : "off (ablation)",
+                   Table::integer(static_cast<long long>(r.head_latency.min())),
+                   Table::num(r.head_latency.mean(), 2),
+                   Table::integer(static_cast<long long>(r.head_latency.p99())),
+                   Table::num(static_cast<double>(r.stats.cut_through_cells) /
+                                  static_cast<double>(r.stats.read_grants),
+                              3)});
+    }
+  }
+  lat.print();
+
+  std::printf(
+      "\nShape check vs paper: utilization ~1.0 at saturation with <= 1 initiation\n"
+      "per cycle (the organization's sizing claim), and the minimum head latency\n"
+      "is exactly 2 cycles -- cut-through needs no extra datapath (section 3.3).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E8 -- Section 4: the three Telegraphos prototypes. Each configuration runs
+// at saturation on the cycle-accurate core; measured cycles convert to
+// bits/s with the prototype's clock. Paper link rates: 107 Mb/s (T-I FPGA,
+// 13.3 MHz x 8 bit), 400 Mb/s (T-II ASIC, 16 bit / 40 ns), 1 Gb/s worst /
+// 1.6 Gb/s typical (T-III full-custom, 16 bit / 16 ns worst, 10 ns typical).
+
+#include <cstdio>
+
+#include "area/models.hpp"
+#include "bench_util.hpp"
+#include "core/config.hpp"
+
+using namespace pmsb;
+using namespace pmsb::bench;
+
+int main() {
+  print_banner("E8", "the Telegraphos prototypes (section 4)");
+
+  struct Proto {
+    const char* name;
+    SwitchConfig cfg;
+    const char* paper_rate;
+  };
+  const Proto protos[] = {
+      {"Telegraphos I (FPGA)", telegraphos1(), "107 Mb/s"},
+      {"Telegraphos II (std-cell ASIC)", telegraphos2(), "400 Mb/s"},
+      {"Telegraphos III (full-custom)", telegraphos3(), "1000 Mb/s worst"},
+  };
+
+  std::printf("\nEach prototype at saturation (uniform destinations) on the\n"
+              "cycle-accurate pipelined-memory core:\n\n");
+  Table t({"prototype", "geometry", "buffer", "util", "measured/link", "paper/link"});
+  for (const Proto& p : protos) {
+    TrafficSpec spec;
+    spec.arrivals = ArrivalKind::kSaturated;
+    spec.load = 1.0;
+    spec.seed = 3;
+    const CycleRun r = run_pipelined(p.cfg, spec, 40000, 4000);
+    const double mbps = r.output_utilization * p.cfg.link_mbps();
+    char geom[64], buf[64];
+    std::snprintf(geom, sizeof geom, "%ux%u, %u stages x %u b", p.cfg.n_ports, p.cfg.n_ports,
+                  p.cfg.stages(), p.cfg.word_bits);
+    std::snprintf(buf, sizeof buf, "%u cells x %u b = %u Kbit", p.cfg.capacity_cells(),
+                  p.cfg.cell_words * p.cfg.word_bits,
+                  p.cfg.capacity_segments * p.cfg.stages() * p.cfg.word_bits / 1024);
+    t.add_row({p.name, geom, buf, Table::num(r.output_utilization, 3),
+               Table::num(mbps, 0) + " Mb/s", p.paper_rate});
+  }
+  t.print();
+
+  std::printf("\nTelegraphos III timing corners (16 wires/link on-chip, section 4.4):\n\n");
+  Table corners({"corner", "cycle", "per link", "aggregate (16 stages x 16 b)"});
+  corners.add_row({"worst case (4.5 V, 125 C)", "16 ns",
+                   Table::num(area::per_link_gbps(8, 16, 16.0), 2) + " Gb/s",
+                   Table::num(area::aggregate_gbps(256, 16.0), 1) + " Gb/s"});
+  corners.add_row({"typical", "10 ns", Table::num(area::per_link_gbps(8, 16, 10.0), 2) + " Gb/s",
+                   Table::num(area::aggregate_gbps(256, 10.0), 1) + " Gb/s"});
+  corners.print();
+
+  std::printf("\nTelegraphos II floorplan (section 4.2, figure 6), shared-buffer part:\n\n");
+  const auto fp = area::telegraphos2_floorplan();
+  Table fpt({"block", "mm^2"});
+  fpt.add_row({"8 x 256x16 SRAM megacells", Table::num(fp.sram_mm2, 1)});
+  fpt.add_row({"peripheral std-cell regions", Table::num(fp.periph_mm2, 1)});
+  fpt.add_row({"memory-bus routing", Table::num(fp.routing_mm2, 1)});
+  fpt.add_row({"total shared buffer", Table::num(fp.total_mm2(), 1)});
+  fpt.add_row({"whole chip (8.5 x 8.5 mm)", Table::num(fp.chip_mm2, 1)});
+  fpt.print();
+
+  std::printf(
+      "\nShape check vs paper: every prototype sustains ~100%% utilization, so the\n"
+      "measured per-link rates land on the paper's 107 / 400 / 1000 Mb/s figures\n"
+      "(rates are utilization x clock x width -- the architecture's job is the\n"
+      "utilization; the clock comes from each technology).\n");
+  return 0;
+}

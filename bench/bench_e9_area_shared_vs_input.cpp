@@ -1,0 +1,106 @@
+// E9 -- Section 5.1 / figure 9: shared versus input buffering silicon cost.
+// Both memories end up 2nw bit-cells wide; the paper argues the shared
+// buffer needs a (significantly) smaller height H_s for the same
+// performance, which outweighs its second crossbar-sized datapath block.
+//
+// We evaluate figure 9 with MEASURED equal-loss buffer heights, for two
+// input-side designs:
+//   (1) the input buffering the paper's section 2.2 numbers refer to
+//       ([HlKa88]-style input smoothing, H_i ~ 80 cells/input), and
+//   (2) an idealized non-FIFO input buffer (VOQ + 4-iteration PIM with a
+//       per-input shared pool) -- the strongest 1995 scheduler.
+// Case (1) reproduces the paper's conclusion decisively. Case (2) is an
+// honest sensitivity result: a good scheduler shrinks the equal-LOSS gap
+// until the extra fabric block dominates -- but it still pays ~2x latency
+// (bench E4) and the scheduler the paper calls "quite complex", which the
+// figure-9 model does not charge for.
+
+#include <cstdio>
+#include <memory>
+
+#include "arch/input_smoothing.hpp"
+#include "arch/shared_buffer.hpp"
+#include "arch/voq_pim.hpp"
+#include "area/models.hpp"
+#include "bench_util.hpp"
+
+using namespace pmsb;
+using namespace pmsb::bench;
+
+namespace {
+
+constexpr unsigned kN = 16;
+constexpr double kLoad = 0.8;
+constexpr double kTarget = 1e-3;
+constexpr Cycle kSlots = 400000;
+
+double loss_shared(std::size_t cells) {
+  return run_uniform([&] { return std::make_unique<SharedBufferModel>(kN, cells); }, kN, kLoad,
+                     kSlots, 301)
+      .loss;
+}
+double loss_voq(std::size_t per_input) {
+  return run_uniform([&] { return std::make_unique<VoqPim>(kN, 0, 4, Rng(55), per_input); },
+                     kN, kLoad, kSlots, 302)
+      .loss;
+}
+double loss_smoothing(std::size_t frame) {
+  return run_uniform([&] { return std::make_unique<InputSmoothing>(kN, frame, Rng(56)); }, kN,
+                     kLoad, kSlots, 303)
+      .loss;
+}
+
+void print_floorplan(const char* title, double hi, double hs) {
+  const auto r = area::shared_vs_input(kN, 16, hi, hs);
+  std::printf("\n%s (H_i = %.1f, H_s = %.1f cells/port):\n\n", title, hi, hs);
+  Table fp({"component", "input buffering", "shared buffering"});
+  fp.add_row({"memory height (bit rows)", Table::num(r.input_height_cells, 0),
+              Table::num(r.shared_height_cells, 0)});
+  fp.add_row({"memory area", Table::num(r.input_memory_area, 0),
+              Table::num(r.shared_memory_area, 0)});
+  fp.add_row({"fabric area (crossbars/datapath)", Table::num(r.input_fabric_area, 0),
+              Table::num(r.shared_fabric_area, 0)});
+  fp.add_row({"total", Table::num(r.input_total, 0), Table::num(r.shared_total, 0)});
+  fp.print();
+  std::printf("Total area ratio input/shared: %.2f %s\n", r.input_total / r.shared_total,
+              r.input_total > r.shared_total ? "(shared buffering smaller)"
+                                             : "(input buffering smaller)");
+}
+
+}  // namespace
+
+int main() {
+  print_banner("E9", "shared vs input buffering VLSI cost (section 5.1, figure 9)");
+
+  std::printf("\nStep 1 -- measured equal-performance buffer heights (loss <= 1e-3 at\n"
+              "load 0.8, 16x16, uniform traffic):\n\n");
+  const std::size_t shared_cells =
+      min_capacity_for_loss([&](std::size_t c) { return loss_shared(c); }, 16, 512, kTarget);
+  const std::size_t smooth_frame =
+      min_capacity_for_loss([&](std::size_t c) { return loss_smoothing(c); }, 4, 256, kTarget);
+  const std::size_t voq_per_input =
+      min_capacity_for_loss([&](std::size_t c) { return loss_voq(c); }, 2, 256, kTarget);
+  const double hs = static_cast<double>(shared_cells) / kN;
+  Table sizes({"organization", "cells per port", "paper (section 2.2)"});
+  sizes.add_row({"shared buffer (H_s)", Table::num(hs, 1), "5.4 / output"});
+  sizes.add_row({"input smoothing (H_i, case 1)", Table::num(double(smooth_frame), 1),
+                 "80 / input"});
+  sizes.add_row({"VOQ+PIM per-input pool (H_i, case 2)", Table::num(double(voq_per_input), 1),
+                 "n/a (post-paper scheduler)"});
+  sizes.print();
+
+  print_floorplan("Case 1: figure 9 with the paper's input-buffer generation",
+                  static_cast<double>(smooth_frame), hs);
+  print_floorplan("Case 2: figure 9 against an idealized VOQ+PIM input buffer",
+                  static_cast<double>(voq_per_input), hs);
+
+  std::printf(
+      "\nShape check vs paper: with the buffer sizings the paper's section 2.2\n"
+      "cites, the shared buffer's H_s << H_i dwarfs its extra datapath block and\n"
+      "shared buffering clearly wins (case 1) -- the paper's conclusion. An\n"
+      "idealized VOQ+PIM scheduler (case 2) closes the equal-loss memory gap;\n"
+      "what it cannot close is the ~2x latency penalty (bench E4) and the\n"
+      "scheduler/queue-management complexity the paper's section 5.1 notes but\n"
+      "the area model conservatively leaves out.\n");
+  return 0;
+}

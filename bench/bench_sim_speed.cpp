@@ -1,0 +1,80 @@
+// Simulator micro-benchmarks (google-benchmark): cycles/second of the
+// cycle-accurate switches and slots/second of the behavioural models. Not a
+// paper experiment -- this documents the cost of running the reproduction
+// itself and guards against performance regressions in the kernel.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "arch/shared_buffer.hpp"
+#include "core/dual_switch.hpp"
+#include "core/testbench.hpp"
+
+namespace pmsb {
+namespace {
+
+void BM_PipelinedSwitchCycles(benchmark::State& state) {
+  SwitchConfig cfg;
+  cfg.n_ports = static_cast<unsigned>(state.range(0));
+  cfg.word_bits = 16;
+  cfg.cell_words = 2 * cfg.n_ports;
+  cfg.capacity_segments = 32 * cfg.n_ports;
+  TrafficSpec spec;
+  spec.arrivals = ArrivalKind::kSaturated;
+  spec.load = 1.0;
+  spec.seed = 1;
+  PipelinedTestbench tb(cfg, cfg.n_ports, cfg.cell_format(), spec, /*scoreboard=*/false);
+  for (auto _ : state) tb.run(1000);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PipelinedSwitchCycles)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PipelinedWithScoreboard(benchmark::State& state) {
+  SwitchConfig cfg;
+  cfg.n_ports = 8;
+  cfg.word_bits = 16;
+  cfg.cell_words = 16;
+  cfg.capacity_segments = 128;
+  TrafficSpec spec;
+  spec.load = 0.8;
+  spec.seed = 2;
+  PipelinedTestbench tb(cfg, cfg.n_ports, cfg.cell_format(), spec, /*scoreboard=*/true);
+  for (auto _ : state) tb.run(1000);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PipelinedWithScoreboard);
+
+void BM_DualSwitchCycles(benchmark::State& state) {
+  DualSwitchConfig cfg;
+  cfg.n_ports = 8;
+  cfg.word_bits = 16;
+  cfg.capacity_segments_per_group = 128;
+  TrafficSpec spec;
+  spec.arrivals = ArrivalKind::kSaturated;
+  spec.load = 1.0;
+  spec.seed = 3;
+  Testbench<DualPipelinedSwitch, DualSwitchConfig> tb(cfg, cfg.n_ports, cfg.cell_format(),
+                                                      spec, /*scoreboard=*/false);
+  for (auto _ : state) tb.run(1000);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DualSwitchCycles);
+
+void BM_SharedBufferSlots(benchmark::State& state) {
+  const unsigned n = 16;
+  SharedBufferModel model(n, 128);
+  UniformDest dests(n);
+  SlotTraffic traffic(n, 0.9, &dests, Rng(4));
+  Cycle slot = 0;  // Monotonic across iterations (latency bookkeeping).
+  for (auto _ : state) {
+    for (int s = 0; s < 1000; ++s) model.step(slot++, traffic.step());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SharedBufferSlots);
+
+}  // namespace
+}  // namespace pmsb
+
+BENCHMARK_MAIN();

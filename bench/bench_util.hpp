@@ -1,0 +1,98 @@
+// Shared helpers for the experiment benches: uniform ways to run slot-time
+// models across loads, to run the cycle-accurate switches with event-based
+// latency capture, and to search buffer sizes for a target loss ratio.
+//
+// Every bench prints "paper" vs "measured" columns through pmsb::Table so
+// EXPERIMENTS.md can quote the output verbatim.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "arch/slot_sim.hpp"
+#include "core/switch.hpp"
+#include "core/testbench.hpp"
+#include "stats/table.hpp"
+
+namespace pmsb::bench {
+
+/// Result of one slot-model run.
+struct SlotRun {
+  double offered = 0;
+  double throughput = 0;
+  double loss = 0;
+  double mean_latency = 0;
+  std::uint64_t p99_latency = 0;
+};
+
+/// Run `make_model()` under uniform Bernoulli traffic at `load`.
+template <typename MakeModel>
+SlotRun run_uniform(MakeModel&& make_model, unsigned n, double load, Cycle slots,
+                    std::uint64_t seed) {
+  auto model = make_model();
+  UniformDest dests(n);
+  SlotTraffic traffic(n, load, &dests, Rng(seed));
+  run_slot_sim(*model, traffic, slots, slots / 5);
+  SlotRun r;
+  r.offered = load;
+  r.throughput = measured_throughput(*model, slots);
+  r.loss = model->counts().loss_ratio();
+  r.mean_latency = model->latency().mean();
+  r.p99_latency = model->latency().p99();
+  return r;
+}
+
+/// Smallest capacity parameter in [lo, hi] for which the measured loss ratio
+/// is <= target (the capacity -> loss mapping must be monotone).
+template <typename LossFn>
+std::size_t min_capacity_for_loss(LossFn&& loss_at, std::size_t lo, std::size_t hi,
+                                  double target) {
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (loss_at(mid) <= target)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+/// Cycle-accurate run of the pipelined switch capturing head latency from
+/// read-grant events (tr + 1 - a0): no scoreboard overhead, suitable for
+/// long statistical runs.
+struct CycleRun {
+  SwitchStats stats;
+  LatencyStats head_latency{0, 1 << 14};
+  /// Mean of (tr - a0 - 1): delay beyond the minimum-possible initiation.
+  double mean_extra_initiation_delay = 0;
+  double output_utilization = 0;
+};
+
+inline CycleRun run_pipelined(const SwitchConfig& cfg, const TrafficSpec& spec, Cycle cycles,
+                              Cycle warmup = 0) {
+  PipelinedTestbench tb(cfg, cfg.n_ports, cfg.cell_format(), spec, /*scoreboard=*/false);
+  CycleRun out;
+  out.head_latency.set_warmup(warmup);
+  std::uint64_t grants = 0;
+  std::int64_t extra_sum = 0;
+  SwitchEvents ev;
+  ev.on_read_grant = [&](unsigned, unsigned, Cycle tr, Cycle, Cycle a0, bool) {
+    out.head_latency.record(a0, tr + 1);  // Head word appears at tr + 1.
+    if (a0 >= warmup) {
+      ++grants;
+      extra_sum += (tr - a0 - 1);
+    }
+  };
+  tb.dut().set_events(std::move(ev));
+  tb.run(cycles);
+  out.stats = tb.dut().stats();
+  out.mean_extra_initiation_delay =
+      grants == 0 ? 0.0 : static_cast<double>(extra_sum) / static_cast<double>(grants);
+  out.output_utilization = static_cast<double>(out.stats.read_grants) * cfg.cell_words /
+                           (static_cast<double>(cfg.n_ports) * static_cast<double>(cycles));
+  return out;
+}
+
+}  // namespace pmsb::bench

@@ -1,0 +1,89 @@
+// arch_explorer: compare every buffering architecture of section 2 at a
+// user-chosen switch size, load, and buffer budget, from the command line.
+//
+//   ./arch_explorer [n] [load] [total_buffer_cells] [slots]
+//   e.g. ./arch_explorer 16 0.9 128 200000
+//
+// The same total buffer budget is split the way each architecture requires
+// (per input, per output, per crosspoint, one pool), so the comparison is
+// "what does a fixed amount of on-chip SRAM buy under each organization" --
+// the section 2 question that motivates shared buffering.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "arch/block_crosspoint.hpp"
+#include "arch/crosspoint.hpp"
+#include "arch/input_queueing.hpp"
+#include "arch/input_smoothing.hpp"
+#include "arch/knockout.hpp"
+#include "arch/output_queueing.hpp"
+#include "arch/shared_buffer.hpp"
+#include "arch/voq_pim.hpp"
+#include "stats/table.hpp"
+
+using namespace pmsb;
+
+int main(int argc, char** argv) {
+  const unsigned n = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 16;
+  const double load = argc > 2 ? std::atof(argv[2]) : 0.9;
+  const std::size_t budget = argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 128;
+  const Cycle slots = argc > 4 ? std::atoll(argv[4]) : 200000;
+  if (n < 2 || load <= 0 || load > 1 || budget < n) {
+    std::fprintf(stderr, "usage: %s [n>=2] [0<load<=1] [buffer_cells>=n] [slots]\n", argv[0]);
+    return 2;
+  }
+
+  std::printf("Architecture explorer: %ux%u switch, load %.2f, %zu buffer cells total,\n"
+              "%lld slots of uniform Bernoulli traffic.\n\n",
+              n, n, load, budget, static_cast<long long>(slots));
+
+  struct Entry {
+    const char* split;
+    std::unique_ptr<SlotModel> model;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"1 pool", std::make_unique<SharedBufferModel>(n, budget)});
+  entries.push_back({"1 pool + out cap",
+                     std::make_unique<SharedBufferModel>(n, budget, 2 * budget / n)});
+  entries.push_back({"per output", std::make_unique<OutputQueueing>(n, budget / n)});
+  entries.push_back({"per output, L=4 concentrator",
+                     std::make_unique<KnockoutSwitch>(n, std::min(4u, n), budget / n, Rng(9))});
+  entries.push_back(
+      {"per input (FIFO)", std::make_unique<InputQueueingFifo>(n, budget / n, Rng(1))});
+  entries.push_back(
+      {"per input (VOQ+PIM)", std::make_unique<VoqPim>(n, 0, 4, Rng(2), budget / n)});
+  if (budget / (static_cast<std::size_t>(n) * n) > 0) {
+    entries.push_back({"per crosspoint", std::make_unique<CrosspointQueueing>(
+                                             n, budget / (static_cast<std::size_t>(n) * n))});
+  }
+  if (n % 2 == 0) {
+    entries.push_back(
+        {"2x2 blocks", std::make_unique<BlockCrosspoint>(n, 2, budget / 4)});
+  }
+  entries.push_back(
+      {"smoothing frame", std::make_unique<InputSmoothing>(n, budget / n, Rng(3))});
+
+  Table t({"architecture", "buffer split", "carried", "loss", "lat mean", "lat p99"});
+  for (auto& e : entries) {
+    UniformDest dests(n);
+    SlotTraffic traffic(n, load, &dests, Rng(42));
+    run_slot_sim(*e.model, traffic, slots, slots / 5);
+    t.add_row({e.model->kind(), e.split, Table::num(measured_throughput(*e.model, slots), 3),
+               Table::sci(e.model->counts().loss_ratio(), 1),
+               Table::num(e.model->latency().mean(), 2),
+               Table::integer(static_cast<long long>(e.model->latency().p99()))});
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: with the same silicon budget, the shared pool has the lowest\n"
+      "loss (statistical multiplexing over all %u outputs); partitioned\n"
+      "organizations waste capacity wherever their partition is idle. FIFO\n"
+      "input queueing additionally caps carried load near 0.586 (HOL blocking).\n"
+      "Try a hotspot: see bench_a3 for the per-output-cap variant that fixes\n"
+      "shared-buffer hogging.\n",
+      n);
+  return 0;
+}

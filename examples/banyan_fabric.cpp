@@ -1,0 +1,145 @@
+// banyan_fabric: a 16x16 switching fabric built from eight 4x4
+// pipelined-memory switch elements in two delta stages -- the paper's
+// "building blocks for larger, multi-stage switches" use (section 2), with
+// figure-6-style header translation doing the per-stage self-routing.
+//
+// The sweep shows what the shared buffers buy inside a blocking multistage
+// fabric: internal contention (two cells wanting the same inter-stage link)
+// is absorbed by the element buffers instead of being dropped at the
+// crosspoints, so a plain banyan carries high uniform loads with tiny
+// per-element memories.
+
+#include <cstdio>
+#include <map>
+
+#include "common/rng.hpp"
+#include "net/banyan.hpp"
+#include "stats/stats.hpp"
+#include "stats/table.hpp"
+
+using namespace pmsb;
+using namespace pmsb::net;
+
+namespace {
+
+struct SweepPoint {
+  double offered;
+  double carried;
+  double loss;
+  double lat_mean;
+  std::uint64_t lat_min, lat_p99;
+};
+
+SweepPoint run_load(double load, Cycle cycles, std::uint64_t seed) {
+  BanyanConfig cfg;
+  cfg.radix = 4;
+  cfg.stages = 2;
+  cfg.capacity_cells = 32;  // Per element.
+  BanyanNetwork net(cfg);
+  Engine eng;
+  net.attach(eng);
+  const unsigned n = net.endpoints();
+  const CellFormat fmt = net.cell_format();
+
+  Rng rng(seed);
+  LatencyStats lat(cycles / 5, 1 << 14);
+  std::uint64_t injected = 0, delivered = 0;
+
+  // Per-input word-level injection state; per-output reassembly state.
+  struct Tx {
+    unsigned idx = 0;
+    std::uint64_t uid = 0;
+    unsigned dest = 0;
+    Cycle gap = 0;
+  };
+  std::vector<Tx> tx(n);
+  std::map<std::uint64_t, Cycle> in_flight;  // uid -> head wire cycle.
+  std::vector<unsigned> rx_idx(n, 0);
+  std::vector<std::uint64_t> rx_tag(n, 0);
+  std::uint64_t next_uid = 1;
+  const double mean_gap = fmt.length_words * (1.0 - load) / load;
+  const double q = 1.0 / (1.0 + mean_gap);
+
+  for (Cycle t = 0; t < cycles; ++t) {
+    for (unsigned i = 0; i < n; ++i) {
+      Tx& s = tx[i];
+      if (s.idx == 0) {
+        if (s.gap > 0) {
+          --s.gap;
+          continue;
+        }
+        s.uid = next_uid++;
+        s.dest = static_cast<unsigned>(rng.next_below(n));
+        in_flight[s.uid] = t + 1;
+        ++injected;
+      }
+      Word w = cell_word(s.uid, 0, s.idx, fmt);
+      if (s.idx == 0) w = make_translated_head(w, fmt, net.vc_bits(), 0, s.dest);
+      net.in_link(i).drive_next(Flit{true, s.idx == 0, w});
+      if (++s.idx == fmt.length_words) {
+        s.idx = 0;
+        s.gap = static_cast<Cycle>(rng.next_geometric(q));
+      }
+    }
+    eng.step();
+    for (unsigned o = 0; o < n; ++o) {
+      const Flit& f = net.out_link(o).now();
+      if (!f.valid) continue;
+      if (f.sop) {
+        // Recover the uid from the tag bits above the VC field.
+        rx_tag[o] = decode_tag(f.data, fmt) >> net.vc_bits();
+        rx_idx[o] = 1;
+        continue;
+      }
+      if (++rx_idx[o] == fmt.length_words) {
+        ++delivered;
+        // Match the youngest in-flight uid with these tag bits (tags are
+        // the mix64 of the uid truncated; collisions are broken by age).
+        for (auto it = in_flight.begin(); it != in_flight.end(); ++it) {
+          const Word tag = decode_tag(cell_word(it->first, 0, 0, fmt), fmt) >> net.vc_bits();
+          if (tag == rx_tag[o]) {
+            lat.record(it->second, t - fmt.length_words + 1);
+            in_flight.erase(it);
+            break;
+          }
+        }
+        rx_idx[o] = 0;
+      }
+    }
+  }
+  SweepPoint p;
+  p.offered = load;
+  p.carried = static_cast<double>(delivered) * fmt.length_words /
+              (static_cast<double>(n) * static_cast<double>(cycles));
+  p.loss = injected == 0
+               ? 0.0
+               : static_cast<double>(net.total_drops()) / static_cast<double>(injected);
+  p.lat_mean = lat.mean();
+  p.lat_min = lat.min();
+  p.lat_p99 = lat.p99();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Banyan fabric: 16x16 from eight 4x4 pipelined-memory elements\n"
+              "(two delta stages, 32-cell shared buffer per element, header\n"
+              "translation at every element input). Uniform traffic sweep:\n\n");
+  Table t({"offered", "carried", "internal loss", "lat min", "lat mean", "lat p99"});
+  for (double load : {0.2, 0.4, 0.6, 0.8, 0.9}) {
+    const SweepPoint p = run_load(load, 60000, 77 + static_cast<int>(load * 10));
+    t.add_row({Table::num(p.offered, 1), Table::num(p.carried, 3), Table::sci(p.loss, 1),
+               Table::integer(static_cast<long long>(p.lat_min)), Table::num(p.lat_mean, 1),
+               Table::integer(static_cast<long long>(p.lat_p99))});
+  }
+  t.print();
+  std::printf(
+      "\nReading: minimum latency = two cut-through elements + a translation\n"
+      "register per hop. A buffer-less banyan would drop every internal\n"
+      "collision; here the element shared buffers absorb them (loss stays low\n"
+      "until the fabric itself saturates). For non-blocking behaviour at high\n"
+      "load one adds more stages or buffers -- the [Turn93]-style fabrics the\n"
+      "paper cites.\n");
+  return 0;
+}

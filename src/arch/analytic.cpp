@@ -1,0 +1,20 @@
+#include "arch/analytic.hpp"
+
+namespace pmsb::analytic {
+
+double knockout_loss(unsigned n, unsigned l, double rho) {
+  // Arrivals per output per slot: K ~ Binomial(n, rho/n).
+  const double p = rho / n;
+  double pk = 1.0;  // P(K = k), iteratively: start at k = 0.
+  for (unsigned j = 0; j < n; ++j) pk *= (1.0 - p);
+  double expected_excess = 0.0;
+  double prob = pk;
+  for (unsigned k = 0; k <= n; ++k) {
+    if (k > l) expected_excess += (k - l) * prob;
+    // P(K = k+1) = P(K = k) * (n-k)/(k+1) * p/(1-p).
+    if (k < n) prob *= (static_cast<double>(n - k) / (k + 1)) * (p / (1.0 - p));
+  }
+  return rho == 0.0 ? 0.0 : expected_excess / rho;
+}
+
+}  // namespace pmsb::analytic

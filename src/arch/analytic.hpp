@@ -1,0 +1,46 @@
+// Closed-form queueing results used by the paper's section 2 citations,
+// as executable cross-checks for the simulators.
+//
+//  * [KaHM87]: FIFO input queueing saturates at 2 - sqrt(2) ~ 0.586 as
+//    n -> infinity (uniform traffic, random selection).
+//  * [KaHM87] eq. for output queueing (discrete-time, Bernoulli arrivals
+//    from n inputs thinned uniformly): mean wait
+//        W = ((n-1)/n) * rho / (2 (1 - rho))   slots.
+//  * PIM with one iteration matches ~ (1 - 1/e) of requests on a saturated
+//    switch as n grows [AOST93].
+//
+// These are 1980s-textbook results, implemented here so tests can assert the
+// simulators against theory instead of against themselves.
+
+#pragma once
+
+#include <cmath>
+
+namespace pmsb::analytic {
+
+/// FIFO input queueing saturation throughput, n -> infinity.
+inline double input_queueing_saturation_limit() { return 2.0 - std::sqrt(2.0); }
+
+/// Mean wait (slots, excluding the service slot) of an output queue fed by n
+/// Bernoulli-thinned inputs at total load rho [KaHM87, eq. (6)].
+inline double output_queueing_mean_wait(unsigned n, double rho) {
+  return (static_cast<double>(n - 1) / n) * rho / (2.0 * (1.0 - rho));
+}
+
+/// Expected match fraction of single-iteration PIM on a saturated n x n
+/// switch (requests everywhere): each output grants one input; an input
+/// accepts one grant. For large n the matched fraction approaches 1 - 1/e.
+inline double pim_one_iteration_limit() { return 1.0 - std::exp(-1.0); }
+
+/// Section 3.4's staggered-initiation penalty: (p/4) * (n-1)/n cycles.
+inline double stagger_penalty_cycles(unsigned n, double p) {
+  return (p / 4.0) * (static_cast<double>(n - 1) / n);
+}
+
+/// Knockout-switch concentration loss [YeHA87]: fraction of cells lost when
+/// each output accepts at most L of its per-slot arrivals, with per-input
+/// load rho and uniform destinations: arrivals per output are
+/// Binomial(n, rho/n); loss = E[(K - L)+] / E[K].
+double knockout_loss(unsigned n, unsigned l, double rho);
+
+}  // namespace pmsb::analytic

@@ -1,0 +1,123 @@
+#include "arch/prizma/prizma_switch.hpp"
+
+#include <stdexcept>
+
+namespace pmsb {
+
+void PrizmaConfig::validate() const {
+  if (n_ports < 1) throw std::invalid_argument("n_ports must be >= 1");
+  if (word_bits < 1 || word_bits > 64)
+    throw std::invalid_argument("word_bits must be in [1, 64]");
+  if (dest_bits() >= word_bits)
+    throw std::invalid_argument("head word too narrow for the destination field");
+  if (cell_words < 2) throw std::invalid_argument("cells must be at least two words");
+  if (n_banks < 1) throw std::invalid_argument("need at least one bank");
+}
+
+PrizmaSwitch::PrizmaSwitch(const PrizmaConfig& cfg)
+    : cfg_((cfg.validate(), cfg)),
+      L_(cfg.cell_words),
+      banks_(cfg.n_banks, std::vector<Word>(cfg.cell_words, 0)),
+      free_banks_(cfg.n_banks),
+      oq_(cfg.n_ports),
+      in_links_(cfg.n_ports),
+      out_links_(cfg.n_ports),
+      in_(cfg.n_ports),
+      out_(cfg.n_ports) {}
+
+void PrizmaSwitch::eval(Cycle t) {
+  ++stats_.cycles;
+  serve_outputs(t);
+  accept_arrivals(t);
+}
+
+void PrizmaSwitch::serve_outputs(Cycle t) {
+  // Every output has its own selector-crossbar column: all outputs stream
+  // concurrently, each from a different bank (no shared-port contention).
+  for (unsigned o = 0; o < cfg_.n_ports; ++o) {
+    OutPort& p = out_[o];
+    if (!p.streaming && !oq_[o].empty()) {
+      const QueuedCell c = oq_[o].front();
+      oq_[o].pop_front();
+      p.streaming = true;
+      p.bank = c.bank;
+      p.idx = 0;
+      p.a0 = c.a0;
+      ++stats_.read_grants;
+      ++stats_.read_initiations;
+      const bool cut = t < c.a0 + static_cast<Cycle>(L_) - 1;
+      if (cut) ++stats_.cut_through_cells;
+      if (events_.on_read_grant) events_.on_read_grant(o, c.input, t, c.a0 + 1, c.a0, cut);
+    }
+    if (p.streaming) {
+      // Word idx was written to the bank at the end of cycle a0 + idx; we
+      // read it at t + ... here directly: t >= a0 + idx + 1 holds because
+      // the stream started at t >= a0 + 1 and advances one word per cycle.
+      PMSB_CHECK(t > p.a0 + static_cast<Cycle>(p.idx), "PRIZMA read overtook its write");
+      out_links_[o].drive_next(Flit{true, p.idx == 0, banks_[p.bank][p.idx]});
+      ++p.idx;
+      if (p.idx == L_) {
+        p.streaming = false;
+        free_banks_.release(p.bank);
+      }
+    }
+  }
+}
+
+void PrizmaSwitch::accept_arrivals(Cycle t) {
+  for (unsigned i = 0; i < cfg_.n_ports; ++i) {
+    const Flit& f = in_links_[i].now();
+    InPort& p = in_[i];
+    if (!p.receiving) {
+      if (!f.valid) continue;
+      PMSB_CHECK(f.sop, "cell body word arrived while the input expected a head");
+      p.receiving = true;
+      p.phase = 0;
+      p.dest = decode_dest(f.data, cfg_.cell_format());
+      PMSB_CHECK(p.dest < cfg_.n_ports, "destination out of range");
+      p.a0 = t;
+      ++stats_.heads_seen;
+      if (events_.on_head) events_.on_head(i, t, p.dest);
+      p.discarding = !free_banks_.can_alloc(1);
+      if (p.discarding) {
+        ++stats_.dropped_no_addr;
+        if (events_.on_drop) events_.on_drop(i, t, DropReason::kNoAddress);
+      } else {
+        p.bank = free_banks_.alloc(1)[0];
+        ++stats_.accepted;
+        ++stats_.write_initiations;
+        if (events_.on_accept) events_.on_accept(i, t, t + 1);
+        oq_staged_.push_back(QueuedCell{p.bank, i, p.dest, t});
+      }
+    } else {
+      PMSB_CHECK(f.valid && !f.sop, "gap or unexpected head inside a cell");
+    }
+    if (!p.discarding) banks_[p.bank][p.phase] = f.data;
+    ++p.phase;
+    if (p.phase == L_) p.receiving = false;
+  }
+}
+
+void PrizmaSwitch::commit(Cycle) {
+  free_banks_.tick();
+  for (auto& c : oq_staged_) oq_[c.dest].push_back(c);
+  oq_staged_.clear();
+  for (auto& l : in_links_) l.tick();
+  for (auto& l : out_links_) l.tick();
+}
+
+bool PrizmaSwitch::drained() const {
+  if (free_banks_.in_use() != 0 || !oq_staged_.empty()) return false;
+  for (const auto& q : oq_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& p : in_) {
+    if (p.receiving) return false;
+  }
+  for (const auto& p : out_) {
+    if (p.streaming) return false;
+  }
+  return true;
+}
+
+}  // namespace pmsb

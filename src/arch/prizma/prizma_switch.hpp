@@ -1,0 +1,101 @@
+// Cycle-accurate PRIZMA-style interleaved shared buffer (section 5.3,
+// [DeEI95], [Turn93]): M independent memory banks, each holding exactly one
+// cell; an n x M "router" crossbar steers each arriving word into its cell's
+// bank, and an M x n "selector" crossbar steers read-out words to the
+// outputs.
+//
+// Functionally this matches the shared buffer (full throughput, per-output
+// FIFO, cut-through: a departure may trail an in-progress arrival by one
+// cycle). Its cost is structural, which is what section 5.3 charges it for:
+// the two crossbars scale with n*M instead of n*2n, and every bank needs its
+// own address/selection circuitry. The banks are modelled with one read and
+// one write port (1R1W) -- a *generous* assumption for the baseline; the
+// pipelined memory needs only single-ported banks.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/free_list.hpp"
+#include "core/switch.hpp"  // SwitchEvents, DropReason, SwitchStats
+#include "sim/engine.hpp"
+#include "sim/wire.hpp"
+
+namespace pmsb {
+
+struct PrizmaConfig {
+  unsigned n_ports = 4;
+  unsigned word_bits = 16;
+  unsigned cell_words = 8;
+  unsigned n_banks = 64;  ///< M: shared-buffer capacity in cells.
+  bool cut_through = true;
+
+  unsigned dest_bits() const { return bits_for(n_ports); }
+  CellFormat cell_format() const { return CellFormat{word_bits, dest_bits(), cell_words}; }
+  void validate() const;
+};
+
+class PrizmaSwitch : public Component {
+ public:
+  explicit PrizmaSwitch(const PrizmaConfig& cfg);
+
+  const PrizmaConfig& config() const { return cfg_; }
+
+  WireLink& in_link(unsigned i) { return in_links_.at(i); }
+  WireLink& out_link(unsigned o) { return out_links_.at(o); }
+
+  void set_events(SwitchEvents ev) { events_ = std::move(ev); }
+
+  void eval(Cycle t) override;
+  void commit(Cycle t) override;
+  std::string name() const override { return "prizma_switch"; }
+
+  const SwitchStats& stats() const { return stats_; }
+  bool drained() const;
+
+ private:
+  struct InPort {
+    bool receiving = false;
+    bool discarding = false;  ///< No bank was free: cell is being dropped.
+    unsigned phase = 0;
+    unsigned dest = 0;
+    Cycle a0 = 0;
+    std::uint32_t bank = 0;
+  };
+  struct QueuedCell {
+    std::uint32_t bank;
+    unsigned input;
+    unsigned dest;
+    Cycle a0;
+  };
+  struct OutPort {
+    bool streaming = false;
+    std::uint32_t bank = 0;
+    unsigned idx = 0;
+    Cycle a0 = 0;  ///< For latency/cut-through accounting.
+  };
+
+  void serve_outputs(Cycle t);
+  void accept_arrivals(Cycle t);
+
+  PrizmaConfig cfg_;
+  unsigned L_;
+
+  std::vector<std::vector<Word>> banks_;  ///< [bank][word]
+  FreeList free_banks_;
+  std::vector<std::deque<QueuedCell>> oq_;
+  std::vector<QueuedCell> oq_staged_;
+
+  std::vector<WireLink> in_links_;
+  std::vector<WireLink> out_links_;
+  std::vector<InPort> in_;
+  std::vector<OutPort> out_;
+
+  SwitchEvents events_;
+  SwitchStats stats_;
+};
+
+}  // namespace pmsb

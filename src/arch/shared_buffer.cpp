@@ -1,0 +1,33 @@
+#include "arch/shared_buffer.hpp"
+
+namespace pmsb {
+
+SharedBufferModel::SharedBufferModel(unsigned n, std::size_t capacity,
+                                     std::size_t out_queue_limit)
+    : SlotModel(n), capacity_(capacity), out_queue_limit_(out_queue_limit), queues_(n) {}
+
+void SharedBufferModel::step(Cycle slot,
+                             const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) {
+  PMSB_CHECK(arrivals.size() == n_, "arrival vector size mismatch");
+  for (unsigned i = 0; i < n_; ++i) {
+    if (!arrivals[i]) continue;
+    on_injected();
+    const unsigned dest = arrivals[i]->dest;
+    if ((capacity_ != 0 && resident_ >= capacity_) ||
+        (out_queue_limit_ != 0 && queues_[dest].size() >= out_queue_limit_)) {
+      on_dropped();
+      continue;
+    }
+    queues_[dest].push_back(SlotCell{slot, i, dest});
+    ++resident_;
+    peak_ = std::max(peak_, resident_);
+  }
+  for (unsigned o = 0; o < n_; ++o) {
+    if (queues_[o].empty()) continue;
+    on_delivered(slot, queues_[o].front());
+    queues_[o].pop_front();
+    --resident_;
+  }
+}
+
+}  // namespace pmsb

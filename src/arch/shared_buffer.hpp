@@ -1,0 +1,36 @@
+// Shared (centralized) buffering (figure 2, right): one memory pool for the
+// whole switch, logically organized as per-output queues. Same optimal link
+// utilization as output queueing, but statistically multiplexed storage --
+// the best buffer-memory utilization of all organizations (section 2.2).
+// This is the behavioural (untimed) counterpart of the cycle-accurate
+// PipelinedSwitch.
+
+#pragma once
+
+#include "arch/slot_sim.hpp"
+
+namespace pmsb {
+
+class SharedBufferModel : public SlotModel {
+ public:
+  /// capacity = total cells in the shared pool; 0 = unbounded.
+  /// out_queue_limit caps one output's share of the pool (0 = no cap):
+  /// the standard defence against buffer hogging by a saturated output
+  /// (used by real shared-buffer switches, cf. [DeEI95], [Koza91]).
+  SharedBufferModel(unsigned n, std::size_t capacity, std::size_t out_queue_limit = 0);
+
+  void step(Cycle slot, const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) override;
+  std::uint64_t resident() const override { return resident_; }
+  const char* kind() const override { return "shared buffer"; }
+
+  std::uint64_t peak_occupancy() const { return peak_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t out_queue_limit_;
+  std::vector<std::deque<SlotCell>> queues_;  ///< Logical per-output queues.
+  std::uint64_t resident_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+}  // namespace pmsb

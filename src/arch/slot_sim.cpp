@@ -1,0 +1,15 @@
+#include "arch/slot_sim.hpp"
+
+namespace pmsb {
+
+void run_slot_sim(SlotModel& model, SlotTraffic& traffic, Cycle slots, Cycle warmup) {
+  model.set_warmup(warmup);
+  for (Cycle s = 0; s < slots; ++s) model.step(s, traffic.step());
+}
+
+double measured_throughput(const SlotModel& model, Cycle slots) {
+  return normalized_throughput(model.counts().delivered, model.ports(),
+                               static_cast<std::uint64_t>(slots));
+}
+
+}  // namespace pmsb

@@ -1,0 +1,77 @@
+// Slot-time behavioural switch models for the section 2 architecture
+// comparison (figures 1 and 2): input queueing, non-FIFO input buffering
+// (VOQ + PIM), output queueing, shared buffering, crosspoint queueing,
+// block-crosspoint buffering, and input smoothing [HlKa88].
+//
+// One slot = one cell time. Convention (uniform across all models so the
+// comparisons are apples-to-apples): within a slot, arrivals are enqueued
+// first (drops happen here, at full buffers), then each output transmits at
+// most one cell. A cell arriving at an idle, uncontended path therefore has
+// latency 0 slots; reported latencies are relative, which is what the
+// paper's factor-of-two claims are about.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/util.hpp"
+#include "stats/stats.hpp"
+#include "traffic/generators.hpp"
+
+namespace pmsb {
+
+/// A queued cell in a behavioural model.
+struct SlotCell {
+  Cycle injected = 0;
+  unsigned input = 0;
+  unsigned dest = 0;
+};
+
+class SlotModel {
+ public:
+  explicit SlotModel(unsigned n) : n_(n), latency_(0, 1 << 16) {
+    PMSB_CHECK(n > 0, "model needs at least one port");
+  }
+  virtual ~SlotModel() = default;
+
+  unsigned ports() const { return n_; }
+
+  /// Process one slot. arrivals[i] is input i's arriving cell, if any.
+  virtual void step(Cycle slot, const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) = 0;
+
+  /// Cells still buffered (for conservation checks).
+  virtual std::uint64_t resident() const = 0;
+
+  virtual const char* kind() const = 0;
+
+  const FlowCounts& counts() const { return counts_; }
+  LatencyStats& latency() { return latency_; }
+  const LatencyStats& latency() const { return latency_; }
+  void set_warmup(Cycle until) { latency_.set_warmup(until); }
+
+ protected:
+  void on_injected() { ++counts_.injected; }
+  void on_dropped() { ++counts_.dropped; }
+  void on_delivered(Cycle slot, const SlotCell& c) {
+    ++counts_.delivered;
+    latency_.record(c.injected, slot);
+  }
+
+  unsigned n_;
+  FlowCounts counts_;
+  LatencyStats latency_;
+};
+
+/// Drive `model` with `traffic` for `slots` slots (plus a drain phase for
+/// unbounded-buffer latency runs is unnecessary: steady-state measurements
+/// ignore residents). Sets the model's warmup horizon to `warmup` slots.
+void run_slot_sim(SlotModel& model, SlotTraffic& traffic, Cycle slots, Cycle warmup);
+
+/// Measured normalized output throughput of a finished run.
+double measured_throughput(const SlotModel& model, Cycle slots);
+
+}  // namespace pmsb

@@ -1,0 +1,196 @@
+#include "arch/wide/wide_switch.hpp"
+
+#include <stdexcept>
+
+namespace pmsb {
+
+WideMemorySwitch::WideMemorySwitch(const SwitchConfig& cfg)
+    : cfg_((cfg.validate(), cfg)),
+      L_(cfg.cell_words),
+      wide_ram_(cfg.capacity_cells(), std::vector<Word>(cfg.cell_words, 0)),
+      free_(cfg.capacity_cells()),
+      oq_(cfg.n_ports),
+      rr_read_(cfg.n_ports),
+      rr_write_(cfg.n_ports),
+      in_links_(cfg.n_ports),
+      out_links_(cfg.n_ports),
+      in_(cfg.n_ports),
+      out_(cfg.n_ports) {
+  if (cfg.segments_per_cell() != 1)
+    throw std::invalid_argument(
+        "wide-memory switch stores one cell per wide word: cell_words must "
+        "equal 2*n_ports");
+  for (auto& p : in_) {
+    p.fill.resize(L_);
+    p.staged.resize(L_);
+  }
+  for (auto& p : out_) {
+    p.shift.resize(L_);
+    p.next.resize(L_);
+  }
+}
+
+void WideMemorySwitch::eval(Cycle t) {
+  ++stats_.cycles;
+  ram_port_used_ = false;
+  arbitrate_memory(t);
+  run_outputs(t);
+  accept_arrivals(t);
+  if (!ram_port_used_) ++stats_.idle_cycles;
+}
+
+void WideMemorySwitch::arbitrate_memory(Cycle t) {
+  // One wide-word access per cycle; reads (outputs) have priority, exactly
+  // as in the pipelined organization, for a like-for-like comparison.
+  const int o = rr_read_.pick([&](unsigned out) {
+    return !out_[out].next_valid && !oq_[out].empty();
+  });
+  if (o >= 0) {
+    OutPort& p = out_[o];
+    const QueuedCell c = oq_[o].front();
+    oq_[o].pop_front();
+    p.next = wide_ram_[c.addr];
+    p.next_valid = true;
+    p.next_a0 = c.a0;
+    free_.release(c.addr);
+    ram_port_used_ = true;
+    ++stats_.read_initiations;
+    ++stats_.read_grants;
+    if (events_.on_read_grant)
+      events_.on_read_grant(static_cast<unsigned>(o), c.input, t, c.stored_at, c.a0, false);
+    return;
+  }
+  const int i = rr_write_.pick(
+      [&](unsigned in) { return in_[in].staged_valid && free_.can_alloc(1); });
+  if (i >= 0) {
+    InPort& p = in_[i];
+    const std::uint32_t addr = free_.alloc(1)[0];
+    wide_ram_[addr] = p.staged;
+    oq_staged_.push_back(
+        QueuedCell{addr, static_cast<unsigned>(i), p.staged_dest, p.staged_a0, t});
+    // The queue entry becomes readable next cycle (committed), matching a
+    // registered "ready to depart" list.
+    p.staged_valid = false;
+    ram_port_used_ = true;
+    ++stats_.write_initiations;
+  }
+}
+
+void WideMemorySwitch::run_outputs(Cycle) {
+  for (unsigned o = 0; o < cfg_.n_ports; ++o) {
+    OutPort& p = out_[o];
+    if (p.bypass_reg.valid) {
+      // Word captured from the bypass bus last cycle drives the link now.
+      out_links_[o].drive_next(p.bypass_reg);
+      p.bypass_reg = Flit{};
+      continue;  // The link is spoken for this cycle.
+    }
+    if (p.bypass_from >= 0) continue;  // Link owned by the bypass stream.
+    if (!p.shifting && p.next_valid) {
+      p.shift.swap(p.next);
+      p.inject_a0 = p.next_a0;
+      p.next_valid = false;
+      p.shifting = true;
+      p.shift_idx = 0;
+    }
+    if (p.shifting) {
+      out_links_[o].drive_next(Flit{true, p.shift_idx == 0, p.shift[p.shift_idx]});
+      ++p.shift_idx;
+      if (p.shift_idx == L_) p.shifting = false;
+    }
+  }
+}
+
+void WideMemorySwitch::accept_arrivals(Cycle t) {
+  for (unsigned i = 0; i < cfg_.n_ports; ++i) {
+    const Flit& f = in_links_[i].now();
+    InPort& p = in_[i];
+    if (!p.receiving) {
+      if (!f.valid) continue;
+      PMSB_CHECK(f.sop, "cell body word arrived while the input expected a head");
+      p.receiving = true;
+      p.phase = 0;
+      p.dest = decode_dest(f.data, cfg_.cell_format());
+      PMSB_CHECK(p.dest < cfg_.n_ports, "destination out of range");
+      p.a0 = t;
+      ++stats_.heads_seen;
+      if (events_.on_head) events_.on_head(i, t, p.dest);
+
+      // Cut-through decision -- only possible here, at head arrival, via the
+      // dedicated bypass buses and output crossbar of figure 3.
+      OutPort& op = out_[p.dest];
+      const bool own_staged_same_dest = p.staged_valid && p.staged_dest == p.dest;
+      bool queued_this_cycle = false;
+      for (const auto& c : oq_staged_) queued_this_cycle |= (c.dest == p.dest);
+      p.bypassing = cfg_.cut_through && op.bypass_from < 0 && !op.bypass_reg.valid &&
+                    !op.shifting && !op.next_valid && oq_[p.dest].empty() &&
+                    !queued_this_cycle && !own_staged_same_dest;
+      if (p.bypassing) {
+        op.bypass_from = static_cast<int>(i);
+        ++stats_.accepted;
+        ++stats_.cut_through_cells;
+        ++stats_.read_grants;
+        if (events_.on_accept) events_.on_accept(i, p.a0, t + 1);
+        if (events_.on_read_grant) events_.on_read_grant(p.dest, i, t + 1, t + 1, p.a0, true);
+      }
+    } else {
+      PMSB_CHECK(f.valid && !f.sop, "gap or unexpected head inside a cell");
+    }
+
+    p.fill[p.phase] = f.data;
+    if (p.bypassing) {
+      // One register stage through the bypass bus + crossbar: word on the
+      // input wire at t is captured here and driven during t+1, appearing on
+      // the output wire at t+2 -- same minimum head latency as the
+      // pipelined memory's snoop path.
+      PMSB_CHECK(!out_[p.dest].bypass_reg.valid, "bypass crossbar register overwritten");
+      out_[p.dest].bypass_reg = Flit{true, p.phase == 0, f.data};
+    }
+    ++p.phase;
+    if (p.phase != L_) continue;
+
+    // Cell complete.
+    p.receiving = false;
+    if (p.bypassing) {
+      p.bypassing = false;
+      out_[p.dest].bypass_from = -1;
+      continue;
+    }
+    if (p.staged_valid) {
+      // Double-buffer overrun: the staging row never got its memory cycle.
+      ++stats_.dropped_no_slot;
+      if (events_.on_drop) events_.on_drop(i, p.a0, DropReason::kNoSlot);
+      continue;
+    }
+    p.staged.swap(p.fill);
+    p.staged_valid = true;
+    p.staged_dest = p.dest;
+    p.staged_a0 = p.a0;
+    ++stats_.accepted;
+    if (events_.on_accept) events_.on_accept(i, p.a0, t + 1);
+  }
+}
+
+void WideMemorySwitch::commit(Cycle) {
+  free_.tick();
+  for (auto& c : oq_staged_) oq_[c.dest].push_back(c);
+  oq_staged_.clear();
+  for (auto& l : in_links_) l.tick();
+  for (auto& l : out_links_) l.tick();
+}
+
+bool WideMemorySwitch::drained() const {
+  if (free_.in_use() != 0 || !oq_staged_.empty()) return false;
+  for (const auto& q : oq_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& p : in_) {
+    if (p.receiving || p.staged_valid) return false;
+  }
+  for (const auto& p : out_) {
+    if (p.shifting || p.next_valid || p.bypass_from >= 0) return false;
+  }
+  return true;
+}
+
+}  // namespace pmsb

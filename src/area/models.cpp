@@ -1,0 +1,165 @@
+#include "area/models.hpp"
+
+#include "common/util.hpp"
+
+namespace pmsb::area {
+
+namespace {
+
+/// Control bundle width of the figure-5 pipeline: address + two link ids +
+/// operation encoding.
+double ctrl_bits(unsigned n, unsigned words_per_stage) {
+  return bits_for(words_per_stage) + 2.0 * bits_for(n) + 2.0;
+}
+
+/// Sum an inventory in register-bit equivalents, given the relative weights
+/// of drivers / decoded-line FFs / decoders (crossings are separate: they
+/// are wire-pitch area, independent of device area).
+double regbit_equiv(const PeriphInventory& inv, double driver_w, double line_w,
+                    double decoder_w) {
+  return inv.data_reg_bits + inv.ctrl_reg_bits + driver_w * inv.driver_bits +
+         line_w * inv.line_pipe_bits +
+         decoder_w * inv.decoder_instances * inv.words_per_stage;
+}
+
+constexpr double kDriverWeight = 0.5;   ///< Tristate driver vs register bit.
+constexpr double kLineFfWeight = 0.8;   ///< Decoded-line FF (dynamic) vs reg.
+/// "A decoded address pipeline register is 2.3 times smaller than the normal
+///  address decoder" (section 4.4): decoder area per word line.
+constexpr double kDecoderWeight = 2.3 * kLineFfWeight;
+constexpr double kCrossingUm2 = 6.25;   ///< (2.5 um metal pitch)^2 at 1.0 um.
+
+}  // namespace
+
+PeriphInventory pipelined_inventory(unsigned n, unsigned w, unsigned words_per_stage) {
+  const double S = 2.0 * n;
+  PeriphInventory inv;
+  inv.words_per_stage = words_per_stage;
+  // One latch row per input plus the single shared output row (figure 4).
+  inv.data_reg_bits = n * S * w + S * w;
+  inv.ctrl_reg_bits = (S - 1) * ctrl_bits(n, words_per_stage);
+  // Figure 7(b): one real decoder at stage 0, decoded word lines pipelined.
+  inv.decoder_instances = 1;
+  inv.line_pipe_bits = (S - 1) * words_per_stage;
+  // Every input latch drives its stage bus; the output row drives the links.
+  inv.driver_bits = (n + 1.0) * S * w;
+  // Two datapath blocks of 2nw x nw link-wire crossings (section 4.4: "the
+  // area of this block approaches the minimum possible area of a crossbar").
+  inv.crossbar_crossings = 2.0 * (2.0 * n * w) * (n * w);
+  return inv;
+}
+
+PeriphInventory wide_inventory(unsigned n, unsigned w, unsigned words_per_stage) {
+  const double S = 2.0 * n;  // Wide word = one cell = 2n link words.
+  PeriphInventory inv;
+  inv.words_per_stage = words_per_stage;
+  // Double input buffering *and* double output buffering (figure 3 and the
+  // [KaSC91] output feature): two register rows per port on each side.
+  inv.data_reg_bits = 2.0 * n * S * w + 2.0 * n * S * w;
+  inv.ctrl_reg_bits = bits_for(words_per_stage);  // One address register.
+  inv.decoder_instances = 1;
+  inv.line_pipe_bits = 0;
+  // Write-path drivers (staging rows onto the wide bus), cut-through bypass
+  // drivers from the fill rows, and output-row link drivers.
+  inv.driver_bits = (1.0 + 0.5 + 1.0) * n * S * w;
+  // The output crossbar plus the cut-through bypass buses: two wire blocks,
+  // same footprint class as the pipelined datapath blocks (figure 3 needs
+  // both; section 3.2 calls out the extra buses and crossbar explicitly).
+  inv.crossbar_crossings = 2.0 * (2.0 * n * w) * (n * w);
+  return inv;
+}
+
+TechParams full_custom_1um() {
+  TechParams t;
+  t.name = "1.0um full-custom CMOS (ES2)";
+  // Calibrate the register-bit area against the paper's single anchor: the
+  // Telegraphos III peripheral datapath is ~9 mm^2 (section 4.4).
+  const PeriphInventory t3 = pipelined_inventory(8, 16, 256);
+  const double equiv = regbit_equiv(t3, kDriverWeight, kLineFfWeight, kDecoderWeight);
+  const double wire_um2 = kCrossingUm2 * t3.crossbar_crossings;
+  const double reg = (9.0e6 - wire_um2) / equiv;
+  t.reg_bit_um2 = reg;
+  t.driver_bit_um2 = kDriverWeight * reg;
+  t.decoder_um2_per_word = kDecoderWeight * reg;
+  t.line_pipe_ratio = 1.0 / 2.3;
+  t.crossing_um2 = kCrossingUm2;
+  // 64 Kbit of storage occupies the ~36 mm^2 of the 45 mm^2 figure-8 block
+  // that is not peripheral datapath.
+  t.sram_bit_um2 = 36.0e6 / 65536.0;
+  t.cycle_ns_worst = 16.0;
+  return t;
+}
+
+TechParams std_cell_1um() {
+  TechParams t = full_custom_1um();
+  t.name = "1.0um standard cells (ES2)";
+  // Section 4.4: the full-custom peripheral is 4.5x smaller than what the
+  // standard-cell flow would need at the same node.
+  constexpr double kStdCellPenalty = 4.5;
+  t.reg_bit_um2 *= kStdCellPenalty;
+  t.driver_bit_um2 *= kStdCellPenalty;
+  t.decoder_um2_per_word *= kStdCellPenalty;
+  t.crossing_um2 *= kStdCellPenalty;  // No circuit-under-wire overlap.
+  t.cycle_ns_worst = 40.0;            // Telegraphos II link word rate.
+  return t;
+}
+
+double peripheral_mm2(const PeriphInventory& inv, const TechParams& tech) {
+  const double line_ff_um2 = tech.decoder_um2_per_word * tech.line_pipe_ratio;
+  const double um2 = inv.data_reg_bits * tech.reg_bit_um2 +
+                     inv.ctrl_reg_bits * tech.reg_bit_um2 +
+                     inv.driver_bits * tech.driver_bit_um2 +
+                     inv.line_pipe_bits * line_ff_um2 +
+                     inv.decoder_instances * inv.words_per_stage * tech.decoder_um2_per_word +
+                     inv.crossbar_crossings * tech.crossing_um2;
+  return um2 * 1e-6;
+}
+
+double sram_mm2(double bits, const TechParams& tech) { return bits * tech.sram_bit_um2 * 1e-6; }
+
+SharedVsInput shared_vs_input(unsigned n, unsigned w, double cells_per_input_hi,
+                              double cells_per_output_hs) {
+  SharedVsInput r;
+  r.width_cells = 2.0 * n * w;
+  // Figure 9: both organizations are 2nw bit-cells wide. A depth of C cells
+  // per port is n * C * (2nw) total bits, i.e. a height of C * n bit-cell
+  // rows at width 2nw (one cell = one 2n-word quantum of w bits).
+  r.input_height_cells = cells_per_input_hi * n;
+  r.shared_height_cells = cells_per_output_hs * n;
+  r.input_memory_area = r.width_cells * r.input_height_cells;
+  r.shared_memory_area = r.width_cells * r.shared_height_cells;
+  // One pitch-matched w-bit n x n crossbar (input buffering) versus the two
+  // shared-buffer datapath blocks; each is roughly 2nw x nw.
+  const double block = (2.0 * n * w) * (n * w);
+  r.input_fabric_area = block;
+  r.shared_fabric_area = 2.0 * block;
+  r.input_total = r.input_memory_area + r.input_fabric_area;
+  r.shared_total = r.shared_memory_area + r.shared_fabric_area;
+  return r;
+}
+
+double prizma_crossbar_ratio(unsigned n, unsigned banks_m) {
+  // n x M router (and M x n selector) versus the pipelined n x 2n blocks.
+  return static_cast<double>(banks_m) / (2.0 * n);
+}
+
+Telegraphos2Floorplan telegraphos2_floorplan() { return Telegraphos2Floorplan{}; }
+
+FullCustomGain full_custom_gain() { return FullCustomGain{}; }
+
+double std_cell_periph_mm2(unsigned n_ports) {
+  // 41 mm^2 at 4x4, growing with the square of the link count.
+  const double scale = static_cast<double>(n_ports) / 4.0;
+  return 41.0 * scale * scale;
+}
+
+double aggregate_gbps(unsigned width_bits, double cycle_ns) {
+  return static_cast<double>(width_bits) / cycle_ns;
+}
+
+double per_link_gbps(unsigned n, unsigned w, double cycle_ns) {
+  (void)n;  // Each link carries w bits per cycle regardless of n.
+  return static_cast<double>(w) / cycle_ns;
+}
+
+}  // namespace pmsb::area

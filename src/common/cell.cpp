@@ -1,0 +1,43 @@
+#include "common/cell.hpp"
+
+namespace pmsb {
+
+Word cell_word(std::uint64_t cell_id, unsigned dest, unsigned k, const CellFormat& fmt) {
+  PMSB_CHECK(fmt.word_bits >= 1 && fmt.word_bits <= 64, "word width out of range");
+  PMSB_CHECK(k < fmt.length_words, "word index beyond cell length");
+  const Word wmask = low_mask(fmt.word_bits);
+  if (k == 0) {
+    const Word dmask = low_mask(fmt.dest_bits);
+    PMSB_CHECK((dest & ~dmask) == 0, "destination does not fit in dest_bits");
+    const Word tag = mix64(cell_id) & low_mask(fmt.tag_bits());
+    return ((tag << fmt.dest_bits) | dest) & wmask;
+  }
+  // Payload: avalanche-mixed function of (id, k). Distinct per cell and per
+  // position, so datapath mix-ups are detectable.
+  return mix64(cell_id * 0x100000001b3ULL + k) & wmask;
+}
+
+std::vector<Word> make_cell_words(std::uint64_t cell_id, unsigned dest, const CellFormat& fmt) {
+  std::vector<Word> words(fmt.length_words);
+  for (unsigned k = 0; k < fmt.length_words; ++k) words[k] = cell_word(cell_id, dest, k, fmt);
+  return words;
+}
+
+unsigned decode_dest(Word head, const CellFormat& fmt) {
+  return static_cast<unsigned>(head & low_mask(fmt.dest_bits));
+}
+
+std::uint64_t decode_tag(Word head, const CellFormat& fmt) {
+  return (head >> fmt.dest_bits) & low_mask(fmt.tag_bits());
+}
+
+bool cell_matches(const std::vector<Word>& words, std::uint64_t cell_id, unsigned dest,
+                  const CellFormat& fmt) {
+  if (words.size() != fmt.length_words) return false;
+  for (unsigned k = 0; k < fmt.length_words; ++k) {
+    if (words[k] != cell_word(cell_id, dest, k, fmt)) return false;
+  }
+  return true;
+}
+
+}  // namespace pmsb

@@ -1,0 +1,64 @@
+// Cells (fixed-size packets) and link flits.
+//
+// The paper's switches move fixed-size packets ("cells") as sequences of
+// w-bit words, one word per link per clock cycle (section 3.2). Routing
+// information must be present in the first word (the header), because the
+// switch decides the destination -- and may begin cut-through -- as soon as
+// the head word arrives.
+//
+// In-band format of the head word (low bits first):
+//     [ dest : dest_bits | tag : remaining bits ]
+// `tag` carries the low bits of the cell id, giving the verification
+// scoreboard an extra integrity check. Payload words are derived from the
+// cell id with an avalanche mixer, so any datapath corruption (wrong stage,
+// wrong address, overwritten latch) is detected when the delivered word
+// sequence is compared against the expected cell.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/util.hpp"
+
+namespace pmsb {
+
+/// What an on-chip link carries during one clock cycle: one w-bit word plus
+/// framing. `sop` marks the head word of a cell. Words of one cell travel in
+/// consecutive cycles (synchronous link, no gaps inside a cell).
+struct Flit {
+  bool valid = false;
+  bool sop = false;
+  Word data = 0;
+
+  friend bool operator==(const Flit&, const Flit&) = default;
+};
+
+/// Geometry of the cell format on a particular switch configuration.
+struct CellFormat {
+  unsigned word_bits = 16;    ///< w: link and memory-stage width, 1..64.
+  unsigned dest_bits = 4;     ///< log2(#outputs), low bits of head word.
+  unsigned length_words = 16; ///< L: cell length in words (multiple of 2n).
+
+  /// Bits of the head word left for the id tag.
+  unsigned tag_bits() const { return word_bits > dest_bits ? word_bits - dest_bits : 0; }
+};
+
+/// Build the full word sequence of a cell.
+std::vector<Word> make_cell_words(std::uint64_t cell_id, unsigned dest, const CellFormat& fmt);
+
+/// The k-th word of cell `cell_id` (k in [0, length)); head word for k == 0.
+Word cell_word(std::uint64_t cell_id, unsigned dest, unsigned k, const CellFormat& fmt);
+
+/// Extract the destination output port from a head word.
+unsigned decode_dest(Word head, const CellFormat& fmt);
+
+/// Extract the id tag from a head word.
+std::uint64_t decode_tag(Word head, const CellFormat& fmt);
+
+/// True if `words` is exactly the cell `cell_id` -> `dest` under `fmt`.
+bool cell_matches(const std::vector<Word>& words, std::uint64_t cell_id, unsigned dest,
+                  const CellFormat& fmt);
+
+}  // namespace pmsb

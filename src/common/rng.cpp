@@ -1,0 +1,61 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace pmsb {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  PMSB_CHECK(bound > 0, "next_below(0)");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::uint64_t Rng::next_geometric(double p) {
+  PMSB_CHECK(p > 0.0 && p <= 1.0, "geometric probability out of range");
+  if (p >= 1.0) return 0;
+  // Inversion: floor(log(U) / log(1-p)) with U in (0,1].
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+}  // namespace pmsb

@@ -1,0 +1,57 @@
+// Small utilities shared by every pmsb module.
+//
+// PMSB_CHECK is the library's internal invariant check: it is *always* on
+// (the simulator is a verification artifact; a silently-wrong simulator is
+// worse than a slow one), prints a useful message and aborts. Use it for
+// modelling invariants (e.g. "an SRAM bank is accessed at most once per
+// cycle"), not for user-input validation -- user-facing constructors throw
+// std::invalid_argument instead.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pmsb {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::fprintf(stderr, "pmsb invariant violated: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+#define PMSB_CHECK(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond)) ::pmsb::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Cycle count. Simulations run for at most a few billion cycles; 64 bits
+/// never wraps.
+using Cycle = std::int64_t;
+
+/// A data word travelling on a link or stored in one memory stage.
+/// Physical width is Config::word_bits (<= 64); upper bits must be zero.
+using Word = std::uint64_t;
+
+/// Number of bits needed to address/encode `n` distinct values (n >= 1).
+constexpr unsigned bits_for(std::uint64_t n) {
+  unsigned b = 0;
+  std::uint64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++b;
+  }
+  return b == 0 ? 1 : b;
+}
+
+/// Mask with the low `bits` bits set (bits in [0,64]).
+constexpr std::uint64_t low_mask(unsigned bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace pmsb

@@ -1,0 +1,34 @@
+// Round-robin arbitration helper.
+//
+// The switch grants at most one read-wave and (in the dual organization) one
+// write-wave initiation per cycle; candidates are selected round-robin so no
+// link starves. The starvation bound matters for correctness, not just
+// fairness: the no-double-buffering window proof (DESIGN.md, invariant 2)
+// relies on each competing link being granted at most once while a pending
+// write waits.
+
+#pragma once
+
+#include <functional>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+class RoundRobin {
+ public:
+  explicit RoundRobin(unsigned n);
+
+  /// Scan from the pointer; return the first index for which `eligible`
+  /// holds and advance the pointer past it, or -1 if none is eligible.
+  int pick(const std::function<bool(unsigned)>& eligible);
+
+  unsigned size() const { return n_; }
+  unsigned pointer() const { return ptr_; }
+
+ private:
+  unsigned n_;
+  unsigned ptr_ = 0;
+};
+
+}  // namespace pmsb

@@ -1,0 +1,67 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace pmsb {
+
+void SwitchConfig::validate() const {
+  if (n_ports < 1) throw std::invalid_argument("n_ports must be >= 1");
+  if (word_bits < 1 || word_bits > 64)
+    throw std::invalid_argument("word_bits must be in [1, 64]");
+  if (dest_bits() >= word_bits)
+    throw std::invalid_argument("head word too narrow for the destination field");
+  if (cell_words == 0 || cell_words % stages() != 0)
+    throw std::invalid_argument(
+        "cell_words must be a positive multiple of 2*n_ports (the pipelined "
+        "memory packet-size quantum, section 3.5)");
+  if (capacity_segments == 0)
+    throw std::invalid_argument("capacity_segments must be >= 1");
+  if (capacity_segments % segments_per_cell() != 0)
+    throw std::invalid_argument("capacity_segments must be a multiple of segments per cell");
+  if (clock_mhz <= 0) throw std::invalid_argument("clock_mhz must be positive");
+}
+
+std::string SwitchConfig::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%ux%u switch, %u-bit links, %u-word cells, %u stages, "
+                "%u-segment shared buffer (%u cells), %.1f MHz (%.0f Mb/s/link)",
+                n_ports, n_ports, word_bits, cell_words, stages(), capacity_segments,
+                capacity_cells(), clock_mhz, link_mbps());
+  return buf;
+}
+
+SwitchConfig telegraphos1() {
+  SwitchConfig c;
+  c.n_ports = 4;
+  c.word_bits = 8;
+  c.cell_words = 8;           // 8-byte packets, 8 stages x 8 bits.
+  c.capacity_segments = 256;  // 8 SRAM chips; depth chosen as a lab default.
+  c.clock_mhz = 13.3;         // 107 Mb/s per link.
+  c.validate();
+  return c;
+}
+
+SwitchConfig telegraphos2() {
+  SwitchConfig c;
+  c.n_ports = 4;
+  c.word_bits = 16;
+  c.cell_words = 8;           // 16-byte packets = 8 words of 16 bits.
+  c.capacity_segments = 256;  // DB0..DB7 are 256x16 compiled SRAMs.
+  c.clock_mhz = 25.0;         // 16 bits / 40 ns = 400 Mb/s per link.
+  c.validate();
+  return c;
+}
+
+SwitchConfig telegraphos3() {
+  SwitchConfig c;
+  c.n_ports = 8;
+  c.word_bits = 16;
+  c.cell_words = 16;          // 256-bit packets = 16 words of 16 bits.
+  c.capacity_segments = 256;  // 256 packets of 256 bits = 64 Kbit.
+  c.clock_mhz = 62.5;         // 16 ns worst-case cycle -> 1 Gb/s per link.
+  c.validate();
+  return c;
+}
+
+}  // namespace pmsb

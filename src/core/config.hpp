@@ -1,0 +1,70 @@
+// Configuration of a pipelined-memory shared-buffer switch.
+//
+// The natural geometry (section 3.2): an n x n switch has S = 2n memory
+// stages; the cell size is S words (or a multiple m*S); the shared buffer
+// stores up to `capacity_segments` segments (one segment = one word in each
+// stage = one buffer address). The three Telegraphos prototypes (section 4)
+// are provided as named configurations.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/cell.hpp"
+#include "common/util.hpp"
+
+namespace pmsb {
+
+struct SwitchConfig {
+  unsigned n_ports = 4;            ///< n: incoming links = outgoing links.
+  unsigned word_bits = 16;         ///< w: link/memory width per cycle.
+  unsigned cell_words = 8;         ///< L: cell size in words, multiple of 2n.
+  unsigned capacity_segments = 64; ///< Buffer addresses (words per stage).
+  bool cut_through = true;         ///< Allow same-cycle write+snoop reads.
+  double clock_mhz = 62.5;         ///< For cycles -> bits/s conversions only.
+  /// Anti-hogging threshold: a cell is discarded at arrival if its output
+  /// already has this many cells queued (0 = unlimited). Keeps one saturated
+  /// output from monopolizing the shared pool -- the per-output limits real
+  /// shared-buffer switches add (cf. [DeEI95], [KVES95]).
+  unsigned out_queue_limit = 0;
+  /// Section 4.3 option: extra pipeline stages on the long input/output link
+  /// wires ("split in two or more pipeline stages each ... the logic of the
+  /// switch operation remains unaffected"). Modelled outside the switch by
+  /// sim/link_pipeline.hpp; recorded here so testbenches can apply it.
+  unsigned link_pipe_stages = 0;
+
+  unsigned stages() const { return 2 * n_ports; }
+  unsigned segments_per_cell() const { return cell_words / stages(); }
+  unsigned dest_bits() const { return bits_for(n_ports); }
+
+  CellFormat cell_format() const {
+    return CellFormat{word_bits, dest_bits(), cell_words};
+  }
+
+  /// Capacity measured in whole cells.
+  unsigned capacity_cells() const { return capacity_segments / segments_per_cell(); }
+
+  /// Per-link throughput in Mb/s at clock_mhz.
+  double link_mbps() const { return clock_mhz * word_bits; }
+
+  /// Throws std::invalid_argument if the geometry is inconsistent.
+  void validate() const;
+
+  std::string describe() const;
+};
+
+/// Telegraphos I (section 4.1): 4x4 FPGA prototype, 8-bit links at 13.3 MHz
+/// (107 Mb/s/link), 8-byte cells, 8 pipeline stages.
+SwitchConfig telegraphos1();
+
+/// Telegraphos II (section 4.2): 4x4 standard-cell ASIC, 16-bit links at
+/// 25 MHz on-chip word rate... the paper states 16 bits / 40 ns = 400 Mb/s
+/// per link, 16-byte cells, 8 stages, 256-word SRAM stages.
+SwitchConfig telegraphos2();
+
+/// Telegraphos III (section 4.4): 8x8 full-custom buffer, 16-bit links,
+/// 16 stages, 256 cells of 256 bits; 62.5 MHz worst case = 1 Gb/s/link.
+SwitchConfig telegraphos3();
+
+}  // namespace pmsb

@@ -1,0 +1,44 @@
+#include "core/free_list.hpp"
+
+namespace pmsb {
+
+FreeList::FreeList(std::uint32_t n_addresses)
+    : total_(n_addresses), allocated_(n_addresses, false) {
+  PMSB_CHECK(n_addresses > 0, "free list needs at least one address");
+  free_.reserve(n_addresses);
+  // Descending so the first allocation is address 0 (readable traces).
+  for (std::uint32_t a = n_addresses; a-- > 0;) free_.push_back(a);
+}
+
+std::vector<std::uint32_t> FreeList::alloc(std::uint32_t count) {
+  PMSB_CHECK(can_alloc(count), "free list underflow (caller must check can_alloc)");
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t a = free_.back();
+    free_.pop_back();
+    PMSB_CHECK(!allocated_[a], "address already allocated");
+    allocated_[a] = true;
+    out.push_back(a);
+  }
+  peak_in_use_ = std::max(peak_in_use_, in_use());
+  return out;
+}
+
+void FreeList::release(std::uint32_t addr) {
+  PMSB_CHECK(addr < total_, "released address out of range");
+  PMSB_CHECK(allocated_[addr], "double free of buffer address");
+  allocated_[addr] = false;
+  returned_.push_back(addr);
+}
+
+void FreeList::tick() {
+  for (std::uint32_t a : returned_) free_.push_back(a);
+  returned_.clear();
+}
+
+std::uint32_t FreeList::in_use() const {
+  return total_ - static_cast<std::uint32_t>(free_.size() + returned_.size());
+}
+
+}  // namespace pmsb

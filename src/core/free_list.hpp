@@ -1,0 +1,54 @@
+// Buffer-address management: a free list of segment addresses.
+//
+// The paper treats address management as orthogonal to the pipelined-memory
+// organization ("the buffer (address) management circuits are independent of
+// the pipelined memory", section 3.3); Telegraphos keeps a hardware free
+// list. We model exactly that: a LIFO of free segment addresses, with
+// two-phase semantics -- addresses freed during a cycle become allocatable
+// the next cycle, as a hardware free list returning entries through a
+// register would behave.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+class FreeList {
+ public:
+  explicit FreeList(std::uint32_t n_addresses);
+
+  std::uint32_t total() const { return total_; }
+
+  /// Addresses allocatable this cycle.
+  std::uint32_t available() const { return static_cast<std::uint32_t>(free_.size()); }
+
+  /// True if `count` addresses can be allocated this cycle.
+  bool can_alloc(std::uint32_t count) const { return available() >= count; }
+
+  /// Allocate `count` addresses (caller must have checked can_alloc).
+  std::vector<std::uint32_t> alloc(std::uint32_t count);
+
+  /// Return an address; visible to alloc() from the next cycle.
+  void release(std::uint32_t addr);
+
+  /// Clock edge: freed addresses become allocatable.
+  void tick();
+
+  /// Lifetime high-water mark of allocated addresses (buffer occupancy).
+  std::uint32_t peak_in_use() const { return peak_in_use_; }
+  std::uint32_t in_use() const;
+
+ private:
+  std::uint32_t total_;
+  std::vector<std::uint32_t> free_;      ///< Allocatable now.
+  std::vector<std::uint32_t> returned_;  ///< Freed this cycle.
+  std::vector<bool> allocated_;          ///< Double-alloc/free detector.
+  std::uint32_t peak_in_use_ = 0;
+};
+
+}  // namespace pmsb

@@ -1,0 +1,55 @@
+#include "core/input_latches.hpp"
+
+namespace pmsb {
+
+InputLatches::InputLatches(unsigned n_inputs, unsigned stages, unsigned word_bits)
+    : n_inputs_(n_inputs), stages_(stages), mask_(low_mask(word_bits)),
+      latches_(static_cast<std::size_t>(n_inputs) * stages) {
+  PMSB_CHECK(n_inputs > 0 && stages > 0, "degenerate latch array");
+}
+
+InputLatches::Latch& InputLatches::at(unsigned input, unsigned s) {
+  PMSB_CHECK(input < n_inputs_ && s < stages_, "latch index out of range");
+  return latches_[static_cast<std::size_t>(input) * stages_ + s];
+}
+
+const InputLatches::Latch& InputLatches::at(unsigned input, unsigned s) const {
+  PMSB_CHECK(input < n_inputs_ && s < stages_, "latch index out of range");
+  return latches_[static_cast<std::size_t>(input) * stages_ + s];
+}
+
+Word InputLatches::read(unsigned input, unsigned s) const { return at(input, s).q; }
+
+void InputLatches::latch(unsigned input, unsigned s, Word data, Cycle t) {
+  PMSB_CHECK((data & ~mask_) == 0, "latched word wider than the link");
+  Latch& l = at(input, s);
+  // The overwrite commits at the end of cycle t, so the old value is still
+  // readable during t itself; it is lost from cycle t+1 on. Two commits are
+  // legal while a wave is outstanding: the arriving word the wave expects
+  // (t == expected_commit) and anything at/after the consumption cycle.
+  PMSB_CHECK(t == l.expected_commit || t >= l.needed_until,
+             "input latch overwritten while a scheduled write wave still "
+             "needs it -- the no-double-buffering property is violated");
+  l.d = data;
+  l.loaded = true;
+}
+
+void InputLatches::protect_for_wave(unsigned input, Cycle t0, Cycle a0) {
+  PMSB_CHECK(t0 > a0, "write wave cannot initiate before the head word is latched");
+  for (unsigned s = 0; s < stages_; ++s) {
+    Latch& l = at(input, s);
+    l.needed_until = t0 + static_cast<Cycle>(s);
+    l.expected_commit = a0 + static_cast<Cycle>(s);
+  }
+}
+
+void InputLatches::tick(Cycle) {
+  for (Latch& l : latches_) {
+    if (l.loaded) {
+      l.q = l.d;
+      l.loaded = false;
+    }
+  }
+}
+
+}  // namespace pmsb

@@ -1,0 +1,65 @@
+// The input buffer registers of figure 4: for each incoming link, one row of
+// S latches, IR[i][0..S-1]. Word k of an arriving cell is latched into
+// IR[i][k mod S] at the end of its arrival cycle; the row is reused
+// cyclically by successive segments/cells (the paper's "wave of new packet
+// words entering into the input buffer registers, overwriting the old
+// data").
+//
+// The class also verifies the paper's central no-double-buffering claim: a
+// latch may be overwritten only after the write wave that needed its old
+// value has passed (enforced by an expiry stamp set when a write wave is
+// scheduled). Any arbitration bug that would need the wide-memory-style
+// second register row trips the check.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+class InputLatches {
+ public:
+  InputLatches(unsigned n_inputs, unsigned stages, unsigned word_bits);
+
+  unsigned stages() const { return stages_; }
+
+  /// Committed latch content (for the stage-s write this cycle).
+  Word read(unsigned input, unsigned s) const;
+
+  /// Stage a latch load at the end of the current cycle `t`.
+  void latch(unsigned input, unsigned s, Word data, Cycle t);
+
+  /// Declare that the write wave initiated at t0 (for the segment whose
+  /// head word was latched at the end of a0) consumes IR[input][s] during
+  /// cycle t0 + s. The word it expects there is the one committing at the
+  /// end of a0 + s -- that commit is legal even though it happens inside the
+  /// protection window; any *other* commit before the consumption cycle
+  /// destroys data the wave still needs (the violation the wide memory
+  /// avoids only by double buffering).
+  void protect_for_wave(unsigned input, Cycle t0, Cycle a0);
+
+  /// Clock edge at the end of cycle t.
+  void tick(Cycle t);
+
+ private:
+  unsigned n_inputs_;
+  unsigned stages_;
+  Word mask_;
+
+  struct Latch {
+    Word q = 0;
+    Word d = 0;
+    bool loaded = false;
+    Cycle needed_until = -1;     ///< Consumption cycle of the protected value.
+    Cycle expected_commit = -1;  ///< Arrival commit the protection expects.
+  };
+  std::vector<Latch> latches_;  ///< [input * stages_ + s]
+
+  Latch& at(unsigned input, unsigned s);
+  const Latch& at(unsigned input, unsigned s) const;
+};
+
+}  // namespace pmsb

@@ -1,0 +1,42 @@
+#include "core/out_queues.hpp"
+
+namespace pmsb {
+
+OutQueues::OutQueues(unsigned n_outputs) : queues_(n_outputs) {
+  PMSB_CHECK(n_outputs > 0, "need at least one output");
+}
+
+void OutQueues::push(BufferedCell cell) {
+  PMSB_CHECK(cell.dest < queues_.size(), "destination out of range");
+  staged_.push_back(std::move(cell));
+}
+
+bool OutQueues::empty(unsigned output) const { return queues_.at(output).empty(); }
+
+const BufferedCell& OutQueues::front(unsigned output) const {
+  PMSB_CHECK(!empty(output), "front() of empty output queue");
+  return queues_[output].front();
+}
+
+BufferedCell OutQueues::pop(unsigned output) {
+  PMSB_CHECK(!empty(output), "pop() of empty output queue");
+  BufferedCell c = std::move(queues_[output].front());
+  queues_[output].pop_front();
+  return c;
+}
+
+void OutQueues::tick() {
+  for (auto& c : staged_) {
+    auto& q = queues_[c.dest];
+    q.push_back(std::move(c));
+  }
+  staged_.clear();
+}
+
+std::size_t OutQueues::total_size() const {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+}  // namespace pmsb

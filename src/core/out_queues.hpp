@@ -1,0 +1,54 @@
+// Per-output "ready to depart" lists (the paper's outgoing-link logic keeps
+// "the list of ready to depart packets", section 4.2).
+//
+// One FIFO per outgoing link, holding references to buffered cells (their
+// segment addresses in the shared buffer). A cell is pushed when its write
+// wave is granted (it is then readable from that cycle on, including during
+// its own storing via cut-through) and popped when its read wave initiates.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+/// A cell resident in (or streaming through) the shared buffer.
+struct BufferedCell {
+  unsigned input = 0;                   ///< Arrival link.
+  unsigned dest = 0;                    ///< Departure link.
+  Cycle head_arrival = 0;               ///< a0: head word latched at end of this cycle.
+  Cycle write_start = 0;                ///< t0: write-wave initiation cycle.
+  std::vector<std::uint32_t> seg_addrs; ///< One buffer address per segment.
+};
+
+class OutQueues {
+ public:
+  explicit OutQueues(unsigned n_outputs);
+
+  /// Stage a cell for output `dest`; visible to front()/empty() after tick().
+  void push(BufferedCell cell);
+
+  bool empty(unsigned output) const;
+  const BufferedCell& front(unsigned output) const;
+
+  /// Remove the head-of-line cell of `output` (effective immediately; the
+  /// arbiter pops at most one queue per cycle).
+  BufferedCell pop(unsigned output);
+
+  /// Clock edge: commit staged pushes.
+  void tick();
+
+  /// Cells queued (committed) across all outputs.
+  std::size_t total_size() const;
+  std::size_t size(unsigned output) const { return queues_.at(output).size(); }
+
+ private:
+  std::vector<std::deque<BufferedCell>> queues_;
+  std::vector<BufferedCell> staged_;
+};
+
+}  // namespace pmsb

@@ -1,0 +1,45 @@
+#include "core/pipelined_memory.hpp"
+
+namespace pmsb {
+
+PipelinedMemory::PipelinedMemory(unsigned stages, std::size_t words_per_stage, unsigned word_bits,
+                                 AddrPathMode addr_mode)
+    : ctrl_(stages), addr_path_(stages, words_per_stage, addr_mode) {
+  PMSB_CHECK(stages >= 1, "pipelined memory needs at least one stage");
+  banks_.reserve(stages);
+  for (unsigned s = 0; s < stages; ++s) banks_.emplace_back(words_per_stage, word_bits);
+}
+
+void PipelinedMemory::exec_cycle(const InputLatches& ir, OutputRow& orow) {
+  for (unsigned s = 0; s < stages(); ++s) {
+    const StageCtrl& c = ctrl_.at(s);
+    // The address path runs every cycle (it checks 7a/7b equivalence even on
+    // idle stages in the decoded-pipeline mode).
+    const long addr = addr_path_.active_addr(s, c.addr, !c.idle());
+    switch (c.op) {
+      case StageOp::kNone:
+        break;
+      case StageOp::kWrite:
+        banks_[s].write(static_cast<std::size_t>(addr), ir.read(c.in_link, s));
+        break;
+      case StageOp::kRead:
+        orow.load(s, banks_[s].read(static_cast<std::size_t>(addr)), c.out_link,
+                  c.head && s == 0);
+        break;
+      case StageOp::kWriteSnoop: {
+        const Word bus =
+            banks_[s].write_snoop(static_cast<std::size_t>(addr), ir.read(c.in_link, s));
+        orow.load(s, bus, c.out_link, c.head && s == 0);
+        break;
+      }
+    }
+  }
+}
+
+void PipelinedMemory::tick() {
+  for (auto& b : banks_) b.tick();
+  ctrl_.tick();
+  addr_path_.tick();
+}
+
+}  // namespace pmsb

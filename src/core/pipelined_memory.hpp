@@ -1,0 +1,52 @@
+// The pipelined memory proper (figures 4, 5, 7): S single-ported SRAM
+// stages, the control-signal pipeline, and the address path (per-stage
+// decoders or the decoded-address pipeline of figure 7b).
+//
+// One wave is initiated per cycle at stage 0; exec_cycle() then performs, at
+// every stage s, whatever the control pipeline presents to it -- which is by
+// construction the operation stage s-1 performed in the previous cycle.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/input_latches.hpp"
+#include "core/output_row.hpp"
+#include "rtl/addr_decoder.hpp"
+#include "rtl/ctrl_pipeline.hpp"
+#include "rtl/sram_bank.hpp"
+
+namespace pmsb {
+
+class PipelinedMemory {
+ public:
+  PipelinedMemory(unsigned stages, std::size_t words_per_stage, unsigned word_bits,
+                  AddrPathMode addr_mode = AddrPathMode::kDecodedPipeline);
+
+  unsigned stages() const { return static_cast<unsigned>(banks_.size()); }
+
+  /// Initiate a wave at stage 0 for the current cycle (at most one/cycle).
+  void initiate(const StageCtrl& c) { ctrl_.initiate(c); }
+
+  /// Execute all stages for the current cycle: writes take their data from
+  /// the input latches; reads (and write snoops) load the output row.
+  void exec_cycle(const InputLatches& ir, OutputRow& orow);
+
+  /// Clock edge.
+  void tick();
+
+  /// Any wave still travelling down the pipeline?
+  bool busy() const { return ctrl_.busy(); }
+
+  const SramBank& bank(unsigned s) const { return banks_.at(s); }
+  const CtrlPipeline& ctrl() const { return ctrl_; }
+  const AddressPath& addr_path() const { return addr_path_; }
+
+ private:
+  std::vector<SramBank> banks_;
+  CtrlPipeline ctrl_;
+  AddressPath addr_path_;
+};
+
+}  // namespace pmsb

@@ -1,0 +1,85 @@
+#include "core/reservation.hpp"
+
+namespace pmsb {
+
+ReservationTable::ReservationTable(std::size_t horizon) : ring_(horizon) {
+  PMSB_CHECK(horizon >= 2, "reservation horizon too small");
+}
+
+bool ReservationTable::slot_free(Cycle t) const {
+  const Entry& e = at(t);
+  return e.cycle != t || e.op.empty();
+}
+
+bool ReservationTable::progression_free(Cycle t0, Cycle step, unsigned count) const {
+  PMSB_CHECK(static_cast<std::size_t>(step) * count < ring_.size() + static_cast<std::size_t>(step),
+             "reservation beyond the table horizon");
+  for (unsigned k = 0; k < count; ++k) {
+    if (!slot_free(t0 + static_cast<Cycle>(k) * step)) return false;
+  }
+  return true;
+}
+
+ReservationTable::Entry& ReservationTable::occupied_at(Cycle t) {
+  Entry& e = at(t);
+  if (e.cycle != t) {
+    PMSB_CHECK(e.cycle < t, "reservation ring wrapped onto a live entry");
+    e = Entry{t, SlotOp{}};
+  }
+  return e;
+}
+
+void ReservationTable::reserve_writes(Cycle t0, Cycle step,
+                                      const std::vector<std::uint32_t>& addrs,
+                                      unsigned in_link, Cycle a0) {
+  for (unsigned k = 0; k < addrs.size(); ++k) {
+    const Cycle t = t0 + static_cast<Cycle>(k) * step;
+    PMSB_CHECK(slot_free(t), "write reservation over an occupied slot");
+    Entry& e = occupied_at(t);
+    e.op.has_write = true;
+    e.op.w_addr = addrs[k];
+    e.op.in_link = static_cast<std::uint16_t>(in_link);
+    e.op.w_head = (k == 0);
+    e.op.w_a0 = a0 + static_cast<Cycle>(k) * step;
+  }
+}
+
+void ReservationTable::reserve_reads(Cycle t0, Cycle step,
+                                     const std::vector<std::uint32_t>& addrs,
+                                     unsigned out_link) {
+  for (unsigned k = 0; k < addrs.size(); ++k) {
+    const Cycle t = t0 + static_cast<Cycle>(k) * step;
+    PMSB_CHECK(slot_free(t), "read reservation over an occupied slot");
+    Entry& e = occupied_at(t);
+    e.op.has_read = true;
+    e.op.r_addr = addrs[k];
+    e.op.out_link = static_cast<std::uint16_t>(out_link);
+    e.op.r_head = (k == 0);
+  }
+}
+
+void ReservationTable::attach_snoop_reads(Cycle t0, Cycle step,
+                                          const std::vector<std::uint32_t>& addrs,
+                                          unsigned out_link) {
+  for (unsigned k = 0; k < addrs.size(); ++k) {
+    const Cycle t = t0 + static_cast<Cycle>(k) * step;
+    Entry& e = at(t);
+    PMSB_CHECK(e.cycle == t && e.op.has_write && !e.op.has_read,
+               "snoop read must attach to a pending write slot");
+    PMSB_CHECK(e.op.w_addr == addrs[k], "snoop read address differs from the write address");
+    e.op.has_read = true;
+    e.op.r_addr = addrs[k];
+    e.op.out_link = static_cast<std::uint16_t>(out_link);
+    e.op.r_head = (k == 0);
+  }
+}
+
+SlotOp ReservationTable::take(Cycle t) {
+  Entry& e = at(t);
+  if (e.cycle != t) return SlotOp{};
+  SlotOp op = e.op;
+  e = Entry{};
+  return op;
+}
+
+}  // namespace pmsb

@@ -1,0 +1,80 @@
+// Reservation table for stage-0 (wave-initiation) slots.
+//
+// A wave occupies M0 in exactly one cycle and then travels down the
+// pipeline without ever conflicting with waves initiated in other cycles
+// (each stage serves at most one wave per cycle because initiations are
+// serialized at M0). Multi-segment cells initiate one wave per segment,
+// spaced exactly S cycles apart, so granting a multi-segment operation
+// means reserving the whole arithmetic progression {t0 + k*S} up front.
+//
+// A slot carries at most one write and at most one read; when it carries
+// both they snoop the same address (same-cycle cut-through, section 3.3) and
+// cost one physical M0 access.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+/// Per-segment operation scheduled at one stage-0 slot.
+struct SlotOp {
+  bool has_write = false;
+  std::uint32_t w_addr = 0;
+  std::uint16_t in_link = 0;
+  bool w_head = false;  ///< Segment 0 of its cell.
+  Cycle w_a0 = 0;       ///< Arrival cycle of this segment's first word.
+
+  bool has_read = false;
+  std::uint32_t r_addr = 0;
+  std::uint16_t out_link = 0;
+  bool r_head = false;
+
+  bool empty() const { return !has_write && !has_read; }
+};
+
+class ReservationTable {
+ public:
+  /// `horizon` = maximum look-ahead in cycles (>= segments * S + 1).
+  explicit ReservationTable(std::size_t horizon);
+
+  /// True if cycle t has no reservation at all.
+  bool slot_free(Cycle t) const;
+
+  /// True if every cycle {t0 + k*step : k < count} is free.
+  bool progression_free(Cycle t0, Cycle step, unsigned count) const;
+
+  /// Reserve the write waves of a cell: segment k at t0 + k*step with
+  /// address addrs[k]; the cell's head word arrived at the end of a0 (so
+  /// segment k's first word arrives at a0 + k*step). Slots must be free.
+  void reserve_writes(Cycle t0, Cycle step, const std::vector<std::uint32_t>& addrs,
+                      unsigned in_link, Cycle a0);
+
+  /// Reserve the read waves of a cell (slots must be free).
+  void reserve_reads(Cycle t0, Cycle step, const std::vector<std::uint32_t>& addrs,
+                     unsigned out_link);
+
+  /// Attach snooping reads to already-reserved write slots of the same cell
+  /// (same slots, same addresses): same-cycle cut-through.
+  void attach_snoop_reads(Cycle t0, Cycle step, const std::vector<std::uint32_t>& addrs,
+                          unsigned out_link);
+
+  /// Remove and return the operation scheduled at cycle t (empty if none).
+  SlotOp take(Cycle t);
+
+ private:
+  struct Entry {
+    Cycle cycle = -1;
+    SlotOp op;
+  };
+  std::vector<Entry> ring_;
+
+  Entry& at(Cycle t) { return ring_[static_cast<std::size_t>(t) % ring_.size()]; }
+  const Entry& at(Cycle t) const { return ring_[static_cast<std::size_t>(t) % ring_.size()]; }
+  Entry& occupied_at(Cycle t);
+};
+
+}  // namespace pmsb

@@ -1,0 +1,181 @@
+// PipelinedSwitch: the paper's shared-buffer crossbar switch built around a
+// pipelined memory (sections 3.2-3.4), cycle-accurate at word granularity.
+//
+// Datapath per figure 4, control per figure 5:
+//
+//   in links -> input latch rows IR[i][0..S-1]
+//                    |                                S = 2n stages
+//                    v
+//          M0 -> M1 -> ... -> M(S-1)     (single-ported SRAM banks,
+//                    |                    one wave initiation per cycle)
+//                    v
+//           shared output register row -> out links
+//
+// Operation summary (timing conventions in DESIGN.md):
+//  * Head word of a cell on input link i during cycle a0 -> latched into
+//    IR[i][0] at the end of a0. The write wave must initiate at some
+//    t0 in [a0+1, a0+S] -- before the latches are reused -- which the
+//    read-priority + round-robin arbiter guarantees whenever a buffer
+//    address is available (DESIGN.md invariant 2).
+//  * Each cycle the arbiter initiates at most one wave at M0: a reserved
+//    continuing segment, else a read (priority to outgoing links,
+//    section 3.2), else a write. When a write is granted for a cell whose
+//    output is idle and unqueued, a snooping read is co-initiated on the
+//    same slots: automatic cut-through with head latency a0 -> a0+2.
+//  * Multi-segment cells (cell_words = m * S) reserve the arithmetic
+//    progression {t0 + k*S} of stage-0 slots up front; segment data is
+//    always latched before its wave needs it (window arithmetic in
+//    DESIGN.md).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/arbiter.hpp"
+#include "core/config.hpp"
+#include "core/free_list.hpp"
+#include "core/input_latches.hpp"
+#include "core/out_queues.hpp"
+#include "core/output_row.hpp"
+#include "core/pipelined_memory.hpp"
+#include "core/reservation.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "sim/wire.hpp"
+
+namespace pmsb {
+
+enum class DropReason : std::uint8_t {
+  kNoAddress,    ///< Shared buffer full for the whole acceptance window.
+  kNoSlot,       ///< No stage-0 slot in the window (should not occur for
+                 ///< single-segment cells; counted, never silently ignored).
+  kOutputLimit,  ///< Destination's per-output occupancy cap reached (the
+                 ///< anti-hogging threshold, SwitchConfig::out_queue_limit).
+};
+
+/// Aggregate run statistics of one switch instance.
+struct SwitchStats {
+  std::uint64_t heads_seen = 0;       ///< Cells whose head arrived.
+  std::uint64_t accepted = 0;         ///< Cells granted a write wave.
+  std::uint64_t dropped_no_addr = 0;
+  std::uint64_t dropped_no_slot = 0;
+  std::uint64_t dropped_out_limit = 0;
+  std::uint64_t read_grants = 0;      ///< Cells granted a read wave (departures).
+  std::uint64_t cut_through_cells = 0;///< Departure initiated before tail arrival.
+  std::uint64_t snoop_cells = 0;      ///< Same-cycle write+read co-grants.
+  std::uint64_t write_initiations = 0;
+  std::uint64_t read_initiations = 0;
+  std::uint64_t snoop_initiations = 0;
+  std::uint64_t idle_cycles = 0;      ///< Cycles with no stage-0 initiation.
+  std::uint64_t cycles = 0;
+
+  std::uint64_t dropped() const {
+    return dropped_no_addr + dropped_no_slot + dropped_out_limit;
+  }
+};
+
+/// Observer callbacks. All are optional; they fire during eval of the cycle
+/// named in their arguments.
+struct SwitchEvents {
+  /// A cell's head word was latched (end of cycle a0), destined to `dest`.
+  std::function<void(unsigned input, Cycle a0, unsigned dest)> on_head;
+  /// The cell that arrived at (input, a0) was granted its write wave at t0.
+  std::function<void(unsigned input, Cycle a0, Cycle t0)> on_accept;
+  /// The cell that arrived at (input, a0) was dropped.
+  std::function<void(unsigned input, Cycle a0, DropReason why)> on_drop;
+  /// A read wave was granted at tr for the cell that arrived at (input,a0)
+  /// and was written from t0; `cut_through` = departure began before the
+  /// tail had arrived.
+  std::function<void(unsigned output, unsigned input, Cycle tr, Cycle t0, Cycle a0,
+                     bool cut_through)>
+      on_read_grant;
+};
+
+class PipelinedSwitch : public Component {
+ public:
+  explicit PipelinedSwitch(const SwitchConfig& cfg,
+                           AddrPathMode addr_mode = AddrPathMode::kDecodedPipeline);
+
+  const SwitchConfig& config() const { return cfg_; }
+
+  WireLink& in_link(unsigned i) { return in_links_.at(i); }
+  WireLink& out_link(unsigned o) { return out_links_.at(o); }
+
+  void set_events(SwitchEvents ev) { events_ = std::move(ev); }
+  void set_tracer(Tracer* t) { tracer_ = t; }
+
+  /// Flow-control gate: when set, a packet transmission (read wave or
+  /// cut-through snoop) toward `output` may only START in cycles where the
+  /// gate returns true -- e.g. when a credit bridge (net/credit_bridge.hpp)
+  /// still holds downstream buffer credits. Queued cells simply wait; this
+  /// is how the Telegraphos outgoing-link logic applies credit-based flow
+  /// control (section 4.2) without touching the buffer organization.
+  void set_output_gate(std::function<bool(unsigned output)> gate) {
+    output_gate_ = std::move(gate);
+  }
+
+  // Component interface.
+  void eval(Cycle t) override;
+  void commit(Cycle t) override;
+  std::string name() const override { return "pipelined_switch"; }
+
+  const SwitchStats& stats() const { return stats_; }
+  const PipelinedMemory& memory() const { return mem_; }
+  std::uint32_t buffer_in_use() const { return free_.in_use(); }
+  std::uint32_t buffer_peak() const { return free_.peak_in_use(); }
+  std::size_t queued_cells() const { return oq_.total_size(); }
+
+  /// True once no cell is arriving, buffered, queued, or in flight.
+  bool drained() const;
+
+ private:
+  struct InFsm {
+    bool receiving = false;
+    unsigned phase = 0;   ///< Next word index to latch.
+    unsigned dest = 0;
+    Cycle a0 = 0;
+  };
+  struct Pending {
+    bool valid = false;
+    Cycle a0 = 0;
+    unsigned dest = 0;
+    /// The shared buffer was full during at least one cycle of this cell's
+    /// acceptance window (drop classification: buffer-full, not slot-miss).
+    bool addr_starved = false;
+  };
+
+  void arbitrate_and_initiate(Cycle t);
+  void process_arrivals(Cycle t);
+  bool try_grant_read(Cycle t);
+  bool try_grant_write(Cycle t);
+  void expire_pending(Cycle t);
+
+  SwitchConfig cfg_;
+  unsigned S_;  ///< Stages = 2n.
+  unsigned m_;  ///< Segments per cell.
+
+  PipelinedMemory mem_;
+  InputLatches ir_;
+  OutputRow orow_;
+  FreeList free_;
+  OutQueues oq_;
+  ReservationTable resv_;
+  RoundRobin rr_read_;
+  RoundRobin rr_write_;
+
+  std::vector<WireLink> in_links_;
+  std::vector<WireLink> out_links_;
+  std::vector<InFsm> in_fsm_;
+  std::vector<Pending> pending_;
+  std::vector<Cycle> next_read_ok_;  ///< Earliest next read initiation per output.
+
+  SwitchEvents events_;
+  SwitchStats stats_;
+  Tracer* tracer_ = nullptr;
+  std::function<bool(unsigned)> output_gate_;
+};
+
+}  // namespace pmsb

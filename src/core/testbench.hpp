@@ -1,0 +1,119 @@
+// Testbench harness: a switch (any of the cycle-accurate variants), one
+// traffic source per input, one sink per output, an optional verification
+// scoreboard, all registered with a simulation engine. Used by the gtest
+// suites, the bench binaries, and the examples, so they all drive the
+// device under test the same way.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scoreboard.hpp"
+#include "core/switch.hpp"
+#include "sim/engine.hpp"
+#include "traffic/generators.hpp"
+#include "traffic/messages.hpp"
+
+namespace pmsb {
+
+enum class PatternKind { kUniform, kPermutation, kHotspot };
+
+struct TrafficSpec {
+  ArrivalKind arrivals = ArrivalKind::kGeometric;
+  PatternKind pattern = PatternKind::kUniform;
+  double load = 0.5;
+  double hot_fraction = 0.5;  ///< For kHotspot (hot output = 0).
+  std::uint64_t seed = 1;
+  bool bursty = false;        ///< Use BurstyCellSource instead.
+  double mean_burst_cells = 8.0;
+};
+
+/// Harness around any switch type with in_link()/out_link()/set_events().
+template <typename SwitchT, typename ConfigT>
+class Testbench {
+ public:
+  Testbench(const ConfigT& cfg, unsigned n_ports, const CellFormat& fmt,
+            const TrafficSpec& spec, bool with_scoreboard = true)
+      : sw_(cfg), scoreboard_(n_ports, n_ports, fmt) {
+    Rng seeder(spec.seed);
+    switch (spec.pattern) {
+      case PatternKind::kUniform:
+        dests_ = std::make_unique<UniformDest>(n_ports);
+        break;
+      case PatternKind::kPermutation: {
+        Rng r = seeder.split();
+        dests_ = std::make_unique<PermutationDest>(random_permutation(n_ports, r));
+        break;
+      }
+      case PatternKind::kHotspot:
+        dests_ = std::make_unique<HotspotDest>(n_ports, 0, spec.hot_fraction);
+        break;
+    }
+    for (unsigned i = 0; i < n_ports; ++i) {
+      if (spec.bursty) {
+        bursty_sources_.push_back(std::make_unique<BurstyCellSource>(
+            i, &sw_.in_link(i), fmt, dests_.get(), spec.load, spec.mean_burst_cells,
+            seeder.split()));
+      } else {
+        sources_.push_back(std::make_unique<CellSource>(i, &sw_.in_link(i), fmt, dests_.get(),
+                                                        spec.arrivals, spec.load,
+                                                        seeder.split()));
+      }
+    }
+    for (unsigned o = 0; o < n_ports; ++o)
+      sinks_.push_back(std::make_unique<CellSink>(o, &sw_.out_link(o), fmt));
+
+    if (with_scoreboard) {
+      if (spec.bursty)
+        scoreboard_.attach(sw_, bursty_sources_, sinks_);
+      else
+        scoreboard_.attach(sw_, sources_, sinks_);
+    }
+    for (auto& s : sources_) engine_.add(s.get());
+    for (auto& s : bursty_sources_) engine_.add(s.get());
+    engine_.add(&sw_);
+    for (auto& s : sinks_) engine_.add(s.get());
+  }
+
+  void run(Cycle cycles) { engine_.run(cycles); }
+
+  /// Stop injecting and run until the switch drains (or `max` cycles pass).
+  /// Returns true if fully drained.
+  bool drain(Cycle max = 100000) {
+    for (auto& s : sources_) s->set_enabled(false);
+    for (auto& s : bursty_sources_) s->set_enabled(false);
+    const bool ok = engine_.run_until([&](Cycle) { return sw_.drained(); }, max);
+    if (ok) engine_.run(4 * sw_.config().n_ports + 8);  // Flush trailing wires into sinks.
+    return ok;
+  }
+
+  SwitchT& dut() { return sw_; }
+  Engine& engine() { return engine_; }
+  Scoreboard& scoreboard() { return scoreboard_; }
+
+  std::uint64_t injected() const {
+    std::uint64_t total = 0;
+    for (const auto& s : sources_) total += s->cells_injected();
+    for (const auto& s : bursty_sources_) total += s->cells_injected();
+    return total;
+  }
+  std::uint64_t delivered() const {
+    std::uint64_t total = 0;
+    for (const auto& s : sinks_) total += s->cells_delivered();
+    return total;
+  }
+
+ private:
+  SwitchT sw_;
+  Engine engine_;
+  Scoreboard scoreboard_;
+  std::unique_ptr<DestPattern> dests_;
+  std::vector<std::unique_ptr<CellSource>> sources_;
+  std::vector<std::unique_ptr<BurstyCellSource>> bursty_sources_;
+  std::vector<std::unique_ptr<CellSink>> sinks_;
+};
+
+using PipelinedTestbench = Testbench<PipelinedSwitch, SwitchConfig>;
+
+}  // namespace pmsb

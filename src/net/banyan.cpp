@@ -1,0 +1,120 @@
+#include "net/banyan.hpp"
+
+#include <stdexcept>
+
+namespace pmsb::net {
+
+namespace {
+unsigned ipow(unsigned base, unsigned exp) {
+  unsigned v = 1;
+  while (exp--) v *= base;
+  return v;
+}
+}  // namespace
+
+BanyanNetwork::BanyanNetwork(const BanyanConfig& cfg) : cfg_(cfg) {
+  if (cfg.radix < 2) throw std::invalid_argument("banyan radix must be >= 2");
+  if (cfg.stages < 1) throw std::invalid_argument("banyan needs at least one stage");
+  endpoints_ = ipow(cfg.radix, cfg.stages);
+  elems_per_stage_ = endpoints_ / cfg.radix;
+  vc_bits_ = bits_for(endpoints_);
+
+  elem_cfg_.n_ports = cfg.radix;
+  elem_cfg_.word_bits = cfg.word_bits;
+  elem_cfg_.cell_words = 2 * cfg.radix;
+  elem_cfg_.capacity_segments = cfg.capacity_cells;
+  elem_cfg_.cut_through = cfg.cut_through;
+  elem_cfg_.validate();
+  if (vc_bits_ > elem_cfg_.cell_format().tag_bits())
+    throw std::invalid_argument("word width too small to carry the endpoint id");
+
+  // Elements.
+  switches_.resize(cfg.stages);
+  for (unsigned s = 0; s < cfg.stages; ++s) {
+    for (unsigned e = 0; e < elems_per_stage_; ++e)
+      switches_[s].push_back(std::make_unique<PipelinedSwitch>(elem_cfg_));
+  }
+
+  // One destination-digit routing table per stage (MSB-first digits).
+  for (unsigned s = 0; s < cfg.stages; ++s) {
+    auto rt = std::make_unique<RoutingTable>(vc_bits_);
+    const unsigned div = ipow(cfg.radix, cfg.stages - 1 - s);
+    for (unsigned dest = 0; dest < endpoints_; ++dest)
+      rt->program(dest, static_cast<std::uint16_t>((dest / div) % cfg.radix), dest);
+    tables_.push_back(std::move(rt));
+  }
+
+  // External input wires + ticker.
+  ticker_ = std::make_unique<WireTicker>();
+  wires_.resize(1);
+  for (unsigned j = 0; j < endpoints_; ++j) {
+    wires_[0].push_back(std::make_unique<WireLink>());
+    ticker_->add(wires_[0].back().get());
+  }
+
+  // Stage-0 translators: external wire j -> element j/r, port j%r.
+  const CellFormat fmt = elem_cfg_.cell_format();
+  for (unsigned j = 0; j < endpoints_; ++j) {
+    translators_.push_back(std::make_unique<HeaderTranslator>(
+        wires_[0][j].get(), &switches_[0][j / cfg.radix]->in_link(j % cfg.radix), fmt,
+        tables_[0].get()));
+  }
+  // Inter-stage translators: delta wiring. From (s, e, p) the cell enters
+  // the p-th sub-network of e's block; with m = r^(stages-1-s) elements per
+  // block at stage s, b = e/m, l = e%m:
+  //   next element = b*m + p*(m/r) + l/r,  next port = l % r.
+  for (unsigned s = 0; s + 1 < cfg.stages; ++s) {
+    const unsigned m = ipow(cfg.radix, cfg.stages - 1 - s);
+    for (unsigned e = 0; e < elems_per_stage_; ++e) {
+      for (unsigned p = 0; p < cfg.radix; ++p) {
+        const unsigned b = e / m, l = e % m;
+        const unsigned ne = b * m + p * (m / cfg.radix) + l / cfg.radix;
+        const unsigned nq = l % cfg.radix;
+        translators_.push_back(std::make_unique<HeaderTranslator>(
+            &switches_[s][e]->out_link(p), &switches_[s + 1][ne]->in_link(nq), fmt,
+            tables_[s + 1].get()));
+      }
+    }
+  }
+}
+
+WireLink& BanyanNetwork::in_link(unsigned endpoint) { return *wires_[0].at(endpoint); }
+
+WireLink& BanyanNetwork::out_link(unsigned endpoint) {
+  return switches_.back().at(endpoint / cfg_.radix)->out_link(endpoint % cfg_.radix);
+}
+
+void BanyanNetwork::attach(Engine& eng) {
+  for (auto& t : translators_) eng.add(t.get());
+  for (auto& stage : switches_) {
+    for (auto& sw : stage) eng.add(sw.get());
+  }
+  eng.add(ticker_.get());
+}
+
+std::uint64_t BanyanNetwork::drops_in_stage(unsigned s) const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_.at(s)) total += sw->stats().dropped();
+  return total;
+}
+
+std::uint64_t BanyanNetwork::total_drops() const {
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < cfg_.stages; ++s) total += drops_in_stage(s);
+  return total;
+}
+
+bool BanyanNetwork::drained() const {
+  for (const auto& stage : switches_) {
+    for (const auto& sw : stage) {
+      if (!sw->drained()) return false;
+    }
+  }
+  return true;
+}
+
+PipelinedSwitch& BanyanNetwork::element(unsigned stage, unsigned index) {
+  return *switches_.at(stage).at(index);
+}
+
+}  // namespace pmsb::net

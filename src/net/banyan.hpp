@@ -1,0 +1,82 @@
+// Multistage (delta/banyan) network of pipelined-memory switches.
+//
+// "Such switches can be used by themselves, or they can be the building
+//  blocks for larger, multi-stage switches and networks; our discussion
+//  applies equally well to both uses." (section 2)
+//
+// An N x N network (N = r^stages) is built from stages of r x r
+// PipelinedSwitch elements, wired in the classic delta pattern: the cell's
+// destination is carried as a virtual-circuit id in the head tag, and a
+// HeaderTranslator at every element input (the figure-6 RT block) selects
+// the local output from the destination digit for that stage:
+//
+//     stage 0 routes on the most significant base-r digit, stage 1 on the
+//     next digit, ...
+//
+// Internal contention is absorbed by each element's shared buffer (that is
+// the point of the paper's architecture); cells lost to full element
+// buffers are counted per stage.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/routing_table.hpp"
+#include "core/switch.hpp"
+#include "sim/engine.hpp"
+
+namespace pmsb::net {
+
+struct BanyanConfig {
+  unsigned radix = 4;            ///< r: port count of each element.
+  unsigned stages = 2;           ///< N = r^stages endpoints.
+  unsigned word_bits = 16;
+  unsigned capacity_cells = 64;  ///< Shared-buffer cells per element.
+  bool cut_through = true;
+};
+
+class BanyanNetwork {
+ public:
+  explicit BanyanNetwork(const BanyanConfig& cfg);
+
+  unsigned endpoints() const { return endpoints_; }
+  const SwitchConfig& element_config() const { return elem_cfg_; }
+  CellFormat cell_format() const { return elem_cfg_.cell_format(); }
+  unsigned vc_bits() const { return vc_bits_; }
+
+  /// External links. Drive inputs with heads whose VC field (low vc_bits of
+  /// the tag) is the destination endpoint; the dest_bits field of the head
+  /// is rewritten by the first stage's translators and may be anything.
+  WireLink& in_link(unsigned endpoint);
+  WireLink& out_link(unsigned endpoint);
+
+  /// Register every element and translator with an engine.
+  void attach(Engine& eng);
+
+  /// Cells lost inside stage s elements (buffer overflow).
+  std::uint64_t drops_in_stage(unsigned s) const;
+  std::uint64_t total_drops() const;
+  bool drained() const;
+
+  PipelinedSwitch& element(unsigned stage, unsigned index);
+
+ private:
+  BanyanConfig cfg_;
+  SwitchConfig elem_cfg_;
+  unsigned endpoints_;
+  unsigned elems_per_stage_;
+  unsigned vc_bits_;
+
+  /// switches_[stage][element]
+  std::vector<std::vector<std::unique_ptr<PipelinedSwitch>>> switches_;
+  std::vector<std::unique_ptr<RoutingTable>> tables_;  ///< One per stage.
+  std::vector<std::unique_ptr<HeaderTranslator>> translators_;
+  /// Wires feeding each stage's translator inputs; wires_[0] are the
+  /// network's external input links.
+  std::vector<std::vector<std::unique_ptr<WireLink>>> wires_;
+  std::unique_ptr<WireTicker> ticker_;
+};
+
+}  // namespace pmsb::net

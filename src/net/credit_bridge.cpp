@@ -1,0 +1,3 @@
+// Header-only definitions live in credit_bridge.hpp; this translation unit
+// exists so the build exercises the header standalone.
+#include "net/credit_bridge.hpp"

@@ -1,0 +1,83 @@
+// Credit-based flow control between two cycle-accurate switches.
+//
+// Telegraphos links are flow-controlled with credits (the outgoing-link
+// logic of section 4.2 includes "the credit-based flow control"). A
+// CreditBridge connects one switch's output link to another switch's input
+// link and holds `credits` = the number of downstream buffer cells this link
+// is allowed to occupy:
+//
+//   * the upstream switch's output gate (PipelinedSwitch::set_output_gate)
+//     consults has_credit(): a packet transmission may start only when a
+//     credit remains;
+//   * the bridge consumes one credit when it forwards a head word;
+//   * the downstream switch returns the credit when it initiates the cell's
+//     read wave -- the moment its buffer address is recycled -- signalled
+//     through its on_read_grant event (which carries the arrival input).
+//
+// With per-link credits K and downstream capacity >= n*K cells, the
+// downstream buffer can never overflow: every buffered-or-arriving cell
+// holds a credit until its address is freed. Verified under sustained
+// overload in tests/test_net.cpp.
+//
+// The bridge also supports an optional head-rewrite hook so multi-hop
+// routing (cf. examples/cluster_lan.cpp) can retarget the local output
+// field at each hop.
+
+#pragma once
+
+#include <functional>
+
+#include "common/cell.hpp"
+#include "net/link.hpp"
+#include "sim/engine.hpp"
+#include "sim/wire.hpp"
+
+namespace pmsb::net {
+
+class CreditBridge : public Component {
+ public:
+  CreditBridge(WireLink* from, WireLink* to, unsigned credits)
+      : from_(from), to_(to), max_credits_(credits), credits_(credits) {
+    PMSB_CHECK(from != nullptr && to != nullptr, "bridge needs both links");
+    PMSB_CHECK(credits >= 1, "a creditless link can never start a packet");
+  }
+
+  /// For the upstream switch's output gate.
+  bool has_credit() const { return credits_.available(); }
+  unsigned credits() const { return credits_.count(); }
+
+  /// Wire this to the downstream switch's on_read_grant for cells whose
+  /// `input` is the port this bridge feeds.
+  void on_downstream_released() { credits_.restore(max_credits_); }
+
+  /// Optional per-head rewrite (e.g. next-hop routing field update).
+  void set_head_rewrite(std::function<Word(Word)> fn) { rewrite_ = std::move(fn); }
+
+  void eval(Cycle) override {
+    const Flit& f = from_->now();
+    if (!f.valid) return;
+    Flit out = f;
+    if (f.sop) {
+      // The upstream arbiter checked the gate before starting this packet;
+      // consume the credit it was granted against.
+      credits_.consume();
+      if (rewrite_) out.data = rewrite_(f.data);
+    }
+    to_->drive_next(out);
+    ++flits_forwarded_;
+  }
+  void commit(Cycle) override {}
+  std::string name() const override { return "credit_bridge"; }
+
+  std::uint64_t flits_forwarded() const { return flits_forwarded_; }
+
+ private:
+  WireLink* from_;
+  WireLink* to_;
+  unsigned max_credits_;
+  CreditCounter credits_;
+  std::function<Word(Word)> rewrite_;
+  std::uint64_t flits_forwarded_ = 0;
+};
+
+}  // namespace pmsb::net

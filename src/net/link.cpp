@@ -1,0 +1,3 @@
+// Header-only definitions live in link.hpp; this translation unit exists so
+// the build exercises the header standalone (include-what-you-use hygiene).
+#include "net/link.hpp"

@@ -1,0 +1,49 @@
+// Flit-level network links with credit-based flow control (the Telegraphos
+// switches use credit-based flow control on their links, section 4.2).
+//
+// A NetFlit is one link-cycle of a wormhole message: head carries the route,
+// body/tail follow the path the head opened. CreditCounter tracks the
+// downstream buffer space the sender may still consume; credits return when
+// the downstream router forwards a flit onward.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/util.hpp"
+
+namespace pmsb::net {
+
+struct NetFlit {
+  bool valid = false;
+  bool head = false;
+  bool tail = false;
+  std::uint32_t dest = 0;    ///< Destination node id (meaningful in the head).
+  std::uint64_t msg_id = 0;
+  std::uint32_t seq = 0;     ///< Flit index within the message.
+  std::uint32_t lane = 0;    ///< Virtual-channel lane at the receiving input.
+  Cycle created = 0;         ///< Injection cycle of the message (head).
+};
+
+class CreditCounter {
+ public:
+  explicit CreditCounter(unsigned initial = 0) : credits_(initial) {}
+
+  void reset(unsigned initial) { credits_ = initial; }
+  bool available() const { return credits_ > 0; }
+  unsigned count() const { return credits_; }
+
+  void consume() {
+    PMSB_CHECK(credits_ > 0, "flit sent without a credit (flow-control violation)");
+    --credits_;
+  }
+  void restore(unsigned max_credits) {
+    ++credits_;
+    PMSB_CHECK(credits_ <= max_credits, "credit counter overflow (duplicate credit return)");
+  }
+
+ private:
+  unsigned credits_;
+};
+
+}  // namespace pmsb::net

@@ -1,0 +1,87 @@
+#include "net/node.hpp"
+
+namespace pmsb::net {
+
+WormholeRouter::WormholeRouter(unsigned node_id, const Topology& topo, unsigned buffer_flits,
+                               unsigned lanes)
+    : id_(node_id), topo_(&topo), lanes_(lanes), depth_(buffer_flits / lanes),
+      fifo_(static_cast<std::size_t>(kNumPorts) * lanes),
+      owner_(static_cast<std::size_t>(kNumPorts) * lanes),
+      lane_rr_(kNumPorts, pmsb::RoundRobin(lanes)),
+      head_rr_(kNumPorts, pmsb::RoundRobin(kNumPorts * lanes)) {
+  PMSB_CHECK(lanes >= 1, "need at least one lane");
+  PMSB_CHECK(buffer_flits >= lanes && buffer_flits % lanes == 0,
+             "total buffering must divide evenly over the lanes");
+}
+
+void WormholeRouter::accept(Port port, const NetFlit& f) {
+  PMSB_CHECK(f.lane < lanes_, "flit lane out of range");
+  auto& q = fifo(port, f.lane);
+  PMSB_CHECK(q.size() < depth_, "router lane buffer overflow (credit bug)");
+  q.push_back(f);
+}
+
+void WormholeRouter::decide(const std::function<bool(unsigned, unsigned)>& credit_ok,
+                            std::vector<Move>& moves) {
+  moves.assign(kNumPorts, Move{});
+  for (unsigned out = 0; out < kNumPorts; ++out) {
+    // Pass 1: lanes already owned by an in-flight message advance, fairly
+    // interleaved on the physical link.
+    const int dl = lane_rr_[out].pick([&](unsigned lane) {
+      const LaneOwner& own = owner(out, lane);
+      if (own.in_port < 0) return false;
+      if (!credit_ok(out, lane)) return false;
+      const auto& q = fifo(static_cast<unsigned>(own.in_port), own.in_lane);
+      if (q.empty() || q.front().head) return false;  // Body not arrived yet.
+      return true;
+    });
+    if (dl >= 0) {
+      const LaneOwner& own = owner(out, static_cast<unsigned>(dl));
+      moves[out] = Move{true, static_cast<unsigned>(own.in_port), own.in_lane,
+                        static_cast<unsigned>(dl)};
+      continue;
+    }
+    // Pass 2: allocate a free downstream lane to a waiting head.
+    int free_lane = -1;
+    for (unsigned lane = 0; lane < lanes_; ++lane) {
+      if (owner(out, lane).in_port < 0 && credit_ok(out, lane)) {
+        free_lane = static_cast<int>(lane);
+        break;
+      }
+    }
+    if (free_lane < 0) continue;
+    const int src = head_rr_[out].pick([&](unsigned idx) {
+      const unsigned p = idx / lanes_, l = idx % lanes_;
+      const auto& q = fifo(p, l);
+      if (q.empty() || !q.front().head) return false;
+      return topo_->route_xy(id_, q.front().dest) == static_cast<Port>(out);
+    });
+    if (src < 0) continue;
+    const unsigned p = static_cast<unsigned>(src) / lanes_;
+    const unsigned l = static_cast<unsigned>(src) % lanes_;
+    owner(out, static_cast<unsigned>(free_lane)) = LaneOwner{static_cast<int>(p), l};
+    moves[out] = Move{true, p, l, static_cast<unsigned>(free_lane)};
+  }
+}
+
+NetFlit WormholeRouter::pop_for(Port out, const Move& m) {
+  auto& q = fifo(m.in_port, m.in_lane);
+  PMSB_CHECK(!q.empty(), "pop from empty router lane");
+  NetFlit f = q.front();
+  q.pop_front();
+  f.lane = m.out_lane;  // Retag for the downstream input lane.
+  if (f.tail) owner(out, m.out_lane) = LaneOwner{};
+  return f;
+}
+
+bool WormholeRouter::idle() const {
+  for (const auto& q : fifo_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& o : owner_) {
+    if (o.in_port >= 0) return false;
+  }
+  return true;
+}
+
+}  // namespace pmsb::net

@@ -1,0 +1,45 @@
+#include "net/topology.hpp"
+
+namespace pmsb::net {
+
+int Topology::neighbor(unsigned node, Port port) const {
+  const unsigned x = x_of(node);
+  const unsigned y = y_of(node);
+  const bool wrap = kind != TopologyKind::kMesh2D;
+  switch (port) {
+    case kEast:
+      if (x + 1 < width) return static_cast<int>(node_at(x + 1, y));
+      return wrap ? static_cast<int>(node_at(0, y)) : -1;
+    case kWest:
+      if (x > 0) return static_cast<int>(node_at(x - 1, y));
+      return wrap ? static_cast<int>(node_at(width - 1, y)) : -1;
+    case kSouth:
+      if (y + 1 < height) return static_cast<int>(node_at(x, y + 1));
+      return wrap ? static_cast<int>(node_at(x, 0)) : -1;
+    case kNorth:
+      if (y > 0) return static_cast<int>(node_at(x, y - 1));
+      return wrap ? static_cast<int>(node_at(x, height - 1)) : -1;
+    default:
+      return -1;
+  }
+}
+
+Port Topology::route_xy(unsigned node, unsigned dest) const {
+  PMSB_CHECK(dest < nodes(), "destination node out of range");
+  const unsigned x = x_of(node), y = y_of(node);
+  const unsigned dx = x_of(dest), dy = y_of(dest);
+  if (x != dx) {
+    if (kind == TopologyKind::kMesh2D) return dx > x ? kEast : kWest;
+    // Torus / ring: shortest way around.
+    const unsigned fwd = (dx + width - x) % width;   // hops going east
+    return fwd <= width - fwd ? kEast : kWest;
+  }
+  if (y != dy) {
+    if (kind == TopologyKind::kMesh2D) return dy > y ? kSouth : kNorth;
+    const unsigned fwd = (dy + height - y) % height;  // hops going south
+    return fwd <= height - fwd ? kSouth : kNorth;
+  }
+  return kLocal;
+}
+
+}  // namespace pmsb::net

@@ -1,0 +1,36 @@
+// Topology helpers for multi-switch networks: 2D mesh / torus / ring
+// coordinate arithmetic and dimension-order (XY) routing.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/util.hpp"
+
+namespace pmsb::net {
+
+enum class TopologyKind { kMesh2D, kTorus2D, kRing };
+
+/// Router port roles for a 2D network (plus the terminal port).
+enum Port : unsigned { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3, kLocal = 4, kNumPorts = 5 };
+
+struct Topology {
+  TopologyKind kind = TopologyKind::kMesh2D;
+  unsigned width = 4;   ///< Columns (or ring length).
+  unsigned height = 4;  ///< Rows (1 for ring).
+
+  unsigned nodes() const { return width * height; }
+  unsigned x_of(unsigned node) const { return node % width; }
+  unsigned y_of(unsigned node) const { return node / width; }
+  unsigned node_at(unsigned x, unsigned y) const { return y * width + x; }
+
+  /// Neighbour of `node` through `port`, or -1 at a mesh edge.
+  int neighbor(unsigned node, Port port) const;
+
+  /// Dimension-order (X then Y) routing: the output port a head flit at
+  /// `node` destined to `dest` must take. kLocal when node == dest.
+  /// For tori, routes take the shorter direction (ties go positive).
+  Port route_xy(unsigned node, unsigned dest) const;
+};
+
+}  // namespace pmsb::net

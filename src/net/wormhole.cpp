@@ -1,0 +1,157 @@
+#include "net/wormhole.hpp"
+
+namespace pmsb::net {
+
+namespace {
+Port opposite(Port p) {
+  switch (p) {
+    case kEast: return kWest;
+    case kWest: return kEast;
+    case kNorth: return kSouth;
+    case kSouth: return kNorth;
+    default: return kLocal;
+  }
+}
+}  // namespace
+
+WormholeNetwork::WormholeNetwork(const WormholeConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed), latency_(0, 1 << 16) {
+  PMSB_CHECK(cfg.message_flits >= 1, "messages need at least one flit");
+  PMSB_CHECK(cfg.injection_rate > 0.0 && cfg.injection_rate <= 1.0,
+             "injection rate must be in (0, 1]");
+  PMSB_CHECK(cfg.lanes >= 1, "need at least one lane");
+  const unsigned n = cfg.topo.nodes();
+  lane_depth_ = cfg.buffer_flits / cfg.lanes;
+  routers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    routers_.emplace_back(i, cfg_.topo, cfg.buffer_flits, cfg.lanes);
+  sources_.resize(n);
+  credits_.resize(n);
+  for (unsigned i = 0; i < n; ++i) {
+    credits_[i].assign(static_cast<std::size_t>(kNumPorts) * cfg.lanes,
+                       CreditCounter(lane_depth_));
+  }
+}
+
+void WormholeNetwork::inject(Cycle t) {
+  const double p_msg = cfg_.injection_rate / cfg_.message_flits;
+  for (unsigned node = 0; node < routers_.size(); ++node) {
+    Source& src = sources_[node];
+    if (rng_.next_bool(p_msg)) {
+      unsigned dest;
+      do {
+        dest = static_cast<unsigned>(rng_.next_below(routers_.size()));
+      } while (dest == node && routers_.size() > 1);
+      const std::uint64_t id = next_msg_id_++;
+      const auto lane = static_cast<std::uint32_t>(id % cfg_.lanes);
+      for (unsigned k = 0; k < cfg_.message_flits; ++k) {
+        NetFlit f;
+        f.valid = true;
+        f.head = (k == 0);
+        f.tail = (k + 1 == cfg_.message_flits);
+        f.dest = dest;
+        f.msg_id = id;
+        f.seq = k;
+        f.lane = lane;
+        f.created = t;
+        src.backlog.push_back(f);
+      }
+      ++injected_;
+    }
+    // The terminal feeds at most one flit per cycle into the local port,
+    // on the lane its message was assigned.
+    if (!src.backlog.empty() &&
+        routers_[node].can_accept(kLocal, src.backlog.front().lane)) {
+      routers_[node].accept(kLocal, src.backlog.front());
+      src.backlog.pop_front();
+    }
+  }
+}
+
+void WormholeNetwork::step() {
+  const Cycle t = now_;
+
+  // 1. Wire delivery: flits launched last cycle land in downstream FIFOs.
+  for (auto& w : wires_) {
+    if (!w.valid) continue;
+    routers_[w.dst_node].accept(w.dst_port, w.flit);
+    w.valid = false;
+  }
+  wires_.clear();
+
+  // 2. Credits granted last cycle become spendable.
+  for (const auto& [node, slot] : credit_returns_) {
+    credits_[node][slot].restore(lane_depth_);
+  }
+  credit_returns_.clear();
+
+  // 3. New traffic.
+  inject(t);
+
+  // 4. Decide everywhere against the same state, then apply.
+  std::vector<std::vector<WormholeRouter::Move>> decisions(routers_.size());
+  for (unsigned r = 0; r < routers_.size(); ++r) {
+    routers_[r].decide(
+        [&](unsigned out, unsigned lane) {
+          if (out == kLocal) return true;  // Ejection always drains.
+          if (cfg_.topo.neighbor(r, static_cast<Port>(out)) < 0) return false;
+          return credits_[r][out * cfg_.lanes + lane].available();
+        },
+        decisions[r]);
+  }
+  for (unsigned r = 0; r < routers_.size(); ++r) {
+    for (unsigned out = 0; out < kNumPorts; ++out) {
+      const WormholeRouter::Move& m = decisions[r][out];
+      if (!m.valid) continue;
+      const NetFlit f = routers_[r].pop_for(static_cast<Port>(out), m);
+      // Popping freed a slot in input lane (m.in_port, m.in_lane): return a
+      // credit to the upstream sender of that lane.
+      if (m.in_port != kLocal) {
+        const int nb = cfg_.topo.neighbor(r, static_cast<Port>(m.in_port));
+        PMSB_CHECK(nb >= 0, "flit arrived through a nonexistent link");
+        credit_returns_.emplace_back(
+            static_cast<unsigned>(nb),
+            opposite(static_cast<Port>(m.in_port)) * cfg_.lanes + m.in_lane);
+      }
+      if (out == kLocal) {
+        PMSB_CHECK(f.dest == r, "ejected flit at the wrong node");
+        ++flits_delivered_;
+        if (t >= measure_from_) ++flits_delivered_measured_;
+        if (f.tail) {
+          ++delivered_;
+          latency_.record(f.created, t);
+        }
+      } else {
+        credits_[r][out * cfg_.lanes + f.lane].consume();
+        InFlight w;
+        w.valid = true;
+        w.flit = f;
+        w.dst_node = static_cast<unsigned>(cfg_.topo.neighbor(r, static_cast<Port>(out)));
+        w.dst_port = opposite(static_cast<Port>(out));
+        wires_.push_back(w);
+      }
+    }
+  }
+  ++now_;
+}
+
+void WormholeNetwork::run(Cycle cycles, Cycle warmup) {
+  latency_.set_warmup(warmup);
+  measure_from_ = warmup;
+  for (Cycle c = 0; c < cycles; ++c) step();
+}
+
+double WormholeNetwork::accepted_throughput() const {
+  const Cycle measured = now_ - measure_from_;
+  if (measured <= 0) return 0.0;
+  return static_cast<double>(flits_delivered_measured_) /
+         (static_cast<double>(routers_.size()) * static_cast<double>(measured));
+}
+
+std::uint64_t WormholeNetwork::source_backlog_flits() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sources_) total += s.backlog.size();
+  return total;
+}
+
+}  // namespace pmsb::net

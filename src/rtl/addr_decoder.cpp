@@ -1,0 +1,73 @@
+#include "rtl/addr_decoder.hpp"
+
+namespace pmsb {
+
+std::vector<bool> decode_one_hot(std::uint32_t addr, std::size_t words) {
+  PMSB_CHECK(addr < words, "decode address out of range");
+  std::vector<bool> lines(words, false);
+  lines[addr] = true;
+  return lines;
+}
+
+std::uint32_t encode_from_one_hot(const std::vector<bool>& lines) {
+  long found = -1;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i]) {
+      PMSB_CHECK(found < 0, "word-line vector is not one-hot");
+      found = static_cast<long>(i);
+    }
+  }
+  PMSB_CHECK(found >= 0, "word-line vector has no active line");
+  return static_cast<std::uint32_t>(found);
+}
+
+AddressPath::AddressPath(unsigned stages, std::size_t words, AddrPathMode mode)
+    : stages_(stages), words_(words), mode_(mode), pipe_(stages) {
+  PMSB_CHECK(stages >= 1, "address path needs at least one stage");
+  PMSB_CHECK(words >= 1, "address path needs at least one word line");
+}
+
+long AddressPath::active_addr(unsigned s, std::uint32_t ctrl_addr, bool stage_active) {
+  PMSB_CHECK(s < stages_, "stage index out of range");
+  if (mode_ == AddrPathMode::kPerStageDecoders) {
+    if (!stage_active) return -1;
+    ++decode_ops_;
+    PMSB_CHECK(ctrl_addr < words_, "decode address out of range");
+    return static_cast<long>(ctrl_addr);
+  }
+  // Figure 7(b): stage 0 decodes; later stages use the registered one-hot
+  // vector shifted along the word lines.
+  if (s == 0) {
+    if (!stage_active) return -1;
+    ++decode_ops_;
+    stage0_next_ = Lines{true, decode_one_hot(ctrl_addr, words_)};
+    return static_cast<long>(ctrl_addr);
+  }
+  const Lines& l = pipe_[s];
+  if (!l.valid) {
+    PMSB_CHECK(!stage_active, "control pipeline active but word-line pipeline idle");
+    return -1;
+  }
+  PMSB_CHECK(stage_active, "word-line pipeline active but control pipeline idle");
+  const std::uint32_t from_lines = encode_from_one_hot(l.lines);
+  PMSB_CHECK(from_lines == ctrl_addr,
+             "decoded-address pipeline diverged from the address the control "
+             "pipeline carries (figure 7b functional-equivalence violation)");
+  return static_cast<long>(from_lines);
+}
+
+void AddressPath::tick() {
+  if (mode_ != AddrPathMode::kDecodedPipeline) return;
+  for (unsigned s = stages_; s-- > 1;) {
+    if (s >= 2) {
+      if (pipe_[s - 1].valid) ++one_hot_transfers_;
+      pipe_[s] = pipe_[s - 1];
+    } else {
+      if (stage0_next_.valid) ++one_hot_transfers_;
+      pipe_[1] = stage0_next_;
+    }
+  }
+  stage0_next_ = Lines{};
+}
+
+}  // namespace pmsb

@@ -1,0 +1,75 @@
+// Address-path models for figure 7: (a) a full address decoder per memory
+// stage, versus (b) the paper's novel decoded-address pipeline, where the
+// one-hot word-line vector produced by the single stage-0 decoder is passed
+// from stage to stage through pipeline flip-flops ("the word lines of all
+// stages are connected through pipeline flip-flops into long word lines,
+// which are activated in a wave-like fashion", section 4.3).
+//
+// Both organizations are functionally identical (the same word line fires in
+// stage s during cycle t0+s); what differs is the hardware exercised per
+// wave: `stages` decode operations versus 1 decode + (stages-1) register
+// transfers of a D-word one-hot vector. AddressPath counts both so the
+// bench_a2 ablation can attach area/energy constants to them, and it
+// *executes* the one-hot pipeline so tests can verify the functional
+// equivalence claim rather than assume it.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+enum class AddrPathMode {
+  kPerStageDecoders,   ///< Figure 7(a): every stage re-decodes the address.
+  kDecodedPipeline,    ///< Figure 7(b): decode once, pipeline the word line.
+};
+
+/// Decode an address into a one-hot word-line vector of `words` lines.
+std::vector<bool> decode_one_hot(std::uint32_t addr, std::size_t words);
+
+/// Recover the address from a one-hot word-line vector (asserts one-hot).
+std::uint32_t encode_from_one_hot(const std::vector<bool>& lines);
+
+class AddressPath {
+ public:
+  AddressPath(unsigned stages, std::size_t words, AddrPathMode mode);
+
+  AddrPathMode mode() const { return mode_; }
+  unsigned stages() const { return stages_; }
+
+  /// The address whose word line is active in stage s this cycle, or -1 if
+  /// the stage is idle. In kDecodedPipeline mode this is computed from the
+  /// pipelined one-hot vector (exercising the figure-7b datapath); in
+  /// kPerStageDecoders mode it decodes the address delivered by the control
+  /// pipeline (counting one decode operation).
+  long active_addr(unsigned s, std::uint32_t ctrl_addr, bool stage_active);
+
+  /// Clock edge: shift the one-hot pipeline.
+  void tick();
+
+  std::uint64_t decode_ops() const { return decode_ops_; }
+  std::uint64_t one_hot_reg_transfers() const { return one_hot_transfers_; }
+
+ private:
+  unsigned stages_;
+  std::size_t words_;
+  AddrPathMode mode_;
+
+  /// one_hot_[s]: the word-line vector registered between stage s-1 and
+  /// stage s (valid flag alongside). one_hot_[0] is the stage-0 decoder
+  /// output staged for the shift.
+  struct Lines {
+    bool valid = false;
+    std::vector<bool> lines;
+  };
+  std::vector<Lines> pipe_;
+  Lines stage0_next_;
+
+  std::uint64_t decode_ops_ = 0;
+  std::uint64_t one_hot_transfers_ = 0;
+};
+
+}  // namespace pmsb

@@ -1,0 +1,52 @@
+#include "rtl/ctrl_pipeline.hpp"
+
+namespace pmsb {
+
+const char* to_string(StageOp op) {
+  switch (op) {
+    case StageOp::kNone: return "none";
+    case StageOp::kWrite: return "write";
+    case StageOp::kRead: return "read";
+    case StageOp::kWriteSnoop: return "write+snoop";
+  }
+  return "?";
+}
+
+CtrlPipeline::CtrlPipeline(unsigned stages) : stages_(stages), regs_(stages > 0 ? stages - 1 : 0) {
+  PMSB_CHECK(stages >= 1, "control pipeline needs at least one stage");
+}
+
+const StageCtrl& CtrlPipeline::at(unsigned s) const {
+  PMSB_CHECK(s < stages_, "stage index out of range");
+  if (s == 0) return inject_;
+  return regs_[s - 1];
+}
+
+void CtrlPipeline::initiate(const StageCtrl& c) {
+  PMSB_CHECK(!injected_this_cycle_, "two wave initiations in one cycle (M0 is single-ported)");
+  inject_ = c;
+  injected_this_cycle_ = true;
+}
+
+void CtrlPipeline::tick() {
+  for (unsigned s = static_cast<unsigned>(regs_.size()); s-- > 1;) {
+    if (!regs_[s - 1].idle()) ++ctrl_reg_transfers_;
+    regs_[s] = regs_[s - 1];
+  }
+  if (!regs_.empty()) {
+    if (!inject_.idle()) ++ctrl_reg_transfers_;
+    regs_[0] = inject_;
+  }
+  inject_ = StageCtrl{};
+  injected_this_cycle_ = false;
+}
+
+bool CtrlPipeline::busy() const {
+  if (!inject_.idle()) return true;
+  for (const auto& r : regs_) {
+    if (!r.idle()) return true;
+  }
+  return false;
+}
+
+}  // namespace pmsb

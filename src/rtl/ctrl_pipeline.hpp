@@ -1,0 +1,82 @@
+// The control-signal pipeline of figure 5.
+//
+// "Each pipeline stage performs exactly the same operation as the previous
+//  stage in the previous cycle, and thus we only need to generate the
+//  control signals for the first memory stage; the control signals for
+//  subsequent stages are delayed versions of the former."  (section 3.3)
+//
+// StageCtrl is the bundle of control wires entering one memory stage:
+// operation kind, buffer address, and the incoming/outgoing link selects.
+// CtrlPipeline is the chain of pipeline registers carrying that bundle from
+// stage to stage, one stage per cycle:
+//
+//   * at(0) during cycle t is the wave initiated by the arbiter in cycle t
+//     (initiate() must be called during eval of cycle t, before stage 0 is
+//     executed -- the arbiter is combinational logic feeding M0's control).
+//   * at(s) for s >= 1 during cycle t is whatever stage s-1 executed during
+//     cycle t-1, held in pipeline register s-1.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+/// Operation performed by one memory stage in one cycle.
+enum class StageOp : std::uint8_t {
+  kNone,        ///< Stage idle.
+  kWrite,       ///< Store IR[in_link][stage] into M[stage][addr].
+  kRead,        ///< Load OR[stage] from M[stage][addr], for out_link.
+  kWriteSnoop,  ///< kWrite, with OR[stage] snooping the write bus for
+                ///< out_link (same-cycle cut-through, section 3.3).
+};
+
+const char* to_string(StageOp op);
+
+/// Control wires entering one stage during one cycle.
+struct StageCtrl {
+  StageOp op = StageOp::kNone;
+  std::uint32_t addr = 0;      ///< Buffer address (same in every stage).
+  std::uint16_t in_link = 0;   ///< Valid for kWrite / kWriteSnoop.
+  std::uint16_t out_link = 0;  ///< Valid for kRead / kWriteSnoop.
+  bool head = false;           ///< This wave carries the cell's head segment.
+
+  bool idle() const { return op == StageOp::kNone; }
+};
+
+/// The per-stage pipeline registers of figure 5.
+class CtrlPipeline {
+ public:
+  explicit CtrlPipeline(unsigned stages);
+
+  unsigned stages() const { return stages_; }
+
+  /// Control presented to stage s during the current cycle.
+  const StageCtrl& at(unsigned s) const;
+
+  /// Initiate a wave into stage 0 for the current cycle. At most once per
+  /// cycle (the arbiter grants at most one wave -- M0 is single-ported).
+  void initiate(const StageCtrl& c);
+
+  /// Clock edge: shift the pipeline one stage to the right.
+  void tick();
+
+  /// True if any stage is executing a non-idle operation this cycle.
+  bool busy() const;
+
+  /// Lifetime count of pipeline-register transfers of non-idle control
+  /// (for the figure-7 decoded-address ablation).
+  std::uint64_t ctrl_reg_transfers() const { return ctrl_reg_transfers_; }
+
+ private:
+  unsigned stages_;
+  std::vector<StageCtrl> regs_;  ///< regs_[s-1] feeds stage s (s >= 1).
+  StageCtrl inject_;             ///< Stage 0's control for the current cycle.
+  bool injected_this_cycle_ = false;
+  std::uint64_t ctrl_reg_transfers_ = 0;
+};
+
+}  // namespace pmsb

@@ -1,0 +1,50 @@
+// Two-phase edge-triggered register.
+//
+// Matches the kernel convention: reads of q() during cycle t return the
+// value committed at the end of cycle t-1; set_d() stages the value to be
+// committed at the end of the current cycle. If set_d() is not called in a
+// cycle, the register holds (load-enable deasserted).
+
+#pragma once
+
+#include <utility>
+
+namespace pmsb {
+
+template <typename T>
+class Reg {
+ public:
+  Reg() = default;
+  explicit Reg(T reset) : q_(reset), d_(std::move(reset)) {}
+
+  /// Registered output: state as of the end of the previous cycle.
+  const T& q() const { return q_; }
+
+  /// Stage the next value (load-enable asserted this cycle).
+  void set_d(T v) {
+    d_ = std::move(v);
+    loaded_ = true;
+  }
+
+  /// Clock edge: commit staged value if the enable was asserted.
+  void tick() {
+    if (loaded_) {
+      q_ = d_;
+      loaded_ = false;
+    }
+  }
+
+  /// Asynchronous reset (testbench convenience, not a clocked path).
+  void reset(T v) {
+    q_ = v;
+    d_ = v;
+    loaded_ = false;
+  }
+
+ private:
+  T q_{};
+  T d_{};
+  bool loaded_ = false;
+};
+
+}  // namespace pmsb

@@ -1,0 +1,30 @@
+#include "sim/engine.hpp"
+
+namespace pmsb {
+
+void Engine::add(Component* c) {
+  PMSB_CHECK(c != nullptr, "null component");
+  components_.push_back(c);
+}
+
+void Engine::step() {
+  const Cycle t = now_;
+  for (Component* c : components_) c->eval(t);
+  for (Component* c : components_) c->commit(t);
+  ++now_;
+}
+
+Cycle Engine::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+  return now_;
+}
+
+bool Engine::run_until(const std::function<bool(Cycle)>& pred, Cycle max_cycles) {
+  for (Cycle i = 0; i < max_cycles; ++i) {
+    step();
+    if (pred(now_ - 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace pmsb

@@ -1,0 +1,66 @@
+// Two-phase clocked simulation kernel.
+//
+// Cycle-accuracy convention (DESIGN.md section 4):
+//   * During cycle t, every component's eval(t) runs. eval() may only read
+//     state that was committed at the end of cycle t-1 (register outputs,
+//     SRAM contents, link values driven for cycle t) and may stage new state.
+//   * After all eval()s, every component's commit(t) runs, making the staged
+//     state visible for cycle t+1 ("the clock edge").
+//
+// Because eval() never observes same-cycle writes, eval order across
+// components is irrelevant -- exactly like synchronous hardware with only
+// registered inter-component signals. Within a component, helper sub-blocks
+// may be combinationally chained as long as the component evaluates them in
+// dataflow order itself.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+/// A clocked hardware block (or testbench element).
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  /// Combinational phase of cycle t: read committed state, stage updates.
+  virtual void eval(Cycle t) = 0;
+
+  /// Clock edge at the end of cycle t: commit staged updates.
+  virtual void commit(Cycle t) = 0;
+
+  /// For diagnostics.
+  virtual std::string name() const { return "component"; }
+};
+
+/// Drives a set of components through clock cycles.
+///
+/// Components are not owned; the caller keeps them alive for the engine's
+/// lifetime (they are usually members of a testbench struct).
+class Engine {
+ public:
+  void add(Component* c);
+
+  /// Run `cycles` more cycles. Returns the cycle count after running.
+  Cycle run(Cycle cycles);
+
+  /// Run until `pred(t)` is true at the *end* of a cycle, or `max_cycles`
+  /// elapse. Returns true if the predicate fired.
+  bool run_until(const std::function<bool(Cycle)>& pred, Cycle max_cycles);
+
+  /// Advance exactly one cycle.
+  void step();
+
+  Cycle now() const { return now_; }
+
+ private:
+  std::vector<Component*> components_;
+  Cycle now_ = 0;  ///< Next cycle to execute.
+};
+
+}  // namespace pmsb

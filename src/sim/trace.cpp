@@ -1,0 +1,23 @@
+#include "sim/trace.hpp"
+
+#include <cstdarg>
+
+namespace pmsb {
+
+void Tracer::event(Cycle t, const char* fmt, ...) {
+  if (!enabled_) return;
+  std::fprintf(sink_, "[%6lld] ", static_cast<long long>(t));
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(sink_, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', sink_);
+}
+
+void Tracer::line(const std::string& s) {
+  if (!enabled_) return;
+  std::fputs(s.c_str(), sink_);
+  std::fputc('\n', sink_);
+}
+
+}  // namespace pmsb

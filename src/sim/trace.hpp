@@ -1,0 +1,34 @@
+// Lightweight cycle trace for debugging and for the quickstart example's
+// wave-style output. A Tracer is optional everywhere: a null Tracer pointer
+// means "no tracing" and costs one branch.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+class Tracer {
+ public:
+  /// Sink defaults to stdout. The Tracer does not own `sink`.
+  explicit Tracer(std::FILE* sink = stdout, bool enabled = true)
+      : sink_(sink), enabled_(enabled) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// printf-style event record, prefixed with the cycle number.
+  void event(Cycle t, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+
+  /// Raw line (no cycle prefix).
+  void line(const std::string& s);
+
+ private:
+  std::FILE* sink_;
+  bool enabled_;
+};
+
+}  // namespace pmsb

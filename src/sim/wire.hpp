@@ -1,0 +1,57 @@
+// A point-to-point on-chip link wire carrying one Flit per cycle.
+//
+// Two-phase semantics: the driver stages the value for the *next* cycle
+// during its eval (the driver's output register is loaded at the clock
+// edge); consumers read `now()` during eval. An undriven cycle yields an
+// invalid flit -- a wire, not a holding register.
+
+#pragma once
+
+#include <vector>
+
+#include "common/cell.hpp"
+#include "common/util.hpp"
+#include "sim/engine.hpp"
+
+namespace pmsb {
+
+class WireLink {
+ public:
+  /// Value on the wire during the current cycle.
+  const Flit& now() const { return now_; }
+
+  /// Drive the wire for the next cycle. At most one driver per cycle.
+  void drive_next(const Flit& f) {
+    PMSB_CHECK(!driven_, "two drivers on one link in one cycle");
+    next_ = f;
+    driven_ = true;
+  }
+
+  /// Clock edge.
+  void tick() {
+    now_ = driven_ ? next_ : Flit{};
+    driven_ = false;
+  }
+
+ private:
+  Flit now_;
+  Flit next_;
+  bool driven_ = false;
+};
+
+/// Clocks a set of free-standing wires that no other component owns
+/// (testbench glue for wires between a source and a LinkPipeline, etc.).
+class WireTicker : public Component {
+ public:
+  void add(WireLink* w) { wires_.push_back(w); }
+  void eval(Cycle) override {}
+  void commit(Cycle) override {
+    for (WireLink* w : wires_) w->tick();
+  }
+  std::string name() const override { return "wire_ticker"; }
+
+ private:
+  std::vector<WireLink*> wires_;
+};
+
+}  // namespace pmsb

@@ -1,0 +1,66 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+namespace pmsb {
+
+Histogram::Histogram(std::size_t max_value) : buckets_(max_value + 1, 0) {
+  PMSB_CHECK(max_value >= 1, "histogram needs at least two buckets");
+}
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  const std::size_t idx = std::min<std::uint64_t>(value, buckets_.size() - 1);
+  buckets_[idx] += count;
+  samples_ += count;
+  sum_ += value * count;
+}
+
+double Histogram::mean() const {
+  return samples_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(samples_);
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  PMSB_CHECK(q >= 0.0 && q <= 1.0, "percentile out of [0,1]");
+  if (samples_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(samples_ - 1)) + 1;
+  std::uint64_t cum = 0;
+  for (std::size_t v = 0; v < buckets_.size(); ++v) {
+    cum += buckets_[v];
+    if (cum >= target) return v;
+  }
+  return buckets_.size() - 1;
+}
+
+std::uint64_t Histogram::min() const {
+  for (std::size_t v = 0; v < buckets_.size(); ++v) {
+    if (buckets_[v] != 0) return v;
+  }
+  return 0;
+}
+
+std::uint64_t Histogram::max() const {
+  for (std::size_t v = buckets_.size(); v-- > 0;) {
+    if (buckets_[v] != 0) return v;
+  }
+  return 0;
+}
+
+std::uint64_t Histogram::bucket(std::size_t v) const {
+  PMSB_CHECK(v < buckets_.size(), "bucket index out of range");
+  return buckets_[v];
+}
+
+void Histogram::merge(const Histogram& other) {
+  PMSB_CHECK(other.buckets_.size() == buckets_.size(), "histogram capacity mismatch");
+  for (std::size_t v = 0; v < buckets_.size(); ++v) buckets_[v] += other.buckets_[v];
+  samples_ += other.samples_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  samples_ = 0;
+  sum_ = 0;
+}
+
+}  // namespace pmsb

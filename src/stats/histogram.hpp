@@ -1,0 +1,43 @@
+// Integer-valued histogram with exact low range and clamped tail, used for
+// latency distributions (cycles are small integers in these simulations).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+class Histogram {
+ public:
+  /// Values >= max_value are accumulated in the final (overflow) bucket.
+  explicit Histogram(std::size_t max_value = 4096);
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  std::uint64_t samples() const { return samples_; }
+  std::uint64_t sum() const { return sum_; }
+  double mean() const;
+
+  /// q in [0,1]; returns the smallest value v with CDF(v) >= q.
+  std::uint64_t percentile(double q) const;
+
+  std::uint64_t min() const;
+  std::uint64_t max() const;
+
+  /// Count in bucket v (v < capacity; the last bucket holds the overflow).
+  std::uint64_t bucket(std::size_t v) const;
+  std::size_t capacity() const { return buckets_.size(); }
+
+  void merge(const Histogram& other);
+  void clear();
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t sum_ = 0;  ///< Sum of *unclamped* values.
+};
+
+}  // namespace pmsb

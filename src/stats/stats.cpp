@@ -1,0 +1,35 @@
+#include "stats/stats.hpp"
+
+#include <cmath>
+
+namespace pmsb {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const {
+  return n_ < 2 ? 0.0 : 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void LatencyStats::record(Cycle t_in, Cycle t_out) {
+  PMSB_CHECK(t_out >= t_in, "negative latency");
+  if (t_in < warmup_until_) return;
+  hist_.add(static_cast<std::uint64_t>(t_out - t_in));
+}
+
+double normalized_throughput(std::uint64_t delivered, unsigned n_outputs, std::uint64_t slots) {
+  if (n_outputs == 0 || slots == 0) return 0.0;
+  return static_cast<double>(delivered) / (static_cast<double>(n_outputs) * static_cast<double>(slots));
+}
+
+}  // namespace pmsb

@@ -1,0 +1,72 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PMSB_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PMSB_CHECK(cells.size() == headers_.size(), "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "  " : "  | ", static_cast<int>(width[c]),
+                   row[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c == 0 ? 0 : 4);
+  std::string rule(total + 2, '-');
+  std::fprintf(out, "  %s\n", rule.c_str() + 2);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::FILE* out) const {
+  auto csv_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::fprintf(out, "%s%s", c == 0 ? "" : ",", row[c].c_str());
+    std::fputc('\n', out);
+  };
+  csv_row(headers_);
+  for (const auto& row : rows_) csv_row(row);
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string Table::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+void print_banner(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+}  // namespace pmsb

@@ -1,0 +1,43 @@
+// Console table rendering for the bench harness: aligned columns, optional
+// CSV dump. Every bench prints the paper-style table through this, so the
+// output format is uniform across experiments.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pmsb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Render as CSV.
+  void print_csv(std::FILE* out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const { return rows_[r][c]; }
+
+  /// Formatting helpers for bench code.
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v, int precision = 2);
+  static std::string integer(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner: experiment id + description.
+void print_banner(const std::string& id, const std::string& title);
+
+}  // namespace pmsb

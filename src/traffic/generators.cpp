@@ -1,0 +1,177 @@
+#include "traffic/generators.hpp"
+
+namespace pmsb {
+
+// ---------------------------------------------------------------------------
+// CellSource
+// ---------------------------------------------------------------------------
+
+CellSource::CellSource(unsigned input, WireLink* link, const CellFormat& fmt, DestPattern* dests,
+                       ArrivalKind kind, double load, Rng rng)
+    : input_(input), link_(link), fmt_(fmt), dests_(dests), kind_(kind), load_(load),
+      rng_(rng) {
+  PMSB_CHECK(link != nullptr && dests != nullptr, "source needs a link and a pattern");
+  PMSB_CHECK(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+  PMSB_CHECK(fmt.length_words >= 2, "cells must be at least two words");
+}
+
+void CellSource::begin_gap() {
+  if (kind_ != ArrivalKind::kGeometric) {
+    gap_left_ = 0;
+    return;
+  }
+  if (load_ >= 1.0) {
+    gap_left_ = 0;
+    return;
+  }
+  // Link load = L / (L + E[gap])  =>  E[gap] = L (1 - p) / p. A geometric
+  // gap with success probability q has mean (1-q)/q; solve for q.
+  const double mean_gap =
+      static_cast<double>(fmt_.length_words) * (1.0 - load_) / load_;
+  const double q = 1.0 / (1.0 + mean_gap);
+  gap_left_ = static_cast<Cycle>(rng_.next_geometric(q));
+}
+
+void CellSource::eval(Cycle t) {
+  if (sending_) {
+    link_->drive_next(Flit{true, false, cell_word(uid_, dest_, word_idx_, fmt_)});
+    ++word_idx_;
+    if (word_idx_ == fmt_.length_words) {
+      sending_ = false;
+      begin_gap();
+    }
+    return;
+  }
+
+  bool start = false;
+  switch (kind_) {
+    case ArrivalKind::kGeometric:
+      if (gap_left_ > 0) {
+        --gap_left_;
+      } else {
+        start = enabled_;
+      }
+      break;
+    case ArrivalKind::kSlotted:
+      start = enabled_ && ((t + 1) % fmt_.length_words == 0) && rng_.next_bool(load_);
+      break;
+    case ArrivalKind::kSaturated:
+      start = enabled_;
+      break;
+  }
+  if (!start) return;
+
+  uid_ = (static_cast<std::uint64_t>(input_) << 40) | next_seq_++;
+  dest_ = dests_->pick(input_, rng_);
+  word_idx_ = 0;
+  sending_ = true;
+  ++cells_injected_;
+  link_->drive_next(Flit{true, true, cell_word(uid_, dest_, 0, fmt_)});
+  if (on_inject_) on_inject_(Injection{uid_, input_, dest_, t + 1});
+  ++word_idx_;
+  if (word_idx_ == fmt_.length_words) {  // unreachable for L >= 2, kept for safety
+    sending_ = false;
+    begin_gap();
+  }
+}
+
+void CellSource::commit(Cycle) {}
+
+// ---------------------------------------------------------------------------
+// CellSink
+// ---------------------------------------------------------------------------
+
+CellSink::CellSink(unsigned output, WireLink* link, const CellFormat& fmt)
+    : output_(output), link_(link), fmt_(fmt) {
+  PMSB_CHECK(link != nullptr, "sink needs a link");
+  words_.reserve(fmt.length_words);
+}
+
+void CellSink::eval(Cycle t) {
+  const Flit& f = link_->now();
+  if (!receiving_) {
+    if (!f.valid) return;
+    PMSB_CHECK(f.sop, "output link emitted a body word with no head");
+    receiving_ = true;
+    words_.clear();
+    head_cycle_ = t;
+    words_.push_back(f.data);
+  } else {
+    PMSB_CHECK(f.valid, "gap inside a cell on an output link (underrun)");
+    PMSB_CHECK(!f.sop, "unexpected head inside a cell on an output link");
+    words_.push_back(f.data);
+  }
+  if (words_.size() == fmt_.length_words) {
+    receiving_ = false;
+    ++cells_delivered_;
+    if (on_deliver_) on_deliver_(Delivery{output_, words_, head_cycle_, t});
+  }
+}
+
+void CellSink::commit(Cycle) {}
+
+// ---------------------------------------------------------------------------
+// SlotTraffic
+// ---------------------------------------------------------------------------
+
+SlotTraffic::SlotTraffic(unsigned n_inputs, double load, DestPattern* dests, Rng rng)
+    : SlotTraffic(n_inputs, load, 1.0, false, dests, rng) {}
+
+SlotTraffic SlotTraffic::bursty(unsigned n_inputs, double load, double mean_burst,
+                                DestPattern* dests, Rng rng) {
+  return SlotTraffic(n_inputs, load, mean_burst, true, dests, rng);
+}
+
+SlotTraffic::SlotTraffic(unsigned n_inputs, double load, double mean_burst, bool bursty_mode,
+                         DestPattern* dests, Rng rng)
+    : n_(n_inputs), load_(load), bursty_(bursty_mode), dests_(dests), rng_(rng),
+      burst_(n_inputs), slot_(n_inputs) {
+  PMSB_CHECK(n_inputs > 0, "traffic needs at least one input");
+  PMSB_CHECK(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+  PMSB_CHECK(dests != nullptr, "traffic needs a destination pattern");
+  if (bursty_) {
+    PMSB_CHECK(mean_burst >= 1.0, "mean burst below one cell");
+    p_stop_ = 1.0 / mean_burst;
+    // Stationary on-fraction p_start/(p_start + p_stop) must equal `load`.
+    p_start_ = load >= 1.0 ? 1.0 : load * p_stop_ / (1.0 - load);
+    if (p_start_ > 1.0) p_start_ = 1.0;
+  }
+}
+
+const std::vector<std::optional<SlotTraffic::Arrival>>& SlotTraffic::step() {
+  for (unsigned i = 0; i < n_; ++i) {
+    slot_[i].reset();
+    if (!bursty_) {
+      if (rng_.next_bool(load_)) {
+        slot_[i] = Arrival{dests_->pick(i, rng_)};
+        ++arrivals_;
+      }
+      continue;
+    }
+    BurstState& b = burst_[i];
+    if (!b.in_burst) {
+      if (rng_.next_bool(p_start_)) {
+        b.in_burst = true;
+        b.dest = dests_->pick(i, rng_);
+      }
+    }
+    if (b.in_burst) {
+      slot_[i] = Arrival{b.dest};
+      ++arrivals_;
+      if (rng_.next_bool(p_stop_)) b.in_burst = false;
+    }
+  }
+  return slot_;
+}
+
+std::vector<unsigned> random_permutation(unsigned n, Rng& rng) {
+  std::vector<unsigned> p(n);
+  for (unsigned i = 0; i < n; ++i) p[i] = i;
+  for (unsigned i = n; i > 1; --i) {
+    const auto j = static_cast<unsigned>(rng.next_below(i));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+}  // namespace pmsb

@@ -1,0 +1,224 @@
+// Traffic generation.
+//
+// Two granularities:
+//  * Word-level (CellSource / CellSink): Components that drive/observe the
+//    cycle-accurate switches' links one word per cycle, with framing. Load p
+//    is the fraction of cycles the link carries data.
+//  * Slot-level (SlotTraffic): per-cell-slot arrival processes for the
+//    behavioural architecture models of src/arch (one slot = one cell time).
+//
+// Destination patterns cover the paper's evaluation workloads: uniform
+// (sections 2, 3.4), permutation (contention-free), hotspot (stress), and
+// fixed (directed tests).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/cell.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/wire.hpp"
+#include "stats/stats.hpp"
+
+namespace pmsb {
+
+// ---------------------------------------------------------------------------
+// Destination patterns
+// ---------------------------------------------------------------------------
+
+/// Chooses an output for each new cell from input `src`.
+class DestPattern {
+ public:
+  virtual ~DestPattern() = default;
+  virtual unsigned pick(unsigned src, Rng& rng) = 0;
+};
+
+/// Uniformly random over all n outputs.
+class UniformDest : public DestPattern {
+ public:
+  explicit UniformDest(unsigned n) : n_(n) {}
+  unsigned pick(unsigned, Rng& rng) override { return static_cast<unsigned>(rng.next_below(n_)); }
+
+ private:
+  unsigned n_;
+};
+
+/// Fixed permutation: input i always sends to perm[i] (contention-free when
+/// perm is a bijection).
+class PermutationDest : public DestPattern {
+ public:
+  explicit PermutationDest(std::vector<unsigned> perm) : perm_(std::move(perm)) {}
+  unsigned pick(unsigned src, Rng&) override { return perm_.at(src); }
+
+ private:
+  std::vector<unsigned> perm_;
+};
+
+/// Hotspot: probability `hot_fraction` to the hot output, else uniform.
+class HotspotDest : public DestPattern {
+ public:
+  HotspotDest(unsigned n, unsigned hot, double hot_fraction)
+      : n_(n), hot_(hot), frac_(hot_fraction) {}
+  unsigned pick(unsigned, Rng& rng) override {
+    if (rng.next_bool(frac_)) return hot_;
+    return static_cast<unsigned>(rng.next_below(n_));
+  }
+
+ private:
+  unsigned n_;
+  unsigned hot_;
+  double frac_;
+};
+
+// ---------------------------------------------------------------------------
+// Word-level source / sink for the cycle-accurate switches
+// ---------------------------------------------------------------------------
+
+/// Arrival process shape for CellSource.
+enum class ArrivalKind {
+  kGeometric,  ///< Idle gaps are geometric; cell heads are unsynchronized
+               ///< across links (the section 3.4 analysis assumes this).
+  kSlotted,    ///< Cells may start only at multiples of the cell length; all
+               ///< links share slot boundaries (maximal head collisions).
+  kSaturated,  ///< Back-to-back cells, load 1.0.
+};
+
+/// Drives one input link of a cycle-accurate switch with framed cells.
+class CellSource : public Component {
+ public:
+  struct Injection {
+    std::uint64_t uid;
+    unsigned input;
+    unsigned dest;
+    Cycle head_on_wire;  ///< Cycle the head word occupies the link.
+  };
+
+  CellSource(unsigned input, WireLink* link, const CellFormat& fmt, DestPattern* dests,
+             ArrivalKind kind, double load, Rng rng);
+
+  /// Called at the moment a cell's head is driven (for scoreboards).
+  void set_on_inject(std::function<void(const Injection&)> cb) { on_inject_ = std::move(cb); }
+
+  /// Stop starting new cells (a cell in progress still completes).
+  void set_enabled(bool on) { enabled_ = on; }
+
+  std::uint64_t cells_injected() const { return cells_injected_; }
+
+  void eval(Cycle t) override;
+  void commit(Cycle t) override;
+  std::string name() const override { return "cell_source"; }
+
+ private:
+  void begin_gap();
+
+  unsigned input_;
+  WireLink* link_;
+  CellFormat fmt_;
+  DestPattern* dests_;
+  ArrivalKind kind_;
+  double load_;
+  Rng rng_;
+  bool enabled_ = true;
+
+  // Sender state.
+  bool sending_ = false;
+  unsigned word_idx_ = 0;
+  std::uint64_t uid_ = 0;
+  unsigned dest_ = 0;
+  Cycle gap_left_ = 0;
+
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t cells_injected_ = 0;
+  std::function<void(const Injection&)> on_inject_;
+};
+
+/// Observes one output link: re-assembles cells, checks framing, and hands
+/// completed cells to a callback.
+class CellSink : public Component {
+ public:
+  struct Delivery {
+    unsigned output;
+    std::vector<Word> words;
+    Cycle head_cycle;  ///< Cycle the head word was on the output wire.
+    Cycle tail_cycle;
+  };
+
+  CellSink(unsigned output, WireLink* link, const CellFormat& fmt);
+
+  void set_on_deliver(std::function<void(const Delivery&)> cb) { on_deliver_ = std::move(cb); }
+
+  std::uint64_t cells_delivered() const { return cells_delivered_; }
+
+  void eval(Cycle t) override;
+  void commit(Cycle t) override;
+  std::string name() const override { return "cell_sink"; }
+
+ private:
+  unsigned output_;
+  WireLink* link_;
+  CellFormat fmt_;
+
+  bool receiving_ = false;
+  std::vector<Word> words_;
+  Cycle head_cycle_ = 0;
+
+  std::uint64_t cells_delivered_ = 0;
+  std::function<void(const Delivery&)> on_deliver_;
+};
+
+// ---------------------------------------------------------------------------
+// Slot-level arrivals for the behavioural models
+// ---------------------------------------------------------------------------
+
+/// One arrival decision per input per slot: Bernoulli(p) with a destination
+/// pattern, or bursty on/off (geometric burst lengths, all cells of a burst
+/// to one destination -- the classic bursty-traffic model).
+class SlotTraffic {
+ public:
+  struct Arrival {
+    unsigned dest;
+  };
+
+  /// Bernoulli arrivals at rate `load`.
+  SlotTraffic(unsigned n_inputs, double load, DestPattern* dests, Rng rng);
+
+  /// Bursty on/off arrivals: mean burst `mean_burst` cells (geometric), one
+  /// destination per burst; off periods sized so the average rate is `load`.
+  static SlotTraffic bursty(unsigned n_inputs, double load, double mean_burst,
+                            DestPattern* dests, Rng rng);
+
+  /// Arrivals for this slot, indexed by input (nullopt = no arrival).
+  const std::vector<std::optional<Arrival>>& step();
+
+  double offered_load() const { return load_; }
+  std::uint64_t arrivals_so_far() const { return arrivals_; }
+
+ private:
+  SlotTraffic(unsigned n_inputs, double load, double mean_burst, bool bursty_mode,
+              DestPattern* dests, Rng rng);
+
+  struct BurstState {
+    bool in_burst = false;
+    unsigned dest = 0;
+  };
+
+  unsigned n_;
+  double load_;
+  bool bursty_ = false;
+  double p_start_ = 0.0;  ///< Off->on transition probability.
+  double p_stop_ = 0.0;   ///< On->off transition probability.
+  DestPattern* dests_;
+  Rng rng_;
+  std::vector<BurstState> burst_;
+  std::vector<std::optional<Arrival>> slot_;
+  std::uint64_t arrivals_ = 0;
+};
+
+/// A bijective shuffle of {0..n-1} (for PermutationDest).
+std::vector<unsigned> random_permutation(unsigned n, Rng& rng);
+
+}  // namespace pmsb

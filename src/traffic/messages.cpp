@@ -1,0 +1,61 @@
+#include "traffic/messages.hpp"
+
+namespace pmsb {
+
+BurstyCellSource::BurstyCellSource(unsigned input, WireLink* link, const CellFormat& fmt,
+                                   DestPattern* dests, double load, double mean_burst_cells,
+                                   Rng rng)
+    : input_(input), link_(link), fmt_(fmt), dests_(dests), load_(load),
+      p_stop_(1.0 / mean_burst_cells), rng_(rng) {
+  PMSB_CHECK(link != nullptr && dests != nullptr, "source needs a link and a pattern");
+  PMSB_CHECK(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+  PMSB_CHECK(mean_burst_cells >= 1.0, "mean burst below one cell");
+}
+
+void BurstyCellSource::roll_gap() {
+  if (load_ >= 1.0) {
+    gap_left_ = 0;
+    return;
+  }
+  // Mean on-period = mean_burst * L cycles; off/on ratio = (1-p)/p.
+  const double mean_on = fmt_.length_words / p_stop_;
+  const double mean_gap = mean_on * (1.0 - load_) / load_;
+  const double q = 1.0 / (1.0 + mean_gap);
+  gap_left_ = static_cast<Cycle>(rng_.next_geometric(q));
+}
+
+void BurstyCellSource::eval(Cycle t) {
+  if (sending_) {
+    link_->drive_next(Flit{true, false, cell_word(uid_, dest_, word_idx_, fmt_)});
+    ++word_idx_;
+    if (word_idx_ == fmt_.length_words) {
+      sending_ = false;
+      if (rng_.next_bool(p_stop_)) {
+        in_burst_ = false;
+        roll_gap();
+      }
+    }
+    return;
+  }
+  if (!in_burst_) {
+    if (gap_left_ > 0) {
+      --gap_left_;
+      return;
+    }
+    if (!enabled_) return;
+    in_burst_ = true;
+    dest_ = dests_->pick(input_, rng_);
+  }
+  // Start the next cell of the burst (back-to-back).
+  uid_ = (static_cast<std::uint64_t>(input_) << 40) | (0x8000000000ULL >> 1) | next_seq_++;
+  word_idx_ = 0;
+  sending_ = true;
+  ++cells_injected_;
+  link_->drive_next(Flit{true, true, cell_word(uid_, dest_, 0, fmt_)});
+  if (on_inject_) on_inject_(CellSource::Injection{uid_, input_, dest_, t + 1});
+  ++word_idx_;
+}
+
+void BurstyCellSource::commit(Cycle) {}
+
+}  // namespace pmsb

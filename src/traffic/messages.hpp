@@ -1,0 +1,62 @@
+// Bursty word-level traffic: trains of back-to-back cells to a single
+// destination (the "bursts larger than the buffers" regime of section 2.1).
+// Used to stress the cycle-accurate switches the way [Dally90]-style
+// multi-flit messages stress input-queued networks: a burst of B cells to
+// one output behaves like one long message of B*L words.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/cell.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/wire.hpp"
+#include "traffic/generators.hpp"
+
+namespace pmsb {
+
+/// Drives one input link with on/off bursts of cells. During a burst, cells
+/// go back-to-back to one destination; burst lengths are geometric with the
+/// given mean; off periods are sized so the long-run link load is `load`.
+class BurstyCellSource : public Component {
+ public:
+  BurstyCellSource(unsigned input, WireLink* link, const CellFormat& fmt, DestPattern* dests,
+                   double load, double mean_burst_cells, Rng rng);
+
+  void set_on_inject(std::function<void(const CellSource::Injection&)> cb) {
+    on_inject_ = std::move(cb);
+  }
+  void set_enabled(bool on) { enabled_ = on; }
+  std::uint64_t cells_injected() const { return cells_injected_; }
+
+  void eval(Cycle t) override;
+  void commit(Cycle t) override;
+  std::string name() const override { return "bursty_cell_source"; }
+
+ private:
+  void roll_gap();
+
+  unsigned input_;
+  WireLink* link_;
+  CellFormat fmt_;
+  DestPattern* dests_;
+  double load_;
+  double p_stop_;  ///< Probability the burst ends after each cell.
+  Rng rng_;
+  bool enabled_ = true;
+
+  bool sending_ = false;
+  bool in_burst_ = false;
+  unsigned word_idx_ = 0;
+  unsigned dest_ = 0;
+  std::uint64_t uid_ = 0;
+  Cycle gap_left_ = 0;
+
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t cells_injected_ = 0;
+  std::function<void(const CellSource::Injection&)> on_inject_;
+};
+
+}  // namespace pmsb

@@ -1,0 +1,120 @@
+// Tests of the VLSI cost models against the paper's section 4/5 numbers.
+// The full-custom technology is calibrated against exactly ONE anchor (the
+// ~9 mm^2 Telegraphos III peripheral area); every other figure tested here
+// is a genuine model output.
+
+#include <gtest/gtest.h>
+
+#include "area/models.hpp"
+
+namespace pmsb::area {
+namespace {
+
+TEST(AreaAnchor, Telegraphos3PeripheralIsNineMm2) {
+  const TechParams tech = full_custom_1um();
+  const PeriphInventory t3 = pipelined_inventory(8, 16, 256);
+  EXPECT_NEAR(peripheral_mm2(t3, tech), 9.0, 1e-6);  // Calibration identity.
+}
+
+TEST(AreaSec52, WidePeripheralNearThirteenMm2) {
+  // Section 5.2: the wide-memory peripheral, adjusted to Telegraphos III
+  // parameters, would be ~13 mm^2 -- about 30% more than pipelined.
+  const TechParams tech = full_custom_1um();
+  const PeriphInventory wide = wide_inventory(8, 16, 256);
+  const double wide_mm2 = peripheral_mm2(wide, tech);
+  EXPECT_NEAR(wide_mm2, 13.0, 1.5);
+  EXPECT_GT(wide_mm2 / 9.0, 1.25);
+  EXPECT_LT(wide_mm2 / 9.0, 1.65);
+}
+
+TEST(AreaSec53, PrizmaCrossbarsSixteenTimes) {
+  // 2n = 16, M = 256 -> 16x (section 5.3).
+  EXPECT_DOUBLE_EQ(prizma_crossbar_ratio(8, 256), 16.0);
+  EXPECT_DOUBLE_EQ(prizma_crossbar_ratio(4, 64), 8.0);
+}
+
+TEST(AreaSec44, StdCellQuadraticGrowth) {
+  EXPECT_DOUBLE_EQ(std_cell_periph_mm2(4), 41.0);
+  EXPECT_DOUBLE_EQ(std_cell_periph_mm2(8), 164.0);
+  // "an 8x8 standard-cell design would be about 18 times larger".
+  EXPECT_NEAR(std_cell_periph_mm2(8) / 9.0, 18.0, 0.5);
+}
+
+TEST(AreaSec44, FactorTwentyTwo) {
+  const FullCustomGain g = full_custom_gain();
+  EXPECT_NEAR(g.combined(), 22.5, 0.01);  // 2 x 2.5 x 4.5.
+}
+
+TEST(AreaSec42, Telegraphos2FloorplanTotals) {
+  const Telegraphos2Floorplan fp = telegraphos2_floorplan();
+  EXPECT_DOUBLE_EQ(fp.total_mm2(), 31.5);  // 11 + 15 + 5.5 ("32 mm^2").
+  EXPECT_LT(fp.total_mm2(), fp.chip_mm2);  // Fits with room for the rest.
+}
+
+TEST(AreaSec35, QuantumThroughputArithmetic) {
+  // Section 3.5: 256-1024 bit buffers at 5 ns -> 50-200 Gb/s aggregate.
+  EXPECT_NEAR(aggregate_gbps(256, 5.0), 51.2, 0.1);
+  EXPECT_NEAR(aggregate_gbps(1024, 5.0), 204.8, 0.1);
+}
+
+TEST(AreaSec44, Telegraphos3LinkRate) {
+  // 16 bits / 16 ns worst case = 1 Gb/s per link; 10 ns typical = 1.6.
+  EXPECT_DOUBLE_EQ(per_link_gbps(8, 16, 16.0), 1.0);
+  EXPECT_DOUBLE_EQ(per_link_gbps(8, 16, 10.0), 1.6);
+  // Aggregate through the buffer: 16 stages x 16 bits / 16 ns = 16 Gb/s.
+  EXPECT_DOUBLE_EQ(aggregate_gbps(16 * 16, 16.0), 16.0);
+}
+
+TEST(AreaSec51, SharedWinsWithSmallerHeight) {
+  // Figure 9: equal widths; shared needs H_s < H_i, so with the measured
+  // buffer requirements (e.g. [HlKa88] 5.4 vs 80 cells/port at equal loss)
+  // the shared total is clearly smaller despite its second datapath block.
+  const SharedVsInput r = shared_vs_input(16, 16, 80.0, 5.4);
+  EXPECT_DOUBLE_EQ(r.width_cells, 512.0);
+  EXPECT_GT(r.input_total, r.shared_total);
+  // The fabric terms alone favour input buffering (one crossbar vs two).
+  EXPECT_LT(r.input_fabric_area, r.shared_fabric_area);
+}
+
+TEST(AreaSec51, EqualHeightsMakeSharedSlightlyLarger) {
+  // Sanity direction check: if H_s == H_i the extra datapath block makes the
+  // shared buffer the larger one -- the paper's win comes from H_s < H_i.
+  const SharedVsInput r = shared_vs_input(16, 16, 20.0, 20.0);
+  EXPECT_GT(r.shared_total, r.input_total);
+}
+
+TEST(AreaInventory, PipelinedSmallerPeripheryThanWide) {
+  for (unsigned n : {4u, 8u, 16u}) {
+    const TechParams tech = full_custom_1um();
+    const double pipe = peripheral_mm2(pipelined_inventory(n, 16, 256), tech);
+    const double wide = peripheral_mm2(wide_inventory(n, 16, 256), tech);
+    EXPECT_GT(wide, pipe) << "n = " << n;
+  }
+}
+
+TEST(AreaInventory, TinySwitchIsTheExceptionWideWins) {
+  // An honest model artifact worth pinning down: at n = 2 the decoded
+  // word-line pipeline (S-1 stages x D flip-flops) dominates the datapath
+  // savings, and the wide organization's single decoder is cheaper. The
+  // paper's designs (n >= 4) are on the other side of the crossover.
+  const TechParams tech = full_custom_1um();
+  const double pipe = peripheral_mm2(pipelined_inventory(2, 16, 256), tech);
+  const double wide = peripheral_mm2(wide_inventory(2, 16, 256), tech);
+  EXPECT_LT(wide, pipe);
+}
+
+TEST(AreaInventory, StdCellPenaltyAppliesEverywhere) {
+  const PeriphInventory inv = pipelined_inventory(4, 16, 256);
+  const double fc = peripheral_mm2(inv, full_custom_1um());
+  const double sc = peripheral_mm2(inv, std_cell_1um());
+  EXPECT_NEAR(sc / fc, 4.5, 0.01);
+}
+
+TEST(AreaInventory, SramAreaScalesWithBits) {
+  const TechParams tech = full_custom_1um();
+  EXPECT_NEAR(sram_mm2(65536, tech), 36.0, 1e-9);
+  EXPECT_NEAR(sram_mm2(2 * 65536, tech), 72.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pmsb::area

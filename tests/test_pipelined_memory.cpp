@@ -1,0 +1,162 @@
+// Direct RTL-level tests of PipelinedMemory: wave propagation through the
+// banks, write/read/snoop operations, and the exact cycle each bank is
+// touched -- the figure 4/5 mechanics in isolation (no arbiter, no links).
+
+#include <gtest/gtest.h>
+
+#include "core/input_latches.hpp"
+#include "core/output_row.hpp"
+#include "core/pipelined_memory.hpp"
+#include "sim/wire.hpp"
+
+namespace pmsb {
+namespace {
+
+constexpr unsigned kStages = 4;
+constexpr unsigned kWords = 8;
+constexpr unsigned kWbits = 8;
+
+struct Rig {
+  PipelinedMemory mem{kStages, kWords, kWbits};
+  InputLatches ir{2, kStages, kWbits};
+  OutputRow orow{kStages, 2, kWbits};
+  std::vector<WireLink> outs{2};
+  Cycle t = 0;
+
+  void cycle(const StageCtrl* initiate = nullptr) {
+    if (initiate) mem.initiate(*initiate);
+    mem.exec_cycle(ir, orow);
+    orow.drive_links(outs);
+    ir.tick(t);
+    mem.tick();
+    orow.tick();
+    for (auto& l : outs) l.tick();
+    ++t;
+  }
+
+  /// Preload IR[input][s] = base + s (committed).
+  void preload(unsigned input, Word base) {
+    for (unsigned s = 0; s < kStages; ++s) ir.latch(input, s, base + s, t);
+    ir.tick(t);
+  }
+};
+
+StageCtrl write_ctrl(std::uint32_t addr, unsigned in) {
+  StageCtrl c;
+  c.op = StageOp::kWrite;
+  c.addr = addr;
+  c.in_link = static_cast<std::uint16_t>(in);
+  c.head = true;
+  return c;
+}
+
+StageCtrl read_ctrl(std::uint32_t addr, unsigned out) {
+  StageCtrl c;
+  c.op = StageOp::kRead;
+  c.addr = addr;
+  c.out_link = static_cast<std::uint16_t>(out);
+  c.head = true;
+  return c;
+}
+
+TEST(PipelinedMemory, WriteWaveLandsOneBankPerCycle) {
+  Rig rig;
+  rig.preload(0, 0x10);
+  const StageCtrl w = write_ctrl(3, 0);
+  rig.cycle(&w);  // Stage 0 writes this cycle (commits at its end).
+  EXPECT_EQ(rig.mem.bank(0).debug_peek(3), 0x10u);
+  EXPECT_EQ(rig.mem.bank(1).debug_peek(3), 0u);  // Not yet.
+  rig.cycle();
+  EXPECT_EQ(rig.mem.bank(1).debug_peek(3), 0x11u);
+  rig.cycle();
+  rig.cycle();
+  for (unsigned s = 0; s < kStages; ++s)
+    EXPECT_EQ(rig.mem.bank(s).debug_peek(3), 0x10u + s) << "stage " << s;
+  EXPECT_FALSE(rig.mem.busy());
+}
+
+TEST(PipelinedMemory, ReadWaveDrivesTheLinkWithOneCycleLag) {
+  Rig rig;
+  rig.preload(1, 0x20);
+  const StageCtrl w = write_ctrl(5, 1);
+  rig.cycle(&w);
+  for (int k = 0; k < 3; ++k) rig.cycle();  // Finish the write wave.
+
+  const StageCtrl r = read_ctrl(5, 1);
+  rig.cycle(&r);  // Stage 0 read; OR[0] drives the wire for the next cycle,
+                  // which rig.cycle() has already clocked in: outs.now() is
+                  // the wire value one cycle after the stage-0 read.
+  for (unsigned s = 0; s < kStages; ++s) {
+    const Flit& f = rig.outs[1].now();
+    ASSERT_TRUE(f.valid) << "word " << s;
+    EXPECT_EQ(f.sop, s == 0);
+    EXPECT_EQ(f.data, 0x20u + s);
+    rig.cycle();
+  }
+  EXPECT_FALSE(rig.outs[1].now().valid);  // Exactly kStages words.
+}
+
+TEST(PipelinedMemory, SnoopForwardsWriteDataSameWave) {
+  Rig rig;
+  rig.preload(0, 0x30);
+  StageCtrl c = write_ctrl(2, 0);
+  c.op = StageOp::kWriteSnoop;
+  c.out_link = 0;
+  rig.cycle(&c);
+  for (unsigned s = 0; s < kStages; ++s) {
+    const Flit& f = rig.outs[0].now();
+    ASSERT_TRUE(f.valid);
+    EXPECT_EQ(f.sop, s == 0);
+    EXPECT_EQ(f.data, 0x30u + s);
+    // And the data also landed in the bank (it is a real write).
+    EXPECT_EQ(rig.mem.bank(s).debug_peek(2), 0x30u + s);
+    rig.cycle();
+  }
+}
+
+TEST(PipelinedMemory, BackToBackWavesInterleaveWithoutConflicts) {
+  // A write wave immediately followed by a read wave of another address:
+  // each bank serves one wave per cycle (the single-port assert would abort
+  // otherwise), one cycle apart.
+  Rig rig;
+  rig.preload(0, 0x40);
+  // Seed address 7 with known data first.
+  const StageCtrl w7 = write_ctrl(7, 0);
+  rig.cycle(&w7);
+  for (int k = 0; k < 3; ++k) rig.cycle();
+
+  rig.preload(0, 0x50);
+  const StageCtrl w1 = write_ctrl(1, 0);
+  rig.cycle(&w1);
+  const StageCtrl r7 = read_ctrl(7, 1);
+  rig.cycle(&r7);  // One cycle behind the write wave: no bank conflicts.
+  for (int k = 0; k < 5; ++k) rig.cycle();
+  for (unsigned s = 0; s < kStages; ++s) {
+    EXPECT_EQ(rig.mem.bank(s).debug_peek(1), 0x50u + s);
+    EXPECT_EQ(rig.mem.bank(s).debug_peek(7), 0x40u + s);
+  }
+}
+
+TEST(PipelinedMemoryDeath, TwoInitiationsOneCycle) {
+  Rig rig;
+  const StageCtrl a = write_ctrl(0, 0);
+  const StageCtrl b = read_ctrl(1, 0);
+  rig.mem.initiate(a);
+  EXPECT_DEATH(rig.mem.initiate(b), "single-ported");
+}
+
+TEST(PipelinedMemory, BusyWhileAnyWaveInFlight) {
+  Rig rig;
+  rig.preload(0, 0);
+  const StageCtrl w = write_ctrl(0, 0);
+  rig.cycle(&w);
+  EXPECT_TRUE(rig.mem.busy());
+  rig.cycle();
+  rig.cycle();
+  EXPECT_TRUE(rig.mem.busy());  // Still in the last stage's register.
+  rig.cycle();
+  EXPECT_FALSE(rig.mem.busy());
+}
+
+}  // namespace
+}  // namespace pmsb

@@ -1,0 +1,254 @@
+// Unit tests: RTL primitives -- registers, the single-ported SRAM bank, the
+// figure-5 control pipeline, and the figure-7 address-path models.
+
+#include <gtest/gtest.h>
+
+#include "rtl/addr_decoder.hpp"
+#include "rtl/ctrl_pipeline.hpp"
+#include "rtl/reg.hpp"
+#include "rtl/sram_bank.hpp"
+
+namespace pmsb {
+namespace {
+
+TEST(Reg, HoldsWithoutLoad) {
+  Reg<int> r(5);
+  r.tick();
+  EXPECT_EQ(r.q(), 5);
+}
+
+TEST(Reg, LoadVisibleAfterTick) {
+  Reg<int> r(0);
+  r.set_d(7);
+  EXPECT_EQ(r.q(), 0);  // Not yet clocked.
+  r.tick();
+  EXPECT_EQ(r.q(), 7);
+}
+
+TEST(Reg, LastWriteWinsWithinCycle) {
+  Reg<int> r(0);
+  r.set_d(1);
+  r.set_d(2);
+  r.tick();
+  EXPECT_EQ(r.q(), 2);
+}
+
+TEST(SramBank, WriteCommitsAtTick) {
+  SramBank m(16, 8);
+  m.write(3, 0xAB);
+  m.tick();
+  EXPECT_EQ(m.read(3), 0xABu);
+}
+
+TEST(SramBank, ReadBeforeWriteSemantics) {
+  SramBank m(16, 8);
+  m.write(3, 0x11);
+  m.tick();
+  m.write(3, 0x22);
+  // A read in the same cycle as the (staged) write would be a port
+  // violation; read after tick sees the new value.
+  m.tick();
+  EXPECT_EQ(m.read(3), 0x22u);
+}
+
+TEST(SramBankDeath, TwoAccessesOneCycle) {
+  SramBank m(16, 8);
+  m.read(0);
+  EXPECT_DEATH(m.read(1), "single-ported");
+}
+
+TEST(SramBankDeath, ReadPlusWriteOneCycle) {
+  SramBank m(16, 8);
+  m.write(0, 1);
+  EXPECT_DEATH(m.read(0), "single-ported");
+}
+
+TEST(SramBankDeath, WideData) {
+  SramBank m(16, 8);
+  EXPECT_DEATH(m.write(0, 0x100), "wider");
+}
+
+TEST(SramBank, PortReopensEachCycle) {
+  SramBank m(16, 8);
+  for (int c = 0; c < 10; ++c) {
+    m.write(c % 16, static_cast<Word>(c));
+    m.tick();
+  }
+  EXPECT_EQ(m.total_writes(), 10u);
+}
+
+TEST(SramBank, SnoopReturnsBusData) {
+  SramBank m(16, 8);
+  EXPECT_EQ(m.write_snoop(5, 0x3C), 0x3Cu);
+  m.tick();
+  EXPECT_EQ(m.read(5), 0x3Cu);
+}
+
+TEST(SramBank, RetainsDataOverTime) {
+  SramBank m(64, 16);
+  for (std::size_t a = 0; a < 64; ++a) {
+    m.write(a, static_cast<Word>(a * 3));
+    m.tick();
+  }
+  for (std::size_t a = 0; a < 64; ++a) {
+    EXPECT_EQ(m.read(a), a * 3);
+    m.tick();
+  }
+}
+
+TEST(CtrlPipeline, DelaysControlByOneCyclePerStage) {
+  CtrlPipeline p(4);
+  StageCtrl c;
+  c.op = StageOp::kWrite;
+  c.addr = 9;
+  c.in_link = 2;
+  p.initiate(c);
+  // Cycle 0: stage 0 sees the wave.
+  EXPECT_EQ(p.at(0).op, StageOp::kWrite);
+  EXPECT_TRUE(p.at(1).idle());
+  p.tick();
+  // Cycle 1: stage 1 sees it, stage 0 idle.
+  EXPECT_TRUE(p.at(0).idle());
+  EXPECT_EQ(p.at(1).op, StageOp::kWrite);
+  EXPECT_EQ(p.at(1).addr, 9u);
+  p.tick();
+  EXPECT_EQ(p.at(2).op, StageOp::kWrite);
+  p.tick();
+  EXPECT_EQ(p.at(3).op, StageOp::kWrite);
+  EXPECT_TRUE(p.busy());
+  p.tick();
+  EXPECT_FALSE(p.busy());
+}
+
+TEST(CtrlPipeline, TwoWavesPipeline) {
+  CtrlPipeline p(3);
+  StageCtrl a, b;
+  a.op = StageOp::kRead;
+  a.addr = 1;
+  b.op = StageOp::kWrite;
+  b.addr = 2;
+  p.initiate(a);
+  p.tick();
+  p.initiate(b);
+  EXPECT_EQ(p.at(0).op, StageOp::kWrite);
+  EXPECT_EQ(p.at(1).op, StageOp::kRead);
+  p.tick();
+  EXPECT_EQ(p.at(1).op, StageOp::kWrite);
+  EXPECT_EQ(p.at(2).op, StageOp::kRead);
+}
+
+TEST(CtrlPipelineDeath, DoubleInitiate) {
+  CtrlPipeline p(3);
+  StageCtrl c;
+  c.op = StageOp::kRead;
+  p.initiate(c);
+  EXPECT_DEATH(p.initiate(c), "single-ported");
+}
+
+TEST(CtrlPipeline, CountsTransfers) {
+  CtrlPipeline p(4);
+  StageCtrl c;
+  c.op = StageOp::kRead;
+  p.initiate(c);
+  for (int i = 0; i < 4; ++i) p.tick();
+  // The wave crossed 3 pipeline registers.
+  EXPECT_EQ(p.ctrl_reg_transfers(), 3u);
+}
+
+TEST(OneHot, DecodeEncodeRoundTrip) {
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    EXPECT_EQ(encode_from_one_hot(decode_one_hot(a, 16)), a);
+  }
+}
+
+TEST(OneHotDeath, NotOneHot) {
+  std::vector<bool> lines(8, false);
+  lines[2] = lines[5] = true;
+  EXPECT_DEATH(encode_from_one_hot(lines), "one-hot");
+}
+
+class AddressPathTest : public ::testing::TestWithParam<AddrPathMode> {};
+
+TEST_P(AddressPathTest, FollowsWaveDownTheStages) {
+  const unsigned kStages = 6;
+  AddressPath ap(kStages, 32, GetParam());
+  CtrlPipeline cp(kStages);
+
+  StageCtrl c;
+  c.op = StageOp::kWrite;
+  c.addr = 17;
+  cp.initiate(c);
+  for (unsigned cycle = 0; cycle < kStages; ++cycle) {
+    for (unsigned s = 0; s < kStages; ++s) {
+      const StageCtrl& sc = cp.at(s);
+      const long a = ap.active_addr(s, sc.addr, !sc.idle());
+      if (s == cycle)
+        EXPECT_EQ(a, 17) << "stage " << s << " cycle " << cycle;
+      else
+        EXPECT_EQ(a, -1) << "stage " << s << " cycle " << cycle;
+    }
+    cp.tick();
+    ap.tick();
+  }
+}
+
+TEST_P(AddressPathTest, BackToBackWaves) {
+  const unsigned kStages = 4;
+  AddressPath ap(kStages, 8, GetParam());
+  CtrlPipeline cp(kStages);
+  // Initiate a wave every cycle with a different address; every stage must
+  // track its own wave's address.
+  for (unsigned cycle = 0; cycle < 10; ++cycle) {
+    StageCtrl c;
+    c.op = StageOp::kRead;
+    c.addr = cycle % 8;
+    cp.initiate(c);
+    for (unsigned s = 0; s < kStages; ++s) {
+      const StageCtrl& sc = cp.at(s);
+      const long a = ap.active_addr(s, sc.addr, !sc.idle());
+      if (cycle >= s) {
+        EXPECT_EQ(a, static_cast<long>((cycle - s) % 8));
+      }
+    }
+    cp.tick();
+    ap.tick();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, AddressPathTest,
+                         ::testing::Values(AddrPathMode::kPerStageDecoders,
+                                           AddrPathMode::kDecodedPipeline));
+
+TEST(AddressPath, DecodeOpCounts) {
+  // Figure 7(a) pays one decode per stage per wave; figure 7(b) decodes once
+  // and pays register transfers instead.
+  const unsigned kStages = 8;
+  auto run = [&](AddrPathMode mode) {
+    AddressPath ap(kStages, 16, mode);
+    CtrlPipeline cp(kStages);
+    for (unsigned cycle = 0; cycle < 20; ++cycle) {
+      if (cycle < 10) {
+        StageCtrl c;
+        c.op = StageOp::kWrite;
+        c.addr = cycle % 16;
+        cp.initiate(c);
+      }
+      for (unsigned s = 0; s < kStages; ++s) {
+        const StageCtrl& sc = cp.at(s);
+        ap.active_addr(s, sc.addr, !sc.idle());
+      }
+      cp.tick();
+      ap.tick();
+    }
+    return std::pair{ap.decode_ops(), ap.one_hot_reg_transfers()};
+  };
+  const auto [dec_a, xfer_a] = run(AddrPathMode::kPerStageDecoders);
+  const auto [dec_b, xfer_b] = run(AddrPathMode::kDecodedPipeline);
+  EXPECT_EQ(dec_a, 10u * kStages);  // 10 waves x 8 stages.
+  EXPECT_EQ(xfer_a, 0u);
+  EXPECT_EQ(dec_b, 10u);            // One decode per wave.
+  EXPECT_EQ(xfer_b, 10u * (kStages - 1));
+}
+
+}  // namespace
+}  // namespace pmsb

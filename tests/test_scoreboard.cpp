@@ -1,0 +1,148 @@
+// Tests of the verification scoreboard itself: a checker that cannot detect
+// corruption is worse than none, so every failure mode it claims to catch is
+// exercised here by feeding it hand-crafted event sequences.
+
+#include <gtest/gtest.h>
+
+#include "core/scoreboard.hpp"
+
+namespace pmsb {
+namespace {
+
+CellFormat fmt() { return CellFormat{16, 2, 8}; }
+
+CellSource::Injection inj(std::uint64_t uid, unsigned in, unsigned dest, Cycle a0) {
+  return CellSource::Injection{uid, in, dest, a0};
+}
+
+CellSink::Delivery del(std::uint64_t uid, unsigned dest, Cycle head) {
+  return CellSink::Delivery{dest, make_cell_words(uid, dest, fmt()), head,
+                            head + fmt().length_words - 1};
+}
+
+TEST(Scoreboard, CleanLifecyclePasses) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_accept(0, 10, 11);
+  sb.on_deliver(del(1, 2, 13));
+  EXPECT_TRUE(sb.ok());
+  EXPECT_TRUE(sb.fully_drained());
+  EXPECT_EQ(sb.latency().min(), 3u);  // 13 - 10.
+}
+
+TEST(Scoreboard, DetectsCorruptedPayload) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_accept(0, 10, 11);
+  CellSink::Delivery d = del(1, 2, 13);
+  d.words[5] ^= 1;  // Flip one bit of one word.
+  sb.on_deliver(d);
+  EXPECT_FALSE(sb.ok());
+  EXPECT_NE(sb.errors().front().find("matches no head-of-line"), std::string::npos);
+}
+
+TEST(Scoreboard, DetectsPerPairReordering) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_inject(inj(2, 0, 2, 18));
+  sb.on_accept(0, 10, 11);
+  sb.on_accept(0, 18, 19);
+  // Cell 2 overtakes cell 1 within the same (input, output) pair.
+  sb.on_deliver(del(2, 2, 21));
+  EXPECT_FALSE(sb.ok());
+}
+
+TEST(Scoreboard, AllowsCrossInputInterleaving) {
+  // Cells from different inputs to one output may be served in any order.
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 3, 10));
+  sb.on_inject(inj(2, 1, 3, 10));
+  sb.on_accept(0, 10, 11);
+  sb.on_accept(1, 10, 12);
+  sb.on_deliver(del(2, 3, 14));  // Input 1's cell first: fine.
+  sb.on_deliver(del(1, 3, 22));
+  EXPECT_TRUE(sb.ok());
+  EXPECT_TRUE(sb.fully_drained());
+}
+
+TEST(Scoreboard, DetectsMisroutedCell) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_accept(0, 10, 11);
+  // The cell appears on output 3 instead of 2: no in-flight record matches.
+  sb.on_deliver(CellSink::Delivery{3, make_cell_words(1, 2, fmt()), 13, 20});
+  EXPECT_FALSE(sb.ok());
+}
+
+TEST(Scoreboard, DetectsPhantomDelivery) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_deliver(del(9, 1, 5));  // Nothing was ever injected.
+  EXPECT_FALSE(sb.ok());
+}
+
+TEST(Scoreboard, DetectsAcceptWithoutInjection) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_accept(2, 10, 11);
+  EXPECT_FALSE(sb.ok());
+  EXPECT_NE(sb.errors().front().find("no cell awaiting"), std::string::npos);
+}
+
+TEST(Scoreboard, DetectsAcceptCycleMismatch) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_accept(0, 12, 13);  // Claims the head arrived at 12, not 10.
+  EXPECT_FALSE(sb.ok());
+}
+
+TEST(Scoreboard, DetectsGrantBeforeArrival) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_accept(0, 10, 10);  // t0 must be strictly after a0.
+  EXPECT_FALSE(sb.ok());
+}
+
+TEST(Scoreboard, DropsResolveInArrivalOrder) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_inject(inj(2, 0, 3, 18));
+  sb.on_drop(0, 10, DropReason::kNoAddress);
+  sb.on_accept(0, 18, 19);
+  sb.on_deliver(del(2, 3, 21));
+  EXPECT_TRUE(sb.ok());
+  EXPECT_TRUE(sb.fully_drained());
+  EXPECT_EQ(sb.dropped(), 1u);
+  EXPECT_EQ(sb.delivered(), 1u);
+}
+
+TEST(Scoreboard, FullyDrainedFalseWhileOutstanding) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  EXPECT_FALSE(sb.fully_drained());  // Awaiting accept/drop.
+  sb.on_accept(0, 10, 11);
+  EXPECT_FALSE(sb.fully_drained());  // In flight.
+  sb.on_deliver(del(1, 2, 13));
+  EXPECT_TRUE(sb.fully_drained());
+}
+
+TEST(Scoreboard, InputWireDelayShiftsArrivalChecks) {
+  Scoreboard sb(4, 4, fmt());
+  sb.set_input_wire_delay(3);
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_accept(0, 13, 14);  // Head reached the switch 3 cycles later: OK.
+  sb.on_deliver(del(1, 2, 16));
+  EXPECT_TRUE(sb.ok()) << sb.errors().front();
+}
+
+TEST(Scoreboard, WrongLengthDeliveryFlagged) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_accept(0, 10, 11);
+  CellSink::Delivery d = del(1, 2, 13);
+  d.words.pop_back();
+  sb.on_deliver(d);
+  EXPECT_FALSE(sb.ok());
+  EXPECT_NE(sb.errors().front().find("wrong length"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmsb

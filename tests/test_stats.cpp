@@ -1,0 +1,143 @@
+// Tests of the statistics substrate: histograms, running moments, latency
+// trackers, flow accounting, table rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.hpp"
+#include "stats/stats.hpp"
+#include "stats/table.hpp"
+
+namespace pmsb {
+namespace {
+
+TEST(Histogram, MeanAndCount) {
+  Histogram h(64);
+  h.add(2);
+  h.add(4);
+  h.add(6);
+  EXPECT_EQ(h.samples(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, Percentiles) {
+  Histogram h(128);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.percentile(0.0), 1u);
+  EXPECT_EQ(h.percentile(0.5), 50u);
+  EXPECT_EQ(h.percentile(0.99), 99u);
+  EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, MinMax) {
+  Histogram h(64);
+  h.add(9);
+  h.add(3);
+  h.add(42);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 42u);
+}
+
+TEST(Histogram, OverflowClampsBucketButNotMean) {
+  Histogram h(10);
+  h.add(1000);
+  EXPECT_EQ(h.max(), 10u);           // Clamped bucket.
+  EXPECT_DOUBLE_EQ(h.mean(), 1000);  // Exact sum retained.
+}
+
+TEST(Histogram, MergeAndClear) {
+  Histogram a(16), b(16);
+  a.add(1);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.samples(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  a.clear();
+  EXPECT_EQ(a.samples(), 0u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(16);
+  h.add(5, 10);
+  EXPECT_EQ(h.samples(), 10u);
+  EXPECT_EQ(h.percentile(0.5), 5u);
+}
+
+TEST(RunningStats, MeanVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571, 0.01);  // Sample variance.
+  EXPECT_GT(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(LatencyStats, WarmupFiltersEarlyInjections) {
+  LatencyStats ls(100);
+  ls.record(50, 60);    // Injected during warmup: ignored.
+  ls.record(150, 170);  // Counted.
+  EXPECT_EQ(ls.samples(), 1u);
+  EXPECT_DOUBLE_EQ(ls.mean(), 20.0);
+}
+
+TEST(LatencyStatsDeath, NegativeLatency) {
+  LatencyStats ls(0);
+  EXPECT_DEATH(ls.record(10, 5), "negative");
+}
+
+TEST(FlowCounts, LossRatioAndOutstanding) {
+  FlowCounts c;
+  c.injected = 1000;
+  c.delivered = 900;
+  c.dropped = 50;
+  EXPECT_DOUBLE_EQ(c.loss_ratio(), 0.05);
+  EXPECT_EQ(c.outstanding(), 50u);
+  EXPECT_DOUBLE_EQ(FlowCounts{}.loss_ratio(), 0.0);
+}
+
+TEST(Throughput, Normalized) {
+  EXPECT_DOUBLE_EQ(normalized_throughput(800, 8, 100), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_throughput(400, 8, 100), 0.5);
+  EXPECT_DOUBLE_EQ(normalized_throughput(1, 0, 100), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"load", "throughput"});
+  t.add_row({"0.5", "0.499"});
+  t.add_row({"1.0", "0.586"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cell(1, 1), "0.586");
+  // Smoke-render to a temp file and check content survived.
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  t.print(f);
+  t.print_csv(f);
+  std::rewind(f);
+  std::string all(1 << 12, '\0');
+  const std::size_t got = std::fread(all.data(), 1, all.size(), f);
+  all.resize(got);
+  EXPECT_NE(all.find("0.586"), std::string::npos);
+  EXPECT_NE(all.find("load,throughput"), std::string::npos);
+  std::fclose(f);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(-42), "-42");
+  EXPECT_EQ(Table::sci(0.00123, 1), "1.2e-03");
+}
+
+TEST(TableDeath, RowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only one"}), "width");
+}
+
+}  // namespace
+}  // namespace pmsb

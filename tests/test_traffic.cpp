@@ -1,0 +1,220 @@
+// Tests of the traffic generators: measured rates match the configured
+// loads, framing is well-formed, patterns behave as specified.
+
+#include <gtest/gtest.h>
+
+#include "core/testbench.hpp"
+#include "sim/engine.hpp"
+#include "sim/wire.hpp"
+#include "traffic/generators.hpp"
+#include "traffic/messages.hpp"
+
+namespace pmsb {
+namespace {
+
+/// Count valid cycles / sop cycles on a link driven by `src` for `cycles`.
+struct LinkProbe {
+  std::uint64_t valid = 0;
+  std::uint64_t sops = 0;
+  std::uint64_t gaps_inside_cell = 0;
+};
+
+template <typename SourceT>
+LinkProbe probe(SourceT& src, WireLink& link, Cycle cycles) {
+  Engine eng;
+  eng.add(&src);
+  LinkProbe p;
+  unsigned in_cell = 0;
+  const unsigned L = 8;
+  for (Cycle c = 0; c < cycles; ++c) {
+    eng.step();
+    link.tick();  // The probe owns the link clock (no switch attached).
+    const Flit& f = link.now();
+    if (f.valid) {
+      ++p.valid;
+      if (f.sop) {
+        EXPECT_EQ(in_cell, 0u) << "head inside a cell";
+        ++p.sops;
+        in_cell = L - 1;
+      } else {
+        EXPECT_GT(in_cell, 0u) << "body word outside a cell";
+        --in_cell;
+      }
+    } else if (in_cell != 0) {
+      ++p.gaps_inside_cell;
+    }
+  }
+  return p;
+}
+
+CellFormat fmt8() { return CellFormat{16, 2, 8}; }
+
+TEST(CellSource, GeometricLoadMatches) {
+  for (double load : {0.2, 0.5, 0.9}) {
+    WireLink link;
+    UniformDest dests(4);
+    CellSource src(0, &link, fmt8(), &dests, ArrivalKind::kGeometric, load, Rng(7));
+    const LinkProbe p = probe(src, link, 200000);
+    EXPECT_NEAR(p.valid / 200000.0, load, 0.02) << "load " << load;
+    EXPECT_EQ(p.gaps_inside_cell, 0u);
+  }
+}
+
+TEST(CellSource, SlottedStartsOnBoundariesOnly) {
+  WireLink link;
+  UniformDest dests(4);
+  CellSource src(0, &link, fmt8(), &dests, ArrivalKind::kSlotted, 0.5, Rng(8));
+  Engine eng;
+  eng.add(&src);
+  for (Cycle c = 0; c < 20000; ++c) {
+    eng.step();
+    link.tick();
+    if (link.now().sop) {
+      EXPECT_EQ((c + 1) % 8, 0u) << "cell started off-slot";
+    }
+  }
+}
+
+TEST(CellSource, SaturatedIsBackToBack) {
+  WireLink link;
+  UniformDest dests(4);
+  CellSource src(0, &link, fmt8(), &dests, ArrivalKind::kSaturated, 1.0, Rng(9));
+  const LinkProbe p = probe(src, link, 8000);
+  EXPECT_EQ(p.valid, 8000u - 0u);  // Every cycle busy once started... from cycle 1.
+}
+
+TEST(CellSource, InjectionCallbackMatchesWire) {
+  WireLink link;
+  UniformDest dests(4);
+  CellSource src(0, &link, fmt8(), &dests, ArrivalKind::kGeometric, 0.4, Rng(10));
+  std::vector<CellSource::Injection> injections;
+  src.set_on_inject([&](const CellSource::Injection& i) { injections.push_back(i); });
+  Engine eng;
+  eng.add(&src);
+  std::vector<Cycle> sop_cycles;
+  for (Cycle c = 0; c < 5000; ++c) {
+    eng.step();
+    link.tick();
+    if (link.now().sop) sop_cycles.push_back(c + 1);  // Wire cycle = c+1.
+  }
+  ASSERT_EQ(injections.size(), sop_cycles.size());
+  for (std::size_t k = 0; k < sop_cycles.size(); ++k) {
+    EXPECT_EQ(injections[k].head_on_wire, sop_cycles[k]);
+  }
+}
+
+TEST(CellSource, DisableStopsNewCells) {
+  WireLink link;
+  UniformDest dests(4);
+  CellSource src(0, &link, fmt8(), &dests, ArrivalKind::kSaturated, 1.0, Rng(11));
+  Engine eng;
+  eng.add(&src);
+  for (int c = 0; c < 100; ++c) {
+    eng.step();
+    link.tick();
+  }
+  src.set_enabled(false);
+  const std::uint64_t at_disable = src.cells_injected();
+  for (int c = 0; c < 100; ++c) {
+    eng.step();
+    link.tick();
+  }
+  // At most the in-flight cell finishes; no new cells start.
+  EXPECT_LE(src.cells_injected(), at_disable + 1);
+}
+
+TEST(BurstySource, LoadMatchesAndBurstsShareDest) {
+  WireLink link;
+  UniformDest dests(8);
+  CellFormat fmt{16, 3, 8};
+  BurstyCellSource src(0, &link, fmt, &dests, 0.6, 8.0, Rng(12));
+  std::vector<unsigned> dests_seen;
+  src.set_on_inject(
+      [&](const CellSource::Injection& i) { dests_seen.push_back(i.dest); });
+  Engine eng;
+  eng.add(&src);
+  std::uint64_t valid = 0;
+  for (Cycle c = 0; c < 200000; ++c) {
+    eng.step();
+    link.tick();
+    valid += link.now().valid;
+  }
+  EXPECT_NEAR(valid / 200000.0, 0.6, 0.03);
+  // Consecutive cells repeat destinations far more often than uniform (1/8).
+  std::size_t repeats = 0;
+  for (std::size_t k = 1; k < dests_seen.size(); ++k)
+    repeats += (dests_seen[k] == dests_seen[k - 1]);
+  EXPECT_GT(static_cast<double>(repeats) / dests_seen.size(), 0.5);
+}
+
+TEST(SlotTraffic, BernoulliRateMatches) {
+  UniformDest dests(8);
+  SlotTraffic t(8, 0.7, &dests, Rng(13));
+  std::uint64_t arrivals = 0;
+  const Cycle slots = 100000;
+  for (Cycle s = 0; s < slots; ++s) {
+    for (const auto& a : t.step()) arrivals += a.has_value();
+  }
+  EXPECT_NEAR(arrivals / (8.0 * slots), 0.7, 0.01);
+}
+
+TEST(SlotTraffic, BurstyRateMatches) {
+  UniformDest dests(8);
+  auto t = SlotTraffic::bursty(8, 0.5, 16.0, &dests, Rng(14));
+  std::uint64_t arrivals = 0;
+  const Cycle slots = 200000;
+  for (Cycle s = 0; s < slots; ++s) {
+    for (const auto& a : t.step()) arrivals += a.has_value();
+  }
+  EXPECT_NEAR(arrivals / (8.0 * slots), 0.5, 0.02);
+}
+
+TEST(SlotTraffic, BurstyRunsAreLong) {
+  UniformDest dests(2);
+  auto t = SlotTraffic::bursty(1, 0.5, 16.0, &dests, Rng(15));
+  // Measure mean run length of consecutive arrival slots on one input.
+  std::uint64_t runs = 0, busy = 0;
+  bool prev = false;
+  for (Cycle s = 0; s < 200000; ++s) {
+    const bool now = t.step()[0].has_value();
+    busy += now;
+    runs += (now && !prev);
+    prev = now;
+  }
+  ASSERT_GT(runs, 0u);
+  EXPECT_NEAR(static_cast<double>(busy) / runs, 16.0, 2.0);
+}
+
+TEST(Patterns, PermutationIsBijective) {
+  Rng rng(16);
+  for (unsigned n : {2u, 5u, 16u}) {
+    const auto p = random_permutation(n, rng);
+    std::vector<bool> seen(n, false);
+    for (unsigned v : p) {
+      ASSERT_LT(v, n);
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(Patterns, HotspotFraction) {
+  Rng rng(17);
+  HotspotDest h(8, 3, 0.5);
+  std::uint64_t hot = 0;
+  const int kTrials = 100000;
+  for (int k = 0; k < kTrials; ++k) hot += (h.pick(0, rng) == 3);
+  // 0.5 direct + 0.5 * 1/8 uniform share.
+  EXPECT_NEAR(hot / double(kTrials), 0.5 + 0.5 / 8, 0.01);
+}
+
+TEST(Patterns, UniformCoversAllOutputs) {
+  Rng rng(18);
+  UniformDest u(4);
+  std::vector<int> counts(4, 0);
+  for (int k = 0; k < 40000; ++k) ++counts[u.pick(0, rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+}  // namespace
+}  // namespace pmsb
