@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "area/models.hpp"
+#include "bench_util.hpp"
 #include "stats/table.hpp"
 
 using namespace pmsb;
@@ -18,6 +19,7 @@ using namespace pmsb::area;
 
 int main() {
   print_banner("E10", "pipelined vs wide-memory peripheral area (section 5.2)");
+  pmsb::bench::BenchJson bj("e10_area_pipelined_vs_wide");
   const TechParams tech = full_custom_1um();
 
   std::printf("\nComponent inventory at Telegraphos III parameters (n=8, w=16, D=256):\n\n");
@@ -56,6 +58,16 @@ int main() {
     sweep.add_row({Table::integer(n), Table::num(p, 2), Table::num(w, 2), Table::num(p / w, 2)});
   }
   sweep.print();
+
+  bj.metric("pipelined_periph_mm2", pipe_mm2);
+  bj.metric("wide_periph_mm2", wide_mm2);
+  bj.metric("pipelined_over_wide_ratio", pipe_mm2 / wide_mm2);
+  bj.metric("occupancy", pipe_mm2);  // Area benches report mm^2 as the resource figure.
+  bj.add_table("component inventory", inv);
+  bj.add_table("peripheral area", t);
+  bj.add_table("scaling with port count", sweep);
+  bj.write();
+
   std::printf(
       "\nShape check vs paper: double input/output buffering and the bypass\n"
       "drivers make the wide periphery ~1.4-1.5x the pipelined one at n >= 4\n"

@@ -51,15 +51,22 @@ double pipelined_utilization(unsigned n, unsigned cells, Cycle cycles) {
 
 int main() {
   print_banner("E11", "PRIZMA interleaved vs pipelined shared buffer (section 5.3)");
+  BenchJson bj("e11_area_prizma");
 
   std::printf("\nFunctional equivalence first -- both are full-throughput shared\n"
               "buffers (saturated uniform traffic, equal capacity in cells):\n\n");
   Table fn({"n", "capacity (cells)", "PRIZMA util", "pipelined util"});
+  double prizma_util8 = 0, pipelined_util8 = 0;
   for (unsigned n : {4u, 8u}) {
     const unsigned cells = 32 * n;
-    fn.add_row({Table::integer(n), Table::integer(cells),
-                Table::num(prizma_utilization(n, cells, 30000), 3),
-                Table::num(pipelined_utilization(n, cells, 30000), 3)});
+    const double pu = prizma_utilization(n, cells, 30000);
+    const double su = pipelined_utilization(n, cells, 30000);
+    fn.add_row({Table::integer(n), Table::integer(cells), Table::num(pu, 3),
+                Table::num(su, 3)});
+    if (n == 8) {
+      prizma_util8 = pu;
+      pipelined_util8 = su;
+    }
   }
   fn.print();
 
@@ -76,6 +83,15 @@ int main() {
                (n == 8 && m == 256) ? "16x (Telegraphos III scale)" : "-"});
   }
   t.print();
+
+  bj.metric("throughput", pipelined_util8);
+  bj.metric("prizma_utilization_n8", prizma_util8);
+  bj.metric("pipelined_utilization_n8", pipelined_util8);
+  bj.metric("occupancy", area::prizma_crossbar_ratio(8, 256));
+  bj.metric("crossbar_cost_ratio_t3_scale", area::prizma_crossbar_ratio(8, 256));
+  bj.add_table("functional equivalence", fn);
+  bj.add_table("crossbar complexity", t);
+  bj.write();
 
   std::printf(
       "\nShape check vs paper: equal delivered performance, but the interleaved\n"

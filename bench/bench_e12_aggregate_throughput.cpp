@@ -19,6 +19,7 @@ using namespace pmsb::bench;
 
 int main() {
   print_banner("E12", "packet-size quantum and aggregate throughput (sections 3.5, 4.4)");
+  BenchJson bj("e12_aggregate_throughput");
 
   std::printf("\nQuantum arithmetic at a 5 ns memory cycle (section 3.5):\n\n");
   Table q({"buffer width", "quantum (bytes)", "aggregate", "per link (16+16 links)"});
@@ -53,6 +54,16 @@ int main() {
              Table::num(r.output_utilization * cfg.link_mbps() / 1000.0, 2) + " Gb/s",
              "1 Gb/s (worst case)"});
   t.print();
+
+  bj.metric("throughput", r.output_utilization);
+  bj.metric("mean_latency", r.head_latency.mean());
+  bj.metric("occupancy", r.mean_buffer_occupancy);
+  bj.metric("cell_transfers_per_cycle", ops_per_cycle);
+  bj.metric("aggregate_gbps", agg_gbps);
+  bj.metric("per_link_gbps", r.output_utilization * cfg.link_mbps() / 1000.0);
+  bj.add_table("quantum arithmetic", q);
+  bj.add_table("simulator cross-check", t);
+  bj.write();
 
   std::printf(
       "\nShape check vs paper: the shared buffer moves one full cell per memory\n"

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "area/models.hpp"
+#include "bench_util.hpp"
 #include "stats/table.hpp"
 
 using namespace pmsb;
@@ -17,6 +18,7 @@ using namespace pmsb::area;
 
 int main() {
   print_banner("E13", "full-custom vs standard-cell factor (section 4.4)");
+  pmsb::bench::BenchJson bj("e13_fullcustom_factor");
 
   const FullCustomGain g = full_custom_gain();
   std::printf("\nThe 'factor of 22' decomposition:\n\n");
@@ -46,5 +48,15 @@ int main() {
   xc.add_row({"full-custom 1.0 um", Table::num(peripheral_mm2(inv8, full_custom_1um()), 1)});
   xc.add_row({"standard cells 1.0 um", Table::num(peripheral_mm2(inv8, std_cell_1um()), 1)});
   xc.print();
+
+  bj.metric("link_factor", g.link_factor);
+  bj.metric("clock_factor", g.clock_factor);
+  bj.metric("area_factor", g.area_factor);
+  bj.metric("combined_factor", g.combined());
+  bj.metric("occupancy", std_cell_periph_mm2(8));  // mm^2 of the 8x8 std-cell periphery.
+  bj.add_table("factor-of-22 decomposition", t);
+  bj.add_table("quadratic growth with link count", sq);
+  bj.add_table("component-model cross-check", xc);
+  bj.write();
   return 0;
 }

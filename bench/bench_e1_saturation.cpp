@@ -32,6 +32,7 @@ double saturation(const std::function<std::unique_ptr<SlotModel>()>& make, unsig
 
 int main() {
   print_banner("E1", "saturation throughput by architecture (section 2.1, [KaHM87])");
+  BenchJson bj("e1_saturation");
 
   std::printf("\nSaturation throughput (offered load 1.0, uniform destinations):\n");
   Table sat({"n", "input FIFO", "VOQ+PIM(4)", "output", "shared", "crosspoint",
@@ -57,19 +58,28 @@ int main() {
       "input-queued curve; the shared buffer tracks the offered load):\n");
   Table series({"offered", "input FIFO", "shared", "crosspoint"});
   const unsigned n = 16;
+  SlotRun shared_last;
   for (double load = 0.1; load < 1.05; load += 0.1) {
     const double fifo = run_uniform(
         [&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(31)); }, n, load, kSlots, 41)
                             .throughput;
-    const double shared = run_uniform(
-        [&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, load, kSlots, 42)
-                              .throughput;
+    shared_last = run_uniform(
+        [&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, load, kSlots, 42);
     const double xp = run_uniform(
         [&] { return std::make_unique<CrosspointQueueing>(n, 0); }, n, load, kSlots, 43)
                           .throughput;
-    series.add_row({Table::num(load, 1), Table::num(fifo), Table::num(shared), Table::num(xp)});
+    series.add_row({Table::num(load, 1), Table::num(fifo), Table::num(shared_last.throughput),
+                    Table::num(xp)});
   }
   series.print();
+
+  bj.metric("throughput", shared_last.throughput);
+  bj.metric("mean_latency", shared_last.mean_latency);
+  bj.metric("p99_latency", static_cast<double>(shared_last.p99_latency));
+  bj.metric("loss", shared_last.loss);
+  bj.add_table("saturation throughput by architecture", sat);
+  bj.add_table("throughput vs offered load, n=16", series);
+  bj.write();
 
   std::printf(
       "\nShape check vs paper: FIFO input queueing flattens near 0.59 for large n\n"

@@ -10,10 +10,12 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "net/wormhole.hpp"
 #include "stats/table.hpp"
 
 using namespace pmsb;
+using namespace pmsb::bench;
 using namespace pmsb::net;
 
 namespace {
@@ -44,6 +46,7 @@ Point run_point(double rate, unsigned buffer_flits, unsigned message_flits,
 
 int main() {
   print_banner("E2", "bursty wormhole traffic (section 2.1, [Dally90 fig. 8, 1 lane])");
+  BenchJson bj("e2_bursty_wormhole");
 
   std::printf(
       "\n8x8 mesh, single-lane wormhole routers, 20-flit messages, 16-flit\n"
@@ -53,11 +56,15 @@ int main() {
 
   Table t({"offered (flits/node/cy)", "accepted", "mean latency (cy)", "source backlog"});
   double saturation = 0;
+  double light_latency = 0;
+  std::uint64_t peak_backlog = 0;
   for (double rate : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.60, 0.90}) {
     const Point p = run_point(rate, 16, 20, 7);
     t.add_row({Table::num(p.offered, 2), Table::num(p.accepted, 3), Table::num(p.latency, 1),
                Table::integer(static_cast<long long>(p.backlog))});
     saturation = std::max(saturation, p.accepted);
+    if (rate == 0.05) light_latency = p.latency;
+    peak_backlog = std::max(peak_backlog, p.backlog);
   }
   t.print();
   std::printf("\nMeasured saturation throughput: %.3f flits/node/cycle (paper: ~0.25).\n",
@@ -86,5 +93,13 @@ int main() {
     lanes.add_row({Table::integer(l), Table::integer(16 / l), Table::num(p.accepted, 3)});
   }
   lanes.print();
+
+  bj.metric("throughput", saturation);
+  bj.metric("mean_latency", light_latency);
+  bj.metric("occupancy", static_cast<double>(peak_backlog));
+  bj.add_table("latency vs accepted traffic", t);
+  bj.add_table("buffer depth vs message length", ab);
+  bj.add_table("virtual-channel lanes", lanes);
+  bj.write();
   return 0;
 }

@@ -46,6 +46,7 @@ double loss_smoothing(std::size_t frame, std::uint64_t seed) {
 
 int main() {
   print_banner("E3", "buffer sizing for loss <= 1e-3 (section 2.2, [HlKa88])");
+  BenchJson bj("e3_buffer_sizing");
   std::printf("\n16x16 switch, uniform Bernoulli arrivals at load 0.8; binary search of\n"
               "each organization's capacity for cell-loss ratio <= 1e-3.\n\n");
 
@@ -70,10 +71,11 @@ int main() {
              Table::num(static_cast<double>(smoothing_frame), 1), "1300", "80 / input"});
   t.print();
 
+  const double shared_loss = loss_shared(shared_cells, 111);
   std::printf(
       "\nLoss at the found sizes (shared %zu, output %zu/port, smoothing frame %zu):\n"
       "  shared: %.2e   output: %.2e   smoothing: %.2e\n",
-      shared_cells, output_per_port, smoothing_frame, loss_shared(shared_cells, 111),
+      shared_cells, output_per_port, smoothing_frame, shared_loss,
       loss_output(output_per_port, 112), loss_smoothing(smoothing_frame, 113));
 
   std::printf(
@@ -118,6 +120,18 @@ int main() {
     x.add_row({"cycle-accurate pipelined switch, 24 cells", Table::sci(cyc, 2)});
     x.add_row({"behavioural, 24 + n cells", Table::sci(behav_plus, 2)});
     x.print();
+
+    bj.metric("throughput", kLoad * (1.0 - shared_loss));
+    bj.metric("occupancy", static_cast<double>(shared_cells));
+    bj.metric("loss_shared", shared_loss);
+    bj.metric("cells_shared", static_cast<double>(shared_cells));
+    bj.metric("cells_output_per_port", static_cast<double>(output_per_port));
+    bj.metric("cells_smoothing_frame", static_cast<double>(smoothing_frame));
+    bj.metric("crosscheck_loss_behavioural", behav);
+    bj.metric("crosscheck_loss_cycle_accurate", cyc);
+    bj.add_table("buffer sizing for loss <= 1e-3", t);
+    bj.add_table("behavioural vs cycle-accurate loss", x);
+    bj.write();
     std::printf(
         "\n(The machine lands between the two behavioural capacities: the\n"
         "pipelined memory recycles a cell's address when its read wave STARTS,\n"

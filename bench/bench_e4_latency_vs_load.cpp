@@ -19,8 +19,11 @@ using namespace pmsb::bench;
 
 int main() {
   print_banner("E4", "latency vs load (section 2.2, [AOST93 fig. 3])");
+  BenchJson bj("e4_latency_vs_load");
   const unsigned n = 16;
   const Cycle slots = 120000;
+  SlotRun shared_last;
+  double ratio_last = 0;
 
   std::printf("\n16x16, uniform Bernoulli arrivals, unbounded buffers; mean queueing\n"
               "latency in cell slots (and the VOQ/output ratio the paper quotes as ~2x):\n\n");
@@ -42,8 +45,17 @@ int main() {
                Table::num(sh.mean_latency, 2), Table::num(pim.mean_latency, 2),
                load < 0.59 ? Table::num(fifo.mean_latency, 2) : "unstable",
                Table::num(ratio, 2)});
+    shared_last = sh;
+    ratio_last = ratio;
   }
   t.print();
+
+  bj.metric("throughput", shared_last.throughput);
+  bj.metric("mean_latency", shared_last.mean_latency);
+  bj.metric("p99_latency", static_cast<double>(shared_last.p99_latency));
+  bj.metric("voq_over_output_ratio", ratio_last);
+  bj.add_table("mean queueing latency vs load", t);
+  bj.write();
 
   std::printf(
       "\nShape check vs paper: output queueing == shared buffering (identical\n"

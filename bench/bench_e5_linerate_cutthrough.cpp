@@ -16,12 +16,17 @@ using namespace pmsb::bench;
 
 int main() {
   print_banner("E5", "full line rate and automatic cut-through (sections 3.2-3.3)");
+  BenchJson bj("e5_linerate_cutthrough");
   const SwitchConfig cfg = telegraphos3();
   std::printf("\nDevice: %s\n", cfg.describe().c_str());
 
   std::printf("\nSaturated traffic (offered 1.0). 'init/cycle' counts physical M0\n"
-              "accesses (a write+snoop pair is ONE access); it can never exceed 1:\n\n");
-  Table t({"pattern", "output util", "init/cycle", "snoop share", "drops"});
+              "accesses (a write+snoop pair is ONE access); it can never exceed 1.\n"
+              "'buf peak'/'buf mean' are shared-buffer occupancy in segments from\n"
+              "the sampled metrics layer:\n\n");
+  Table t({"pattern", "output util", "init/cycle", "snoop share", "drops", "buf peak",
+           "buf mean"});
+  CycleRun sat_uniform;
   for (auto [name, pat] : {std::pair{"permutation", PatternKind::kPermutation},
                            std::pair{"uniform", PatternKind::kUniform}}) {
     TrafficSpec spec;
@@ -38,7 +43,9 @@ int main() {
         static_cast<double>(r.stats.snoop_cells) / static_cast<double>(r.stats.read_grants);
     t.add_row({name, Table::num(r.output_utilization, 3), Table::num(inits, 3),
                Table::num(snoop_share, 3),
-               Table::integer(static_cast<long long>(r.stats.dropped()))});
+               Table::integer(static_cast<long long>(r.stats.dropped())),
+               Table::integer(r.buffer_peak), Table::num(r.mean_buffer_occupancy, 1)});
+    if (pat == PatternKind::kUniform) sat_uniform = r;
   }
   t.print();
 
@@ -50,6 +57,7 @@ int main() {
       "memory one wave behind the write (cut-through is structural in this\n"
       "organization; only the wide memory needs extra datapath for it):\n\n");
   Table lat({"load", "snoop", "min", "mean", "p99", "cut share"});
+  CycleRun light_ct;
   for (double load : {0.05, 0.2, 0.4}) {
     for (bool ct : {true, false}) {
       SwitchConfig c = cfg;
@@ -65,9 +73,22 @@ int main() {
                    Table::num(static_cast<double>(r.stats.cut_through_cells) /
                                   static_cast<double>(r.stats.read_grants),
                               3)});
+      if (load == 0.05 && ct) light_ct = r;
     }
   }
   lat.print();
+
+  bj.metric("throughput", sat_uniform.output_utilization);
+  bj.metric("mean_latency", light_ct.head_latency.mean());
+  bj.metric("p99_latency", static_cast<double>(light_ct.head_latency.p99()));
+  bj.metric("min_head_latency", static_cast<double>(light_ct.head_latency.min()));
+  bj.metric("occupancy", sat_uniform.mean_buffer_occupancy);
+  bj.metric("buffer_peak", static_cast<double>(sat_uniform.buffer_peak));
+  bj.metric("stalled_read_initiations",
+            static_cast<double>(sat_uniform.stalled_read_initiations));
+  bj.add_table("saturated traffic", t);
+  bj.add_table("light-load cut-through head latency", lat);
+  bj.write();
 
   std::printf(
       "\nShape check vs paper: utilization ~1.0 at saturation with <= 1 initiation\n"

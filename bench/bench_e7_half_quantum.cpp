@@ -57,12 +57,15 @@ DualRun run_dual(unsigned n, PatternKind pat, double load, Cycle cycles, std::ui
 
 int main() {
   print_banner("E7", "half-quantum cells on two pipelined memories (section 3.5)");
+  BenchJson bj("e7_half_quantum");
   std::printf(
       "\nDual organization: n-word cells, two n-stage memories, reads from one\n"
       "group + writes into the other in the same cycle. 'dual-cycle share' is\n"
       "the fraction of cycles that initiated BOTH a read and a write wave:\n\n");
   Table t({"n", "cell words", "pattern", "load", "output util", "dual-cycle share",
            "min latency", "drops"});
+  DualRun sat8{};
+  DualRun light8{};
   for (unsigned n : {4u, 8u}) {
     for (auto [name, pat] : {std::pair{"permutation", PatternKind::kPermutation},
                              std::pair{"uniform", PatternKind::kUniform}}) {
@@ -70,14 +73,25 @@ int main() {
       t.add_row({Table::integer(n), Table::integer(n), name, "1.0",
                  Table::num(r.utilization, 3), Table::num(r.dual_cycle_share, 3),
                  Table::num(r.min_latency, 0), Table::integer(static_cast<long long>(r.drops))});
+      if (n == 8 && pat == PatternKind::kUniform) sat8 = r;
     }
     const DualRun light = run_dual(n, PatternKind::kUniform, 0.3, 40000, 21 + n);
     t.add_row({Table::integer(n), Table::integer(n), "uniform", "0.3",
                Table::num(light.utilization, 3), Table::num(light.dual_cycle_share, 3),
                Table::num(light.min_latency, 0),
                Table::integer(static_cast<long long>(light.drops))});
+    if (n == 8) light8 = light;
   }
   t.print();
+
+  bj.metric("throughput", sat8.utilization);
+  bj.metric("mean_latency", light8.min_latency);
+  bj.metric("occupancy", sat8.dual_cycle_share);
+  bj.metric("dual_cycle_share", sat8.dual_cycle_share);
+  bj.metric("min_latency_light_load", light8.min_latency);
+  bj.metric("drops_saturated", static_cast<double>(sat8.drops));
+  bj.add_table("dual organization at saturation and light load", t);
+  bj.write();
   std::printf(
       "\nShape check vs paper: full line rate with n-word cells -- i.e. the\n"
       "packet-size quantum is halved (section 3.5's construction works), and at\n"

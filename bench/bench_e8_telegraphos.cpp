@@ -15,6 +15,7 @@ using namespace pmsb::bench;
 
 int main() {
   print_banner("E8", "the Telegraphos prototypes (section 4)");
+  BenchJson bj("e8_telegraphos");
 
   struct Proto {
     const char* name;
@@ -30,6 +31,8 @@ int main() {
   std::printf("\nEach prototype at saturation (uniform destinations) on the\n"
               "cycle-accurate pipelined-memory core:\n\n");
   Table t({"prototype", "geometry", "buffer", "util", "measured/link", "paper/link"});
+  CycleRun t3;
+  double t3_mbps = 0;
   for (const Proto& p : protos) {
     TrafficSpec spec;
     spec.arrivals = ArrivalKind::kSaturated;
@@ -37,6 +40,10 @@ int main() {
     spec.seed = 3;
     const CycleRun r = run_pipelined(p.cfg, spec, 40000, 4000);
     const double mbps = r.output_utilization * p.cfg.link_mbps();
+    if (&p == &protos[2]) {
+      t3 = r;
+      t3_mbps = mbps;
+    }
     char geom[64], buf[64];
     std::snprintf(geom, sizeof geom, "%ux%u, %u stages x %u b", p.cfg.n_ports, p.cfg.n_ports,
                   p.cfg.stages(), p.cfg.word_bits);
@@ -66,6 +73,17 @@ int main() {
   fpt.add_row({"total shared buffer", Table::num(fp.total_mm2(), 1)});
   fpt.add_row({"whole chip (8.5 x 8.5 mm)", Table::num(fp.chip_mm2, 1)});
   fpt.print();
+
+  bj.metric("throughput", t3.output_utilization);
+  bj.metric("mean_latency", t3.head_latency.mean());
+  bj.metric("occupancy", t3.mean_buffer_occupancy);
+  bj.metric("buffer_peak", static_cast<double>(t3.buffer_peak));
+  bj.metric("t3_measured_link_mbps", t3_mbps);
+  bj.metric("t2_floorplan_total_mm2", fp.total_mm2());
+  bj.add_table("prototypes at saturation", t);
+  bj.add_table("Telegraphos III timing corners", corners);
+  bj.add_table("Telegraphos II floorplan", fpt);
+  bj.write();
 
   std::printf(
       "\nShape check vs paper: every prototype sustains ~100%% utilization, so the\n"

@@ -50,7 +50,8 @@ double loss_smoothing(std::size_t frame) {
       .loss;
 }
 
-void print_floorplan(const char* title, double hi, double hs) {
+double print_floorplan(const char* title, double hi, double hs, BenchJson& bj,
+                       const char* json_title) {
   const auto r = area::shared_vs_input(kN, 16, hi, hs);
   std::printf("\n%s (H_i = %.1f, H_s = %.1f cells/port):\n\n", title, hi, hs);
   Table fp({"component", "input buffering", "shared buffering"});
@@ -65,12 +66,15 @@ void print_floorplan(const char* title, double hi, double hs) {
   std::printf("Total area ratio input/shared: %.2f %s\n", r.input_total / r.shared_total,
               r.input_total > r.shared_total ? "(shared buffering smaller)"
                                              : "(input buffering smaller)");
+  bj.add_table(json_title, fp);
+  return r.input_total / r.shared_total;
 }
 
 }  // namespace
 
 int main() {
   print_banner("E9", "shared vs input buffering VLSI cost (section 5.1, figure 9)");
+  BenchJson bj("e9_area_shared_vs_input");
 
   std::printf("\nStep 1 -- measured equal-performance buffer heights (loss <= 1e-3 at\n"
               "load 0.8, 16x16, uniform traffic):\n\n");
@@ -89,10 +93,22 @@ int main() {
                  "n/a (post-paper scheduler)"});
   sizes.print();
 
-  print_floorplan("Case 1: figure 9 with the paper's input-buffer generation",
-                  static_cast<double>(smooth_frame), hs);
-  print_floorplan("Case 2: figure 9 against an idealized VOQ+PIM input buffer",
-                  static_cast<double>(voq_per_input), hs);
+  const double ratio1 =
+      print_floorplan("Case 1: figure 9 with the paper's input-buffer generation",
+                      static_cast<double>(smooth_frame), hs, bj, "figure 9, case 1");
+  const double ratio2 =
+      print_floorplan("Case 2: figure 9 against an idealized VOQ+PIM input buffer",
+                      static_cast<double>(voq_per_input), hs, bj, "figure 9, case 2");
+
+  bj.metric("throughput", kLoad);  // All designs sized for loss <= 1e-3 at load 0.8.
+  bj.metric("occupancy", static_cast<double>(shared_cells));
+  bj.metric("shared_cells_per_port", hs);
+  bj.metric("smoothing_cells_per_input", static_cast<double>(smooth_frame));
+  bj.metric("voq_cells_per_input", static_cast<double>(voq_per_input));
+  bj.metric("area_ratio_case1_input_over_shared", ratio1);
+  bj.metric("area_ratio_case2_input_over_shared", ratio2);
+  bj.add_table("equal-performance buffer heights", sizes);
+  bj.write();
 
   std::printf(
       "\nShape check vs paper: with the buffer sizings the paper's section 2.2\n"

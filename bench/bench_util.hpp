@@ -3,42 +3,72 @@
 // latency capture, and to search buffer sizes for a target loss ratio.
 //
 // Every bench prints "paper" vs "measured" columns through pmsb::Table so
-// EXPERIMENTS.md can quote the output verbatim.
+// EXPERIMENTS.md can quote the output verbatim, AND emits a machine-readable
+// BENCH_<name>.json artifact through BenchJson so the perf trajectory of the
+// repo is diffable PR over PR (see DESIGN.md "Observability").
 
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "arch/slot_sim.hpp"
 #include "core/switch.hpp"
 #include "core/testbench.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
 #include "stats/table.hpp"
 
 namespace pmsb::bench {
 
-/// Result of one slot-model run.
+/// Result of one slot-model run. Throughput and loss are measured over the
+/// post-warmup window only (warmup deliveries would otherwise dilute both).
 struct SlotRun {
   double offered = 0;
   double throughput = 0;
   double loss = 0;
   double mean_latency = 0;
   std::uint64_t p99_latency = 0;
+  Cycle warmup_slots = 0;
+  Cycle measured_slots = 0;
 };
 
-/// Run `make_model()` under uniform Bernoulli traffic at `load`.
+/// Run `make_model()` under uniform Bernoulli traffic at `load` for `slots`
+/// slots, the first `warmup_fraction` of which are warmup: latency samples
+/// of cells injected during warmup are discarded (LatencyStats semantics),
+/// and throughput/loss are normalized over the post-warmup window only.
 template <typename MakeModel>
 SlotRun run_uniform(MakeModel&& make_model, unsigned n, double load, Cycle slots,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, double warmup_fraction = 0.2) {
+  PMSB_CHECK(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+             "warmup fraction must be in [0, 1)");
   auto model = make_model();
   UniformDest dests(n);
   SlotTraffic traffic(n, load, &dests, Rng(seed));
-  run_slot_sim(*model, traffic, slots, slots / 5);
+  const Cycle warmup = static_cast<Cycle>(static_cast<double>(slots) * warmup_fraction);
+  model->set_warmup(warmup);
+  for (Cycle s = 0; s < warmup; ++s) model->step(s, traffic.step());
+  const FlowCounts at_warmup = model->counts();
+  for (Cycle s = warmup; s < slots; ++s) model->step(s, traffic.step());
+  const FlowCounts end = model->counts();
+
+  const std::uint64_t delivered = end.delivered - at_warmup.delivered;
+  const std::uint64_t injected = end.injected - at_warmup.injected;
+  const std::uint64_t dropped = end.dropped - at_warmup.dropped;
   SlotRun r;
   r.offered = load;
-  r.throughput = measured_throughput(*model, slots);
-  r.loss = model->counts().loss_ratio();
+  r.warmup_slots = warmup;
+  r.measured_slots = slots - warmup;
+  r.throughput =
+      normalized_throughput(delivered, n, static_cast<std::uint64_t>(r.measured_slots));
+  r.loss = injected == 0
+               ? 0.0
+               : static_cast<double>(dropped) / static_cast<double>(injected);
   r.mean_latency = model->latency().mean();
   r.p99_latency = model->latency().p99();
   return r;
@@ -61,18 +91,26 @@ std::size_t min_capacity_for_loss(LossFn&& loss_at, std::size_t lo, std::size_t 
 
 /// Cycle-accurate run of the pipelined switch capturing head latency from
 /// read-grant events (tr + 1 - a0): no scoreboard overhead, suitable for
-/// long statistical runs.
+/// long statistical runs. Buffer/queue occupancy comes from the obs layer:
+/// the run attaches a MetricsRegistry and samples every 64 cycles.
 struct CycleRun {
   SwitchStats stats;
   LatencyStats head_latency{0, 1 << 14};
   /// Mean of (tr - a0 - 1): delay beyond the minimum-possible initiation.
   double mean_extra_initiation_delay = 0;
   double output_utilization = 0;
+  std::uint32_t buffer_peak = 0;          ///< Free-list occupancy high-water.
+  double mean_buffer_occupancy = 0;       ///< Sampled free-list in_use mean.
+  double mean_queue_depth = 0;            ///< Sampled total output-queue depth.
+  std::uint64_t stalled_read_initiations = 0;
 };
 
 inline CycleRun run_pipelined(const SwitchConfig& cfg, const TrafficSpec& spec, Cycle cycles,
                               Cycle warmup = 0) {
   PipelinedTestbench tb(cfg, cfg.n_ports, cfg.cell_format(), spec, /*scoreboard=*/false);
+  obs::MetricsRegistry metrics;
+  tb.dut().register_metrics(metrics);
+  tb.engine().set_metrics(&metrics, /*period=*/64);
   CycleRun out;
   out.head_latency.set_warmup(warmup);
   std::uint64_t grants = 0;
@@ -92,7 +130,98 @@ inline CycleRun run_pipelined(const SwitchConfig& cfg, const TrafficSpec& spec, 
       grants == 0 ? 0.0 : static_cast<double>(extra_sum) / static_cast<double>(grants);
   out.output_utilization = static_cast<double>(out.stats.read_grants) * cfg.cell_words /
                            (static_cast<double>(cfg.n_ports) * static_cast<double>(cycles));
+  out.buffer_peak = tb.dut().buffer_peak();
+  if (const obs::GaugeStats* g = metrics.find_gauge("switch.free_list.in_use"))
+    out.mean_buffer_occupancy = g->mean();
+  if (const obs::GaugeStats* g = metrics.find_gauge("switch.out_queues.total_depth"))
+    out.mean_queue_depth = g->mean();
+  if (const obs::Counter* c = metrics.find_counter("switch.stalled_read_initiations"))
+    out.stalled_read_initiations = c->value();
   return out;
 }
+
+/// Accumulates one bench's machine-readable output and writes it as
+/// BENCH_<name>.json (into $PMSB_BENCH_JSON_DIR if set, else the cwd).
+///
+/// The "metrics" object always carries the keys `throughput`,
+/// `mean_latency`, and `occupancy` (0 when an experiment has no meaningful
+/// value for one of them, e.g. the pure area models) so downstream tooling
+/// can diff a fixed schema; benches add any further named metrics on top.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    metric("throughput", 0.0);
+    metric("mean_latency", 0.0);
+    metric("occupancy", 0.0);
+  }
+
+  /// Set (or overwrite) one scalar metric.
+  void metric(const std::string& key, double v) {
+    for (auto& m : metrics_) {
+      if (m.first == key) {
+        m.second = v;
+        return;
+      }
+    }
+    metrics_.emplace_back(key, v);
+  }
+
+  /// Capture a printed table verbatim (headers + string cells).
+  void add_table(const std::string& title, const Table& t) {
+    tables_.emplace_back(title, t);
+  }
+
+  std::string json() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("bench", name_);
+    w.field("schema_version", 1);
+    w.key("metrics").begin_object();
+    for (const auto& m : metrics_) w.field(m.first, m.second);
+    w.end_object();
+    w.key("tables").begin_array();
+    for (const auto& [title, t] : tables_) {
+      w.begin_object();
+      w.field("title", title);
+      w.key("headers").begin_array();
+      for (const auto& h : t.headers()) w.value(h);
+      w.end_array();
+      w.key("rows").begin_array();
+      for (std::size_t r = 0; r < t.rows(); ++r) {
+        w.begin_array();
+        for (std::size_t c = 0; c < t.cols(); ++c) w.value(t.cell(r, c));
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+  }
+
+  /// Write BENCH_<name>.json; returns false (with a message) on I/O errors.
+  bool write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* dir = std::getenv("PMSB_BENCH_JSON_DIR"))
+      path = std::string(dir) + "/" + path;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    const std::string doc = json();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\n[bench-json] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, Table>> tables_;
+};
 
 }  // namespace pmsb::bench

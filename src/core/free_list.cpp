@@ -38,7 +38,12 @@ void FreeList::tick() {
 }
 
 std::uint32_t FreeList::in_use() const {
-  return total_ - static_cast<std::uint32_t>(free_.size() + returned_.size());
+  // Addresses staged in returned_ still hold live data this cycle (the read
+  // wave that released them is only now travelling down the pipeline), so
+  // they count as occupied until tick() publishes them. Counting them as
+  // free made peak_in_use() under-report the buffer occupancy that the E3
+  // buffer-sizing experiment quotes against the paper.
+  return total_ - static_cast<std::uint32_t>(free_.size());
 }
 
 }  // namespace pmsb

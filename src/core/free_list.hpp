@@ -39,8 +39,11 @@ class FreeList {
   /// Clock edge: freed addresses become allocatable.
   void tick();
 
-  /// Lifetime high-water mark of allocated addresses (buffer occupancy).
+  /// Lifetime high-water mark of occupied addresses (buffer occupancy).
   std::uint32_t peak_in_use() const { return peak_in_use_; }
+
+  /// Addresses occupied this cycle: allocated ones plus releases staged for
+  /// the next clock edge (their data is still live until tick()).
   std::uint32_t in_use() const;
 
  private:

@@ -22,6 +22,7 @@ BufferedCell OutQueues::pop(unsigned output) {
   PMSB_CHECK(!empty(output), "pop() of empty output queue");
   BufferedCell c = std::move(queues_[output].front());
   queues_[output].pop_front();
+  --committed_;
   return c;
 }
 
@@ -29,14 +30,10 @@ void OutQueues::tick() {
   for (auto& c : staged_) {
     auto& q = queues_[c.dest];
     q.push_back(std::move(c));
+    ++committed_;
   }
   staged_.clear();
-}
-
-std::size_t OutQueues::total_size() const {
-  std::size_t total = 0;
-  for (const auto& q : queues_) total += q.size();
-  return total;
+  if (committed_ > peak_total_) peak_total_ = committed_;
 }
 
 }  // namespace pmsb

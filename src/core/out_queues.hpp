@@ -42,13 +42,20 @@ class OutQueues {
   /// Clock edge: commit staged pushes.
   void tick();
 
-  /// Cells queued (committed) across all outputs.
-  std::size_t total_size() const;
+  /// Cells queued (committed) across all outputs. O(1): a running count is
+  /// maintained so per-cycle instrumentation can read it for free.
+  std::size_t total_size() const { return committed_; }
   std::size_t size(unsigned output) const { return queues_.at(output).size(); }
+  unsigned outputs() const { return static_cast<unsigned>(queues_.size()); }
+
+  /// Lifetime high-water mark of total_size() (updated at tick()).
+  std::size_t peak_total_size() const { return peak_total_; }
 
  private:
   std::vector<std::deque<BufferedCell>> queues_;
   std::vector<BufferedCell> staged_;
+  std::size_t committed_ = 0;
+  std::size_t peak_total_ = 0;
 };
 
 }  // namespace pmsb

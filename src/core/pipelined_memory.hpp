@@ -27,7 +27,13 @@ class PipelinedMemory {
   unsigned stages() const { return static_cast<unsigned>(banks_.size()); }
 
   /// Initiate a wave at stage 0 for the current cycle (at most one/cycle).
-  void initiate(const StageCtrl& c) { ctrl_.initiate(c); }
+  void initiate(const StageCtrl& c) {
+    ++initiations_;
+    ctrl_.initiate(c);
+  }
+
+  /// Lifetime count of stage-0 wave initiations (observability).
+  std::uint64_t initiations() const { return initiations_; }
 
   /// Execute all stages for the current cycle: writes take their data from
   /// the input latches; reads (and write snoops) load the output row.
@@ -47,6 +53,7 @@ class PipelinedMemory {
   std::vector<SramBank> banks_;
   CtrlPipeline ctrl_;
   AddressPath addr_path_;
+  std::uint64_t initiations_ = 0;
 };
 
 }  // namespace pmsb

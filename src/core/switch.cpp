@@ -20,6 +20,28 @@ PipelinedSwitch::PipelinedSwitch(const SwitchConfig& cfg, AddrPathMode addr_mode
       pending_(cfg.n_ports),
       next_read_ok_(cfg.n_ports, 0) {}
 
+void PipelinedSwitch::register_metrics(obs::MetricsRegistry& m, const std::string& prefix) {
+  // Counters: updated from the hot path through the cached pointers.
+  m_wave_init_ = m.counter(prefix + ".wave_initiations");
+  m_cut_through_ = m.counter(prefix + ".cut_through_cells");
+  m_read_stall_ = m.counter(prefix + ".stalled_read_initiations");
+  // Gauges: pulled only when the engine's sampling period fires.
+  m.add_gauge(prefix + ".free_list.in_use",
+              [this] { return static_cast<double>(free_.in_use()); });
+  m.add_gauge(prefix + ".free_list.peak_in_use",
+              [this] { return static_cast<double>(free_.peak_in_use()); });
+  m.add_gauge(prefix + ".out_queues.total_depth",
+              [this] { return static_cast<double>(oq_.total_size()); });
+  m.add_gauge(prefix + ".out_queues.peak_depth",
+              [this] { return static_cast<double>(oq_.peak_total_size()); });
+  for (unsigned o = 0; o < cfg_.n_ports; ++o) {
+    m.add_gauge(prefix + ".out_queues.depth." + std::to_string(o),
+                [this, o] { return static_cast<double>(oq_.size(o)); });
+  }
+  m.add_gauge(prefix + ".mem.initiations",
+              [this] { return static_cast<double>(mem_.initiations()); });
+}
+
 void PipelinedSwitch::eval(Cycle t) {
   ++stats_.cycles;
   // Order within the cycle (all steps read only state committed at end of
@@ -38,10 +60,19 @@ void PipelinedSwitch::eval(Cycle t) {
 }
 
 void PipelinedSwitch::arbitrate_and_initiate(Cycle t) {
+  bool read_granted = false;
   if (resv_.slot_free(t)) {
     // New grant: reads have priority over writes (section 3.2: "higher
     // priority is given to the outgoing links").
-    if (!try_grant_read(t)) try_grant_write(t);
+    read_granted = try_grant_read(t);
+    if (!read_granted) try_grant_write(t);
+  }
+  // A cycle in which queued cells exist but no read wave was granted is a
+  // stalled read initiation: the stage-0 slot was reserved by a continuing
+  // wave, or every eligible output was pacing (next_read_ok_) or gated.
+  if (!read_granted && oq_.total_size() != 0) {
+    ++stats_.read_stall_cycles;
+    if (m_read_stall_) m_read_stall_->inc();
   }
   // Pending cells that see a full buffer this cycle lose their window
   // guarantee; record it so an eventual drop is attributed correctly.
@@ -85,9 +116,11 @@ void PipelinedSwitch::arbitrate_and_initiate(Cycle t) {
     // every stage (DESIGN.md section 4).
     free_.release(op.r_addr);
   }
-  if (tracer_) {
-    tracer_->event(t, "M0 initiate %-11s addr=%u in=%u out=%u head=%d", to_string(c.op),
-                   c.addr, c.in_link, c.out_link, c.head ? 1 : 0);
+  if (m_wave_init_) m_wave_init_->inc();
+  if (tracing()) {
+    trace_push({t, obs::TraceEvent::kWaveInit, static_cast<std::uint16_t>(c.in_link),
+                static_cast<std::uint16_t>(c.out_link), c.addr,
+                static_cast<std::uint32_t>(c.op)});
   }
   mem_.initiate(c);
 }
@@ -107,7 +140,17 @@ bool PipelinedSwitch::try_grant_read(Cycle t) {
   // Cut-through: departure initiated before the tail word has arrived
   // (tail on the input wire during a0 + L - 1).
   const bool cut = t < cell.head_arrival + static_cast<Cycle>(cfg_.cell_words) - 1;
-  if (cut) ++stats_.cut_through_cells;
+  if (cut) {
+    ++stats_.cut_through_cells;
+    if (m_cut_through_) m_cut_through_->inc();
+  }
+  if (tracing()) {
+    trace_push({t, obs::TraceEvent::kReadGrant, static_cast<std::uint16_t>(cell.input),
+                static_cast<std::uint16_t>(o), cell.seg_addrs.front(), 0});
+    if (cut)
+      trace_push({t, obs::TraceEvent::kCutThrough, static_cast<std::uint16_t>(cell.input),
+                  static_cast<std::uint16_t>(o), cell.seg_addrs.front(), 0});
+  }
   if (events_.on_read_grant)
     events_.on_read_grant(static_cast<unsigned>(o), cell.input, t, cell.write_start,
                           cell.head_arrival, cut);
@@ -125,6 +168,9 @@ bool PipelinedSwitch::try_grant_write(Cycle t) {
   const std::vector<std::uint32_t> addrs = free_.alloc(m_);
   resv_.reserve_writes(t, S_, addrs, static_cast<unsigned>(i), p.a0);
   ++stats_.accepted;
+  if (tracing())
+    trace_push({t, obs::TraceEvent::kWriteWave, static_cast<std::uint16_t>(i), 0,
+                addrs.front(), static_cast<std::uint32_t>(t - p.a0)});
   if (events_.on_accept) events_.on_accept(static_cast<unsigned>(i), p.a0, t);
 
   // Automatic cut-through (section 3.3): if the destination is idle and has
@@ -138,7 +184,17 @@ bool PipelinedSwitch::try_grant_write(Cycle t) {
     ++stats_.read_grants;
     ++stats_.snoop_cells;
     const bool cut = t < p.a0 + static_cast<Cycle>(cfg_.cell_words) - 1;
-    if (cut) ++stats_.cut_through_cells;
+    if (cut) {
+      ++stats_.cut_through_cells;
+      if (m_cut_through_) m_cut_through_->inc();
+    }
+    if (tracing()) {
+      trace_push({t, obs::TraceEvent::kSnoop, static_cast<std::uint16_t>(i),
+                  static_cast<std::uint16_t>(dest), addrs.front(), 0});
+      if (cut)
+        trace_push({t, obs::TraceEvent::kCutThrough, static_cast<std::uint16_t>(i),
+                    static_cast<std::uint16_t>(dest), addrs.front(), 0});
+    }
     if (events_.on_read_grant)
       events_.on_read_grant(dest, static_cast<unsigned>(i), t, t, p.a0, cut);
   } else {
@@ -166,8 +222,9 @@ void PipelinedSwitch::expire_pending(Cycle t) {
     else
       ++stats_.dropped_no_slot;
     if (events_.on_drop) events_.on_drop(i, p.a0, why);
-    if (tracer_) tracer_->event(t, "drop in=%u a0=%lld (%s)", i, static_cast<long long>(p.a0),
-                                why == DropReason::kNoAddress ? "buffer full" : "no slot");
+    if (tracing())
+      trace_push({t, obs::TraceEvent::kDrop, static_cast<std::uint16_t>(i), 0, 0,
+                  static_cast<std::uint32_t>(why)});
     p.valid = false;
   }
 }
@@ -189,14 +246,18 @@ void PipelinedSwitch::process_arrivals(Cycle t) {
       PMSB_CHECK(!pending_[i].valid, "new head while the previous cell is unresolved");
       ++stats_.heads_seen;
       if (events_.on_head) events_.on_head(i, t, fsm.dest);
-      if (tracer_) tracer_->event(t, "head  in=%u dest=%u", i, fsm.dest);
+      if (tracing())
+        trace_push({t, obs::TraceEvent::kHead, static_cast<std::uint16_t>(i),
+                    static_cast<std::uint16_t>(fsm.dest), 0, 0});
       // Anti-hogging threshold (arrival-time discard): a saturated output is
       // not allowed to absorb the whole shared pool.
       if (cfg_.out_queue_limit != 0 && oq_.size(fsm.dest) >= cfg_.out_queue_limit) {
         ++stats_.dropped_out_limit;
         if (events_.on_drop) events_.on_drop(i, t, DropReason::kOutputLimit);
-        if (tracer_) tracer_->event(t, "drop in=%u a0=%lld (output %u over limit)", i,
-                                    static_cast<long long>(t), fsm.dest);
+        if (tracing())
+          trace_push({t, obs::TraceEvent::kDrop, static_cast<std::uint16_t>(i),
+                      static_cast<std::uint16_t>(fsm.dest), 0,
+                      static_cast<std::uint32_t>(DropReason::kOutputLimit)});
         continue;
       }
       pending_[i] = Pending{true, t, fsm.dest, false};

@@ -42,6 +42,8 @@
 #include "core/output_row.hpp"
 #include "core/pipelined_memory.hpp"
 #include "core/reservation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_buffer.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 #include "sim/wire.hpp"
@@ -70,6 +72,7 @@ struct SwitchStats {
   std::uint64_t read_initiations = 0;
   std::uint64_t snoop_initiations = 0;
   std::uint64_t idle_cycles = 0;      ///< Cycles with no stage-0 initiation.
+  std::uint64_t read_stall_cycles = 0;///< Cycles with queued cells but no read wave.
   std::uint64_t cycles = 0;
 
   std::uint64_t dropped() const {
@@ -105,7 +108,22 @@ class PipelinedSwitch : public Component {
   WireLink& out_link(unsigned o) { return out_links_.at(o); }
 
   void set_events(SwitchEvents ev) { events_ = std::move(ev); }
+
+  /// Live formatting of every trace record to the tracer's sink. For the
+  /// bounded, allocation-free mechanism use set_trace() instead (and
+  /// optionally attach the Tracer as the buffer's live drain).
   void set_tracer(Tracer* t) { tracer_ = t; }
+
+  /// Attach a ring-buffer event trace: the switch pushes typed records
+  /// (head, write-wave, read-grant, cut-through, snoop, drop, wave-init)
+  /// instead of formatting text on the hot path. Null detaches.
+  void set_trace(obs::TraceBuffer* tb) { trace_ = tb; }
+
+  /// Register this switch's counters and gauges into `m` under
+  /// `prefix.`-qualified names (see DESIGN.md "Observability"). Counter
+  /// pointers are cached; with no registry (or a disabled one) they stay
+  /// null and the hot path is unaffected.
+  void register_metrics(obs::MetricsRegistry& m, const std::string& prefix = "switch");
 
   /// Flow-control gate: when set, a packet transmission (read wave or
   /// cut-through snoop) toward `output` may only START in cycles where the
@@ -153,6 +171,13 @@ class PipelinedSwitch : public Component {
   bool try_grant_write(Cycle t);
   void expire_pending(Cycle t);
 
+  /// True if any trace consumer is attached (guards record construction).
+  bool tracing() const { return trace_ != nullptr || tracer_ != nullptr; }
+  void trace_push(const obs::TraceRecord& r) {
+    if (trace_) trace_->push(r);
+    if (tracer_) tracer_->record(r);
+  }
+
   SwitchConfig cfg_;
   unsigned S_;  ///< Stages = 2n.
   unsigned m_;  ///< Segments per cell.
@@ -175,6 +200,11 @@ class PipelinedSwitch : public Component {
   SwitchEvents events_;
   SwitchStats stats_;
   Tracer* tracer_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
+  // Cached registry counters (null = not registered = zero hot-path cost).
+  obs::Counter* m_wave_init_ = nullptr;
+  obs::Counter* m_cut_through_ = nullptr;
+  obs::Counter* m_read_stall_ = nullptr;
   std::function<bool(unsigned)> output_gate_;
 };
 

@@ -1,0 +1,145 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pmsb::obs {
+
+void JsonWriter::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // key() already placed the comma and the ':' separator.
+  }
+  PMSB_CHECK(stack_.empty() ? !wrote_top_level_ : stack_.back() == '[',
+             "JSON value needs a key inside an object");
+  if (comma_pending_) out_ += ',';
+}
+
+void JsonWriter::append_escaped(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back('{');
+  comma_pending_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PMSB_CHECK(!stack_.empty() && stack_.back() == '{', "end_object without begin_object");
+  PMSB_CHECK(!key_pending_, "dangling key at end_object");
+  stack_.pop_back();
+  out_ += '}';
+  comma_pending_ = true;
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back('[');
+  comma_pending_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PMSB_CHECK(!stack_.empty() && stack_.back() == '[', "end_array without begin_array");
+  stack_.pop_back();
+  out_ += ']';
+  comma_pending_ = true;
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  PMSB_CHECK(!stack_.empty() && stack_.back() == '{', "key() outside an object");
+  PMSB_CHECK(!key_pending_, "two keys in a row");
+  if (comma_pending_) out_ += ',';
+  append_escaped(k);
+  out_ += ':';
+  comma_pending_ = false;
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    out_ += buf;
+  }
+  comma_pending_ = true;
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  comma_pending_ = true;
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  comma_pending_ = true;
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  comma_pending_ = true;
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  append_escaped(v);
+  comma_pending_ = true;
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  comma_pending_ = true;
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  PMSB_CHECK(complete(), "JSON document is incomplete");
+  return out_;
+}
+
+}  // namespace pmsb::obs

@@ -1,0 +1,61 @@
+// Minimal streaming JSON writer (no external dependency): handles comma
+// placement, string escaping, and non-finite doubles (emitted as null so the
+// output always parses). Used by bench::BenchJson to emit the
+// BENCH_<name>.json artifacts that form the repo's perf trajectory.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Next value's key (only valid directly inside an object).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);  ///< NaN / inf are written as null.
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// True once every container opened has been closed and a top-level value
+  /// was written.
+  bool complete() const { return stack_.empty() && wrote_top_level_; }
+
+  /// The document; asserts completeness (an unbalanced writer is a bug).
+  const std::string& str() const;
+
+ private:
+  void before_value();
+  void append_escaped(std::string_view s);
+
+  std::string out_;
+  std::vector<char> stack_;       ///< '{' or '[' per open container.
+  bool comma_pending_ = false;    ///< A value/key needs a ',' first.
+  bool key_pending_ = false;      ///< key() written, value must follow.
+  bool wrote_top_level_ = false;
+};
+
+}  // namespace pmsb::obs

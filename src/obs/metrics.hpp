@@ -1,0 +1,131 @@
+// Structured observability: a registry of cheap named counters, sampled
+// gauges, and histograms that components register into once and update from
+// their hot paths at the cost of a pointer test plus an increment.
+//
+// Design rules (the zero-cost-when-disabled contract):
+//  * A component caches raw Counter* pointers at register_metrics() time.
+//    With no registry attached (or a disabled one) those pointers are null
+//    and the hot path pays exactly one predictable branch.
+//  * Gauges are pull-based: the registry stores a callback and only invokes
+//    it when sample() runs (the Engine calls sample() every `period` cycles
+//    -- see Engine::set_metrics). Components pay nothing between samples.
+//  * Names are hierarchical by convention ("switch.free_list.in_use");
+//    registration order is preserved so snapshots are deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/util.hpp"
+#include "stats/histogram.hpp"
+
+namespace pmsb::obs {
+
+/// A monotonically increasing named count. Pointer-stable for the lifetime
+/// of the owning registry.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  /// High-water style update: raise to `v` if larger.
+  void record_max(std::uint64_t v) {
+    if (v > value_) value_ = v;
+  }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Accumulated statistics of one gauge across sample() calls.
+struct GaugeStats {
+  std::uint64_t samples = 0;
+  double last = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+
+  double mean() const { return samples == 0 ? 0.0 : sum / static_cast<double>(samples); }
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  /// Disabling makes counter() return nullptr and add_gauge()/histogram()
+  /// no-ops, so instrumented components stay on their null-pointer fast
+  /// path. Flip before registering components.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Create-or-get a counter. Returns nullptr when disabled.
+  Counter* counter(const std::string& name);
+
+  /// Register a gauge sampled on every sample() call. No-op when disabled.
+  void add_gauge(const std::string& name, std::function<double()> fn);
+
+  /// Create-or-get a histogram (values clamped to [0, max_value]).
+  /// Returns nullptr when disabled.
+  Histogram* histogram(const std::string& name, std::size_t max_value);
+
+  /// Pull every gauge once. The Engine calls this on its sampling period.
+  void sample(Cycle t);
+
+  Cycle last_sample_cycle() const { return last_sample_; }
+  std::uint64_t samples_taken() const { return samples_taken_; }
+
+  /// Zero all counters, gauge accumulations, and histograms (registrations
+  /// survive; cached Counter* pointers stay valid).
+  void reset();
+
+  // ---- Introspection (reporting-time only) ---------------------------------
+
+  const Counter* find_counter(const std::string& name) const;
+  const GaugeStats* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  struct CounterView {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeView {
+    std::string name;
+    GaugeStats stats;
+  };
+  struct HistogramView {
+    std::string name;
+    const Histogram* hist;
+  };
+
+  std::vector<CounterView> counters() const;
+  std::vector<GaugeView> gauges() const;
+  std::vector<HistogramView> histograms() const;
+
+ private:
+  struct GaugeEntry {
+    std::string name;
+    std::function<double()> fn;
+    GaugeStats stats;
+  };
+  struct CounterEntry {
+    std::string name;
+    std::unique_ptr<Counter> counter;  ///< unique_ptr: pointer stability.
+  };
+  struct HistEntry {
+    std::string name;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  bool enabled_;
+  std::vector<CounterEntry> counters_;
+  std::vector<GaugeEntry> gauges_;
+  std::vector<HistEntry> hists_;
+  Cycle last_sample_ = 0;
+  std::uint64_t samples_taken_ = 0;
+};
+
+}  // namespace pmsb::obs

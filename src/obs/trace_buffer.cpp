@@ -1,0 +1,98 @@
+#include "obs/trace_buffer.hpp"
+
+#include <cstdio>
+
+namespace pmsb::obs {
+
+namespace {
+
+// Mirrors rtl/ctrl_pipeline.hpp's StageOp encoding without depending on it
+// (obs sits below rtl in the layering).
+const char* wave_op_name(std::uint32_t op) {
+  switch (op) {
+    case 1: return "write";
+    case 2: return "read";
+    case 3: return "write+snoop";
+    default: return "none";
+  }
+}
+
+const char* drop_reason_name(std::uint32_t r) {
+  switch (r) {
+    case 0: return "buffer full";
+    case 1: return "no slot";
+    case 2: return "output over limit";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+const char* to_string(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kHead: return "head";
+    case TraceEvent::kWriteWave: return "write-wave";
+    case TraceEvent::kReadGrant: return "read-grant";
+    case TraceEvent::kCutThrough: return "cut-through";
+    case TraceEvent::kSnoop: return "snoop";
+    case TraceEvent::kDrop: return "drop";
+    case TraceEvent::kWaveInit: return "wave-init";
+  }
+  return "?";
+}
+
+std::string format(const TraceRecord& r) {
+  char buf[128];
+  switch (r.event) {
+    case TraceEvent::kHead:
+      std::snprintf(buf, sizeof buf, "head       in=%u dest=%u", r.input, r.output);
+      break;
+    case TraceEvent::kWriteWave:
+      std::snprintf(buf, sizeof buf, "write-wave in=%u addr=%u slack=%u", r.input, r.addr,
+                    r.arg);
+      break;
+    case TraceEvent::kReadGrant:
+      std::snprintf(buf, sizeof buf, "read-grant out=%u in=%u addr=%u", r.output, r.input,
+                    r.addr);
+      break;
+    case TraceEvent::kCutThrough:
+      std::snprintf(buf, sizeof buf, "cut-thru   out=%u in=%u", r.output, r.input);
+      break;
+    case TraceEvent::kSnoop:
+      std::snprintf(buf, sizeof buf, "snoop      out=%u in=%u addr=%u", r.output, r.input,
+                    r.addr);
+      break;
+    case TraceEvent::kDrop:
+      std::snprintf(buf, sizeof buf, "drop       in=%u (%s)", r.input,
+                    drop_reason_name(r.arg));
+      break;
+    case TraceEvent::kWaveInit:
+      std::snprintf(buf, sizeof buf, "M0 %-11s addr=%u in=%u out=%u", wave_op_name(r.arg),
+                    r.addr, r.input, r.output);
+      break;
+  }
+  return buf;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : ring_(capacity) {
+  PMSB_CHECK(capacity > 0, "trace buffer needs at least one slot");
+}
+
+std::size_t TraceBuffer::size() const {
+  return total_ < ring_.size() ? static_cast<std::size_t>(total_) : ring_.size();
+}
+
+const TraceRecord& TraceBuffer::at(std::size_t i) const {
+  PMSB_CHECK(i < size(), "trace record index out of range");
+  const std::uint64_t oldest = total_ - size();
+  return ring_[static_cast<std::size_t>((oldest + i) % ring_.size())];
+}
+
+void TraceBuffer::for_each(const std::function<void(const TraceRecord&)>& fn) const {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) fn(at(i));
+}
+
+void TraceBuffer::clear() { total_ = 0; }
+
+}  // namespace pmsb::obs

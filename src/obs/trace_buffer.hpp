@@ -1,0 +1,87 @@
+// Bounded ring-buffer event trace: the hot-path trace mechanism of the
+// cycle-accurate switches. Components push small typed records (a handful of
+// integers, no formatting, no I/O); formatting happens only when a drain
+// (sim/trace.hpp's Tracer) renders the records -- either live as they are
+// pushed, or after the run by walking the retained window.
+//
+// The buffer never allocates after construction and overwrites the oldest
+// record when full, so it is safe to leave attached during long runs: the
+// last `capacity` events before an assertion failure are always available.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb::obs {
+
+enum class TraceEvent : std::uint8_t {
+  kHead,       ///< Head word latched: input, output = destination.
+  kWriteWave,  ///< Write wave granted: input, addr = first segment, arg = t0 - a0 slack.
+  kReadGrant,  ///< Read wave granted: output, input, addr = first segment.
+  kCutThrough, ///< Departure initiated before tail arrival: output, input.
+  kSnoop,      ///< Same-cycle write+read co-grant: output, input, addr.
+  kDrop,       ///< Cell lost: input, arg = DropReason.
+  kWaveInit,   ///< M0 initiation this cycle: addr, arg = StageOp, input/output.
+};
+
+const char* to_string(TraceEvent e);
+
+/// One trace record. Deliberately flat and small (24 bytes): pushing one is
+/// a few stores.
+struct TraceRecord {
+  Cycle t = 0;
+  TraceEvent event = TraceEvent::kHead;
+  std::uint16_t input = 0;
+  std::uint16_t output = 0;
+  std::uint32_t addr = 0;
+  std::uint32_t arg = 0;  ///< Event-specific: slack, DropReason, StageOp, flags.
+};
+
+/// Human-readable single-line rendering (no cycle prefix; drains add it).
+std::string format(const TraceRecord& r);
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity);
+
+  void push(const TraceRecord& r) {
+    ring_[static_cast<std::size_t>(total_ % ring_.size())] = r;
+    ++total_;
+    if (live_drain_) live_drain_(r);
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Records currently retained (<= capacity).
+  std::size_t size() const;
+  /// Records pushed over the buffer's lifetime.
+  std::uint64_t total() const { return total_; }
+  /// Records lost to wraparound.
+  std::uint64_t overwritten() const { return total_ - size(); }
+
+  /// Retained record `i`, 0 = oldest still in the buffer.
+  const TraceRecord& at(std::size_t i) const;
+
+  /// Invoke `fn` on every retained record, oldest first.
+  void for_each(const std::function<void(const TraceRecord&)>& fn) const;
+
+  void clear();
+
+  /// Optional live drain, invoked on every push (e.g. Tracer formatting to a
+  /// FILE*). Costs an indirect call per record while set -- attach only when
+  /// watching a run interactively.
+  void set_live_drain(std::function<void(const TraceRecord&)> drain) {
+    live_drain_ = std::move(drain);
+  }
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::uint64_t total_ = 0;
+  std::function<void(const TraceRecord&)> live_drain_;
+};
+
+}  // namespace pmsb::obs

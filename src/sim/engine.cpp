@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace pmsb {
 
 void Engine::add(Component* c) {
@@ -7,11 +9,18 @@ void Engine::add(Component* c) {
   components_.push_back(c);
 }
 
+void Engine::set_metrics(obs::MetricsRegistry* registry, Cycle period) {
+  PMSB_CHECK(registry == nullptr || period > 0, "sampling period must be positive");
+  metrics_ = registry;
+  sample_period_ = period;
+}
+
 void Engine::step() {
   const Cycle t = now_;
   for (Component* c : components_) c->eval(t);
   for (Component* c : components_) c->commit(t);
   ++now_;
+  if (metrics_ && now_ % sample_period_ == 0) metrics_->sample(t);
 }
 
 Cycle Engine::run(Cycle cycles) {

@@ -23,6 +23,10 @@
 
 namespace pmsb {
 
+namespace obs {
+class MetricsRegistry;
+}
+
 /// A clocked hardware block (or testbench element).
 class Component {
  public:
@@ -58,9 +62,20 @@ class Engine {
 
   Cycle now() const { return now_; }
 
+  /// Attach a metrics registry: after the commit phase of every `period`-th
+  /// cycle the engine calls registry->sample(t), pulling all registered
+  /// gauges. Pass nullptr to detach. With no registry attached (the
+  /// default), stepping pays a single null-pointer test per cycle.
+  void set_metrics(obs::MetricsRegistry* registry, Cycle period = 1024);
+
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  Cycle sample_period() const { return sample_period_; }
+
  private:
   std::vector<Component*> components_;
   Cycle now_ = 0;  ///< Next cycle to execute.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Cycle sample_period_ = 1024;
 };
 
 }  // namespace pmsb

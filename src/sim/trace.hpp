@@ -1,6 +1,13 @@
-// Lightweight cycle trace for debugging and for the quickstart example's
-// wave-style output. A Tracer is optional everywhere: a null Tracer pointer
-// means "no tracing" and costs one branch.
+// Human-readable trace formatting. The hot-path trace mechanism is
+// obs::TraceBuffer (typed records, no formatting); a Tracer is the
+// formatting *drain* over it: attach one as a live drain to watch a run
+// cycle by cycle (the quickstart example), or call drain() after the run to
+// render whatever the ring buffer retained.
+//
+// The printf-style event()/line() API remains for ad-hoc diagnostics. A
+// Tracer is optional everywhere: a null Tracer pointer means "no tracing"
+// and costs one branch; a Tracer with a null sink swallows output instead of
+// crashing.
 
 #pragma once
 
@@ -8,12 +15,14 @@
 #include <string>
 
 #include "common/util.hpp"
+#include "obs/trace_buffer.hpp"
 
 namespace pmsb {
 
 class Tracer {
  public:
-  /// Sink defaults to stdout. The Tracer does not own `sink`.
+  /// Sink defaults to stdout. The Tracer does not own `sink`; a null sink
+  /// discards all output.
   explicit Tracer(std::FILE* sink = stdout, bool enabled = true)
       : sink_(sink), enabled_(enabled) {}
 
@@ -25,6 +34,17 @@ class Tracer {
 
   /// Raw line (no cycle prefix).
   void line(const std::string& s);
+
+  /// Format one typed trace record (cycle prefix + obs::format rendering).
+  void record(const obs::TraceRecord& r);
+
+  /// Render every record the buffer retained, oldest first, noting how many
+  /// older records were lost to wraparound.
+  void drain(const obs::TraceBuffer& buf);
+
+  /// Convenience: register this Tracer as `buf`'s live drain (records are
+  /// formatted as they are pushed).
+  void attach_live(obs::TraceBuffer& buf);
 
  private:
   std::FILE* sink_;

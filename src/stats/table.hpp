@@ -26,6 +26,7 @@ class Table {
   std::size_t rows() const { return rows_.size(); }
   std::size_t cols() const { return headers_.size(); }
   const std::string& cell(std::size_t r, std::size_t c) const { return rows_[r][c]; }
+  const std::vector<std::string>& headers() const { return headers_; }
 
   /// Formatting helpers for bench code.
   static std::string num(double v, int precision = 3);

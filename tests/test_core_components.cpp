@@ -39,7 +39,25 @@ TEST(FreeList, InUseAccounting) {
   auto got = fl.alloc(3);
   EXPECT_EQ(fl.in_use(), 3u);
   fl.release(got[1]);
+  // The staged release still occupies its address until tick() publishes it
+  // (the data is live while the read wave drains), so occupancy is unchanged
+  // this cycle.
+  EXPECT_EQ(fl.in_use(), 3u);
+  fl.tick();
   EXPECT_EQ(fl.in_use(), 2u);
+  EXPECT_EQ(fl.peak_in_use(), 3u);
+}
+
+TEST(FreeList, PeakCountsStagedReleases) {
+  // Regression: peak_in_use() must see same-cycle staged releases as
+  // occupied. Allocate 2, release one, allocate another in the same cycle:
+  // three addresses hold live data simultaneously, so the peak is 3.
+  FreeList fl(4);
+  auto got = fl.alloc(2);
+  fl.release(got[0]);
+  fl.alloc(1);
+  EXPECT_EQ(fl.in_use(), 3u);
+  EXPECT_EQ(fl.peak_in_use(), 3u);
   fl.tick();
   EXPECT_EQ(fl.in_use(), 2u);
   EXPECT_EQ(fl.peak_in_use(), 3u);
