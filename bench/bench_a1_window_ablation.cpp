@@ -17,7 +17,8 @@
 using namespace pmsb;
 using namespace pmsb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
   print_banner("A1", "input double-buffering ablation (pipelined vs wide, section 3.2)");
 
   SwitchConfig cfg;

@@ -7,6 +7,7 @@
 // normal address decoder").
 
 #include <cstdio>
+#include <vector>
 
 #include "area/models.hpp"
 #include "bench_util.hpp"
@@ -49,12 +50,18 @@ PathRun run_mode(AddrPathMode mode, Cycle cycles) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
   print_banner("A2", "decoded-address pipeline ablation (section 4.3, figure 7)");
 
   const Cycle kCycles = 30000;
-  const PathRun a = run_mode(AddrPathMode::kPerStageDecoders, kCycles);
-  const PathRun b = run_mode(AddrPathMode::kDecodedPipeline, kCycles);
+  exp::SweepRunner runner;
+  const std::vector<AddrPathMode> modes = {AddrPathMode::kPerStageDecoders,
+                                           AddrPathMode::kDecodedPipeline};
+  const std::vector<PathRun> runs =
+      runner.map(modes, [kCycles](AddrPathMode m) { return run_mode(m, kCycles); });
+  const PathRun a = runs[0];
+  const PathRun b = runs[1];
 
   std::printf("\nTelegraphos III configuration, saturated uniform traffic, %lld cycles.\n"
               "Both modes deliver identical behaviour (the decoded-pipeline model\n"

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "arch/block_crosspoint.hpp"
 #include "arch/shared_buffer.hpp"
@@ -39,7 +40,8 @@ double loss_at(unsigned groups, double load, bool hotspot, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
   print_banner("A3", "block-crosspoint buffering (section 2.2 extension)");
   std::printf(
       "\n16x16 switch, fixed total budget of %zu cells split into g x g shared\n"
@@ -48,22 +50,38 @@ int main() {
 
   Table t({"g (groups)", "blocks", "cells/block", "per-buffer throughput", "loss uniform",
            "loss hotspot(0.3)"});
-  for (unsigned g : {1u, 2u, 4u}) {
+  exp::SweepRunner runner;
+  const std::vector<unsigned> gran = {1u, 2u, 4u};
+  std::vector<std::function<double()>> g_points;
+  for (unsigned g : gran) {
+    g_points.push_back([g] { return loss_at(g, 0.9, false, 401 + g); });
+    g_points.push_back([g] { return loss_at(g, 0.9, true, 411 + g); });
+  }
+  const std::vector<double> g_r = runner.run(std::move(g_points));
+  for (std::size_t i = 0; i < gran.size(); ++i) {
+    const unsigned g = gran[i];
     t.add_row({Table::integer(g), Table::integer(g * g),
                Table::integer(static_cast<long long>(kTotalCells / (g * g))),
                Table::integer(2 * kN / g) + " cells/slot",
-               Table::sci(loss_at(g, 0.9, false, 401 + g), 2),
-               Table::sci(loss_at(g, 0.9, true, 411 + g), 2)});
+               Table::sci(g_r[i * 2], 2), Table::sci(g_r[i * 2 + 1], 2)});
   }
   t.print();
 
   std::printf("\nLoss vs load at g = 2 (the compromise point):\n\n");
   Table s({"load", "loss (g=1 shared)", "loss (g=2)", "loss (g=4)"});
-  for (double load : {0.7, 0.8, 0.9, 0.95}) {
-    s.add_row({Table::num(load, 2), Table::sci(loss_at(1, load, false, 421), 2),
-               Table::sci(loss_at(2, load, false, 422), 2),
-               Table::sci(loss_at(4, load, false, 423), 2)});
-  }
+  const std::vector<double> s_loads = {0.7, 0.8, 0.9, 0.95};
+  std::vector<std::function<double()>> s_points;
+  const std::vector<unsigned> s_gran = {1u, 2u, 4u};
+  for (double load : s_loads)
+    for (std::size_t gi = 0; gi < s_gran.size(); ++gi) {
+      const unsigned g = s_gran[gi];
+      const std::uint64_t seed = 421 + gi;  // Original column seeds: 421, 422, 423.
+      s_points.push_back([g, load, seed] { return loss_at(g, load, false, seed); });
+    }
+  const std::vector<double> s_r = runner.run(std::move(s_points));
+  for (std::size_t i = 0; i < s_loads.size(); ++i)
+    s.add_row({Table::num(s_loads[i], 2), Table::sci(s_r[i * 3], 2),
+               Table::sci(s_r[i * 3 + 1], 2), Table::sci(s_r[i * 3 + 2], 2)});
   s.print();
 
   std::printf(

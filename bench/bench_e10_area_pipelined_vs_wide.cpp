@@ -17,7 +17,9 @@
 using namespace pmsb;
 using namespace pmsb::area;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
+  const exp::WallTimer timer;
   print_banner("E10", "pipelined vs wide-memory peripheral area (section 5.2)");
   pmsb::bench::BenchJson bj("e10_area_pipelined_vs_wide");
   const TechParams tech = full_custom_1um();
@@ -66,6 +68,7 @@ int main() {
   bj.add_table("component inventory", inv);
   bj.add_table("peripheral area", t);
   bj.add_table("scaling with port count", sweep);
+  bj.finish_runtime(timer);
   bj.write();
 
   std::printf(

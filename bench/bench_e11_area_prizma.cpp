@@ -6,6 +6,7 @@
 // crossbar cost is pure overhead.
 
 #include <cstdio>
+#include <vector>
 
 #include "arch/prizma/prizma_switch.hpp"
 #include "area/models.hpp"
@@ -29,6 +30,7 @@ double prizma_utilization(unsigned n, unsigned banks, Cycle cycles) {
   Testbench<PrizmaSwitch, PrizmaConfig> tb(cfg, n, cfg.cell_format(), spec,
                                            /*scoreboard=*/false);
   tb.run(cycles);
+  add_simulated_units(static_cast<std::uint64_t>(cycles));
   const auto& st = tb.dut().stats();
   return static_cast<double>(st.read_grants) * cfg.cell_words /
          (static_cast<double>(n) * static_cast<double>(st.cycles));
@@ -49,19 +51,30 @@ double pipelined_utilization(unsigned n, unsigned cells, Cycle cycles) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
+  const exp::WallTimer timer;
   print_banner("E11", "PRIZMA interleaved vs pipelined shared buffer (section 5.3)");
   BenchJson bj("e11_area_prizma");
 
   std::printf("\nFunctional equivalence first -- both are full-throughput shared\n"
               "buffers (saturated uniform traffic, equal capacity in cells):\n\n");
   Table fn({"n", "capacity (cells)", "PRIZMA util", "pipelined util"});
-  double prizma_util8 = 0, pipelined_util8 = 0;
-  for (unsigned n : {4u, 8u}) {
+  const std::vector<unsigned> fn_sizes = {4u, 8u};
+  std::vector<std::function<double()>> fn_points;
+  for (unsigned n : fn_sizes) {
     const unsigned cells = 32 * n;
-    const double pu = prizma_utilization(n, cells, 30000);
-    const double su = pipelined_utilization(n, cells, 30000);
-    fn.add_row({Table::integer(n), Table::integer(cells), Table::num(pu, 3),
+    fn_points.push_back([n, cells] { return prizma_utilization(n, cells, 30000); });
+    fn_points.push_back([n, cells] { return pipelined_utilization(n, cells, 30000); });
+  }
+  exp::SweepRunner runner;
+  const std::vector<double> fn_r = runner.run(std::move(fn_points));
+  double prizma_util8 = 0, pipelined_util8 = 0;
+  for (std::size_t i = 0; i < fn_sizes.size(); ++i) {
+    const unsigned n = fn_sizes[i];
+    const double pu = fn_r[i * 2];
+    const double su = fn_r[i * 2 + 1];
+    fn.add_row({Table::integer(n), Table::integer(32 * n), Table::num(pu, 3),
                 Table::num(su, 3)});
     if (n == 8) {
       prizma_util8 = pu;
@@ -91,6 +104,7 @@ int main() {
   bj.metric("crossbar_cost_ratio_t3_scale", area::prizma_crossbar_ratio(8, 256));
   bj.add_table("functional equivalence", fn);
   bj.add_table("crossbar complexity", t);
+  bj.finish_runtime(timer);
   bj.write();
 
   std::printf(

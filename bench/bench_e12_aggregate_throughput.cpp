@@ -17,7 +17,9 @@
 using namespace pmsb;
 using namespace pmsb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
+  const exp::WallTimer timer;
   print_banner("E12", "packet-size quantum and aggregate throughput (sections 3.5, 4.4)");
   BenchJson bj("e12_aggregate_throughput");
 
@@ -63,6 +65,7 @@ int main() {
   bj.metric("per_link_gbps", r.output_utilization * cfg.link_mbps() / 1000.0);
   bj.add_table("quantum arithmetic", q);
   bj.add_table("simulator cross-check", t);
+  bj.finish_runtime(timer);
   bj.write();
 
   std::printf(

@@ -16,7 +16,9 @@
 using namespace pmsb;
 using namespace pmsb::area;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
+  const exp::WallTimer timer;
   print_banner("E13", "full-custom vs standard-cell factor (section 4.4)");
   pmsb::bench::BenchJson bj("e13_fullcustom_factor");
 
@@ -57,6 +59,7 @@ int main() {
   bj.add_table("factor-of-22 decomposition", t);
   bj.add_table("quadratic growth with link count", sq);
   bj.add_table("component-model cross-check", xc);
+  bj.finish_runtime(timer);
   bj.write();
   return 0;
 }

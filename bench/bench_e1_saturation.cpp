@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <memory>
 
 #include "arch/crosspoint.hpp"
@@ -30,26 +31,45 @@ double saturation(const std::function<std::unique_ptr<SlotModel>()>& make, unsig
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
+  const exp::WallTimer timer;
   print_banner("E1", "saturation throughput by architecture (section 2.1, [KaHM87])");
   BenchJson bj("e1_saturation");
+  exp::SweepRunner runner;
 
   std::printf("\nSaturation throughput (offered load 1.0, uniform destinations):\n");
   Table sat({"n", "input FIFO", "VOQ+PIM(4)", "output", "shared", "crosspoint",
              "paper: input FIFO"});
-  for (unsigned n : {4u, 8u, 16u, 32u}) {
-    const double fifo =
-        saturation([&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(10 + n)); }, n, n);
-    const double pim = saturation(
-        [&] { return std::make_unique<VoqPim>(n, 0, 4, Rng(20 + n)); }, n, n + 1);
-    const double outq =
-        saturation([&] { return std::make_unique<OutputQueueing>(n, 0); }, n, n + 2);
-    const double shared =
-        saturation([&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, n + 3);
-    const double xp =
-        saturation([&] { return std::make_unique<CrosspointQueueing>(n, 0); }, n, n + 4);
-    sat.add_row({Table::integer(n), Table::num(fifo), Table::num(pim), Table::num(outq),
-                 Table::num(shared), Table::num(xp), n >= 32 ? "~0.586 (2-sqrt 2)" : "> 0.586"});
+  // Five architectures per switch size; every point owns its model and Rng,
+  // so all 20 runs go through the sweep runner at once.
+  const std::vector<unsigned> sizes = {4u, 8u, 16u, 32u};
+  std::vector<std::function<double()>> sat_points;
+  for (unsigned n : sizes) {
+    sat_points.push_back([n] {
+      return saturation([&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(10 + n)); },
+                        n, n);
+    });
+    sat_points.push_back([n] {
+      return saturation([&] { return std::make_unique<VoqPim>(n, 0, 4, Rng(20 + n)); }, n,
+                        n + 1);
+    });
+    sat_points.push_back(
+        [n] { return saturation([&] { return std::make_unique<OutputQueueing>(n, 0); }, n, n + 2); });
+    sat_points.push_back([n] {
+      return saturation([&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, n + 3);
+    });
+    sat_points.push_back([n] {
+      return saturation([&] { return std::make_unique<CrosspointQueueing>(n, 0); }, n, n + 4);
+    });
+  }
+  const std::vector<double> sat_r = runner.run(std::move(sat_points));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const unsigned n = sizes[i];
+    const double* v = &sat_r[i * 5];
+    sat.add_row({Table::integer(n), Table::num(v[0]), Table::num(v[1]), Table::num(v[2]),
+                 Table::num(v[3]), Table::num(v[4]),
+                 n >= 32 ? "~0.586 (2-sqrt 2)" : "> 0.586"});
   }
   sat.print();
 
@@ -58,20 +78,31 @@ int main() {
       "input-queued curve; the shared buffer tracks the offered load):\n");
   Table series({"offered", "input FIFO", "shared", "crosspoint"});
   const unsigned n = 16;
-  SlotRun shared_last;
-  for (double load = 0.1; load < 1.05; load += 0.1) {
-    const double fifo = run_uniform(
-        [&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(31)); }, n, load, kSlots, 41)
-                            .throughput;
-    shared_last = run_uniform(
-        [&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, load, kSlots, 42);
-    const double xp = run_uniform(
-        [&] { return std::make_unique<CrosspointQueueing>(n, 0); }, n, load, kSlots, 43)
-                          .throughput;
-    series.add_row({Table::num(load, 1), Table::num(fifo), Table::num(shared_last.throughput),
-                    Table::num(xp)});
+  std::vector<double> loads;
+  for (double load = 0.1; load < 1.05; load += 0.1) loads.push_back(load);
+  std::vector<std::function<SlotRun()>> series_points;
+  for (double load : loads) {
+    series_points.push_back([n, load] {
+      return run_uniform([&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(31)); }, n,
+                         load, kSlots, 41);
+    });
+    series_points.push_back([n, load] {
+      return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, load,
+                         kSlots, 42);
+    });
+    series_points.push_back([n, load] {
+      return run_uniform([&] { return std::make_unique<CrosspointQueueing>(n, 0); }, n, load,
+                         kSlots, 43);
+    });
+  }
+  const std::vector<SlotRun> series_r = runner.run(std::move(series_points));
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    series.add_row({Table::num(loads[i], 1), Table::num(series_r[i * 3].throughput),
+                    Table::num(series_r[i * 3 + 1].throughput),
+                    Table::num(series_r[i * 3 + 2].throughput)});
   }
   series.print();
+  const SlotRun shared_last = series_r[(loads.size() - 1) * 3 + 1];
 
   bj.metric("throughput", shared_last.throughput);
   bj.metric("mean_latency", shared_last.mean_latency);
@@ -79,6 +110,7 @@ int main() {
   bj.metric("loss", shared_last.loss);
   bj.add_table("saturation throughput by architecture", sat);
   bj.add_table("throughput vs offered load, n=16", series);
+  bj.finish_runtime(timer);
   bj.write();
 
   std::printf(

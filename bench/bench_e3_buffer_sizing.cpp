@@ -8,6 +8,7 @@
 // parameter against simulation.
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 
 #include "arch/input_smoothing.hpp"
@@ -44,20 +45,35 @@ double loss_smoothing(std::size_t frame, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
+  const exp::WallTimer timer;
   print_banner("E3", "buffer sizing for loss <= 1e-3 (section 2.2, [HlKa88])");
   BenchJson bj("e3_buffer_sizing");
   std::printf("\n16x16 switch, uniform Bernoulli arrivals at load 0.8; binary search of\n"
               "each organization's capacity for cell-loss ratio <= 1e-3.\n\n");
 
-  const std::size_t shared_cells =
-      min_capacity_for_loss([&](std::size_t c) { return loss_shared(c, 101); }, 16, 256,
-                            kTarget);
-  const std::size_t output_per_port =
-      min_capacity_for_loss([&](std::size_t c) { return loss_output(c, 102); }, 2, 64, kTarget);
-  const std::size_t smoothing_frame =
-      min_capacity_for_loss([&](std::size_t c) { return loss_smoothing(c, 103); }, 4, 256,
-                            kTarget);
+  // Each binary search is sequential in its own probes (probe c depends on
+  // the loss at the previous c), but the three searches are independent of
+  // one another, so they run as three parallel sweep points.
+  exp::SweepRunner runner;
+  std::vector<std::function<std::size_t()>> searches;
+  searches.push_back([] {
+    return min_capacity_for_loss([](std::size_t c) { return loss_shared(c, 101); }, 16, 256,
+                                 kTarget);
+  });
+  searches.push_back([] {
+    return min_capacity_for_loss([](std::size_t c) { return loss_output(c, 102); }, 2, 64,
+                                 kTarget);
+  });
+  searches.push_back([] {
+    return min_capacity_for_loss([](std::size_t c) { return loss_smoothing(c, 103); }, 4, 256,
+                                 kTarget);
+  });
+  const std::vector<std::size_t> found = runner.run(std::move(searches));
+  const std::size_t shared_cells = found[0];
+  const std::size_t output_per_port = found[1];
+  const std::size_t smoothing_frame = found[2];
 
   Table t({"organization", "measured total cells", "measured per port", "paper total",
            "paper per port"});
@@ -71,12 +87,17 @@ int main() {
              Table::num(static_cast<double>(smoothing_frame), 1), "1300", "80 / input"});
   t.print();
 
-  const double shared_loss = loss_shared(shared_cells, 111);
+  // Confirmation runs at the found sizes, again mutually independent.
+  std::vector<std::function<double()>> confirms;
+  confirms.push_back([shared_cells] { return loss_shared(shared_cells, 111); });
+  confirms.push_back([output_per_port] { return loss_output(output_per_port, 112); });
+  confirms.push_back([smoothing_frame] { return loss_smoothing(smoothing_frame, 113); });
+  const std::vector<double> confirmed = runner.run(std::move(confirms));
+  const double shared_loss = confirmed[0];
   std::printf(
       "\nLoss at the found sizes (shared %zu, output %zu/port, smoothing frame %zu):\n"
       "  shared: %.2e   output: %.2e   smoothing: %.2e\n",
-      shared_cells, output_per_port, smoothing_frame, shared_loss,
-      loss_output(output_per_port, 112), loss_smoothing(smoothing_frame, 113));
+      shared_cells, output_per_port, smoothing_frame, shared_loss, confirmed[1], confirmed[2]);
 
   std::printf(
       "\nShape check vs paper: shared << output << smoothing, with roughly the\n"
@@ -94,27 +115,35 @@ int main() {
     const std::size_t cells = 24;
     const double load = 0.9;
     const Cycle slots = 200000;
-    const double behav =
-        run_uniform([&] { return std::make_unique<SharedBufferModel>(n, cells); }, n, load,
-                    slots, 707)
-            .loss;
-    const double behav_plus =
-        run_uniform([&] { return std::make_unique<SharedBufferModel>(n, cells + n); }, n, load,
-                    slots, 707)
-            .loss;
-
-    SwitchConfig cfg;
-    cfg.n_ports = n;
-    cfg.word_bits = 16;
-    cfg.cell_words = 2 * n;
-    cfg.capacity_segments = static_cast<unsigned>(cells);
-    TrafficSpec spec;
-    spec.arrivals = ArrivalKind::kSlotted;
-    spec.load = load;
-    spec.seed = 708;
-    const CycleRun r = run_pipelined(cfg, spec, slots * 2 * n, 0);
-    const double cyc = static_cast<double>(r.stats.dropped()) /
-                       static_cast<double>(r.stats.heads_seen);
+    std::vector<std::function<double()>> checks;
+    checks.push_back([n, cells, load, slots] {
+      return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, cells); }, n, load,
+                         slots, 707)
+          .loss;
+    });
+    checks.push_back([n, cells, load, slots] {
+      return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, cells + n); }, n,
+                         load, slots, 707)
+          .loss;
+    });
+    checks.push_back([n, cells, load, slots] {
+      SwitchConfig cfg;
+      cfg.n_ports = n;
+      cfg.word_bits = 16;
+      cfg.cell_words = 2 * n;
+      cfg.capacity_segments = static_cast<unsigned>(cells);
+      TrafficSpec spec;
+      spec.arrivals = ArrivalKind::kSlotted;
+      spec.load = load;
+      spec.seed = 708;
+      const CycleRun r = run_pipelined(cfg, spec, slots * 2 * n, 0);
+      return static_cast<double>(r.stats.dropped()) /
+             static_cast<double>(r.stats.heads_seen);
+    });
+    const std::vector<double> check_r = runner.run(std::move(checks));
+    const double behav = check_r[0];
+    const double behav_plus = check_r[1];
+    const double cyc = check_r[2];
     Table x({"model", "loss ratio"});
     x.add_row({"behavioural, 24 cells", Table::sci(behav, 2)});
     x.add_row({"cycle-accurate pipelined switch, 24 cells", Table::sci(cyc, 2)});
@@ -131,6 +160,7 @@ int main() {
     bj.metric("crosscheck_loss_cycle_accurate", cyc);
     bj.add_table("buffer sizing for loss <= 1e-3", t);
     bj.add_table("behavioural vs cycle-accurate loss", x);
+    bj.finish_runtime(timer);
     bj.write();
     std::printf(
         "\n(The machine lands between the two behavioural capacities: the\n"

@@ -7,6 +7,7 @@
 // Telegraphos III configuration (8x8, 16 stages).
 
 #include <cstdio>
+#include <functional>
 
 #include "bench_util.hpp"
 #include "core/config.hpp"
@@ -14,9 +15,12 @@
 using namespace pmsb;
 using namespace pmsb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
+  const exp::WallTimer timer;
   print_banner("E5", "full line rate and automatic cut-through (sections 3.2-3.3)");
   BenchJson bj("e5_linerate_cutthrough");
+  exp::SweepRunner runner;
   const SwitchConfig cfg = telegraphos3();
   std::printf("\nDevice: %s\n", cfg.describe().c_str());
 
@@ -26,26 +30,30 @@ int main() {
               "the sampled metrics layer:\n\n");
   Table t({"pattern", "output util", "init/cycle", "snoop share", "drops", "buf peak",
            "buf mean"});
-  CycleRun sat_uniform;
-  for (auto [name, pat] : {std::pair{"permutation", PatternKind::kPermutation},
-                           std::pair{"uniform", PatternKind::kUniform}}) {
+  const std::vector<std::pair<const char*, PatternKind>> pats = {
+      {"permutation", PatternKind::kPermutation}, {"uniform", PatternKind::kUniform}};
+  const std::vector<CycleRun> sat_r = runner.map(pats, [&cfg](const auto& p) {
     TrafficSpec spec;
     spec.arrivals = ArrivalKind::kSaturated;
-    spec.pattern = pat;
+    spec.pattern = p.second;
     spec.load = 1.0;
     spec.seed = 5;
-    const CycleRun r = run_pipelined(cfg, spec, 40000, 4000);
+    return run_pipelined(cfg, spec, 40000, 4000);
+  });
+  CycleRun sat_uniform;
+  for (std::size_t i = 0; i < pats.size(); ++i) {
+    const CycleRun& r = sat_r[i];
     const double inits =
         static_cast<double>(r.stats.write_initiations + r.stats.read_initiations +
                             r.stats.snoop_initiations) /
         static_cast<double>(r.stats.cycles);
     const double snoop_share =
         static_cast<double>(r.stats.snoop_cells) / static_cast<double>(r.stats.read_grants);
-    t.add_row({name, Table::num(r.output_utilization, 3), Table::num(inits, 3),
+    t.add_row({pats[i].first, Table::num(r.output_utilization, 3), Table::num(inits, 3),
                Table::num(snoop_share, 3),
                Table::integer(static_cast<long long>(r.stats.dropped())),
                Table::integer(r.buffer_peak), Table::num(r.mean_buffer_occupancy, 1)});
-    if (pat == PatternKind::kUniform) sat_uniform = r;
+    if (pats[i].second == PatternKind::kUniform) sat_uniform = r;
   }
   t.print();
 
@@ -57,24 +65,33 @@ int main() {
       "memory one wave behind the write (cut-through is structural in this\n"
       "organization; only the wide memory needs extra datapath for it):\n\n");
   Table lat({"load", "snoop", "min", "mean", "p99", "cut share"});
-  CycleRun light_ct;
+  struct LatPoint {
+    double load;
+    bool ct;
+  };
+  std::vector<LatPoint> lat_grid;
   for (double load : {0.05, 0.2, 0.4}) {
-    for (bool ct : {true, false}) {
-      SwitchConfig c = cfg;
-      c.cut_through = ct;
-      TrafficSpec spec;
-      spec.load = load;
-      spec.seed = 6;
-      const CycleRun r = run_pipelined(c, spec, 60000, 6000);
-      lat.add_row({Table::num(load, 2), ct ? "on" : "off (ablation)",
-                   Table::integer(static_cast<long long>(r.head_latency.min())),
-                   Table::num(r.head_latency.mean(), 2),
-                   Table::integer(static_cast<long long>(r.head_latency.p99())),
-                   Table::num(static_cast<double>(r.stats.cut_through_cells) /
-                                  static_cast<double>(r.stats.read_grants),
-                              3)});
-      if (load == 0.05 && ct) light_ct = r;
-    }
+    for (bool ct : {true, false}) lat_grid.push_back({load, ct});
+  }
+  const std::vector<CycleRun> lat_r = runner.map(lat_grid, [&cfg](const LatPoint& p) {
+    SwitchConfig c = cfg;
+    c.cut_through = p.ct;
+    TrafficSpec spec;
+    spec.load = p.load;
+    spec.seed = 6;
+    return run_pipelined(c, spec, 60000, 6000);
+  });
+  CycleRun light_ct;
+  for (std::size_t i = 0; i < lat_grid.size(); ++i) {
+    const CycleRun& r = lat_r[i];
+    lat.add_row({Table::num(lat_grid[i].load, 2), lat_grid[i].ct ? "on" : "off (ablation)",
+                 Table::integer(static_cast<long long>(r.head_latency.min())),
+                 Table::num(r.head_latency.mean(), 2),
+                 Table::integer(static_cast<long long>(r.head_latency.p99())),
+                 Table::num(static_cast<double>(r.stats.cut_through_cells) /
+                                static_cast<double>(r.stats.read_grants),
+                            3)});
+    if (lat_grid[i].load == 0.05 && lat_grid[i].ct) light_ct = r;
   }
   lat.print();
 
@@ -88,6 +105,7 @@ int main() {
             static_cast<double>(sat_uniform.stalled_read_initiations));
   bj.add_table("saturated traffic", t);
   bj.add_table("light-load cut-through head latency", lat);
+  bj.finish_runtime(timer);
   bj.write();
 
   std::printf(

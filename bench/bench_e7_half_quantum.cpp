@@ -7,6 +7,7 @@
 // organization at saturation, next to the single 2n-stage organization.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/dual_switch.hpp"
@@ -24,6 +25,7 @@ struct DualRun {
 };
 
 DualRun run_dual(unsigned n, PatternKind pat, double load, Cycle cycles, std::uint64_t seed) {
+  add_simulated_units(static_cast<std::uint64_t>(cycles));
   DualSwitchConfig cfg;
   cfg.n_ports = n;
   cfg.word_bits = 16;
@@ -55,7 +57,9 @@ DualRun run_dual(unsigned n, PatternKind pat, double load, Cycle cycles, std::ui
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
+  const exp::WallTimer timer;
   print_banner("E7", "half-quantum cells on two pipelined memories (section 3.5)");
   BenchJson bj("e7_half_quantum");
   std::printf(
@@ -64,23 +68,33 @@ int main() {
       "the fraction of cycles that initiated BOTH a read and a write wave:\n\n");
   Table t({"n", "cell words", "pattern", "load", "output util", "dual-cycle share",
            "min latency", "drops"});
+  struct Point {
+    unsigned n;
+    const char* pattern;
+    PatternKind pat;
+    double load;
+    std::uint64_t seed;
+  };
+  std::vector<Point> grid;
+  for (unsigned n : {4u, 8u}) {
+    grid.push_back({n, "permutation", PatternKind::kPermutation, 1.0, 11 + n});
+    grid.push_back({n, "uniform", PatternKind::kUniform, 1.0, 11 + n});
+    grid.push_back({n, "uniform", PatternKind::kUniform, 0.3, 21 + n});
+  }
+  exp::SweepRunner runner;
+  const std::vector<DualRun> results = runner.map(
+      grid, [](const Point& p) { return run_dual(p.n, p.pat, p.load, 40000, p.seed); });
   DualRun sat8{};
   DualRun light8{};
-  for (unsigned n : {4u, 8u}) {
-    for (auto [name, pat] : {std::pair{"permutation", PatternKind::kPermutation},
-                             std::pair{"uniform", PatternKind::kUniform}}) {
-      const DualRun r = run_dual(n, pat, 1.0, 40000, 11 + n);
-      t.add_row({Table::integer(n), Table::integer(n), name, "1.0",
-                 Table::num(r.utilization, 3), Table::num(r.dual_cycle_share, 3),
-                 Table::num(r.min_latency, 0), Table::integer(static_cast<long long>(r.drops))});
-      if (n == 8 && pat == PatternKind::kUniform) sat8 = r;
-    }
-    const DualRun light = run_dual(n, PatternKind::kUniform, 0.3, 40000, 21 + n);
-    t.add_row({Table::integer(n), Table::integer(n), "uniform", "0.3",
-               Table::num(light.utilization, 3), Table::num(light.dual_cycle_share, 3),
-               Table::num(light.min_latency, 0),
-               Table::integer(static_cast<long long>(light.drops))});
-    if (n == 8) light8 = light;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Point& p = grid[i];
+    const DualRun& r = results[i];
+    t.add_row({Table::integer(p.n), Table::integer(p.n), p.pattern,
+               Table::num(p.load, 1), Table::num(r.utilization, 3),
+               Table::num(r.dual_cycle_share, 3), Table::num(r.min_latency, 0),
+               Table::integer(static_cast<long long>(r.drops))});
+    if (p.n == 8 && p.pat == PatternKind::kUniform && p.load >= 1.0) sat8 = r;
+    if (p.n == 8 && p.load < 1.0) light8 = r;
   }
   t.print();
 
@@ -91,6 +105,7 @@ int main() {
   bj.metric("min_latency_light_load", light8.min_latency);
   bj.metric("drops_saturated", static_cast<double>(sat8.drops));
   bj.add_table("dual organization at saturation and light load", t);
+  bj.finish_runtime(timer);
   bj.write();
   std::printf(
       "\nShape check vs paper: full line rate with n-word cells -- i.e. the\n"

@@ -5,6 +5,7 @@
 // 1.6 Gb/s typical (T-III full-custom, 16 bit / 16 ns worst, 10 ns typical).
 
 #include <cstdio>
+#include <vector>
 
 #include "area/models.hpp"
 #include "bench_util.hpp"
@@ -13,7 +14,9 @@
 using namespace pmsb;
 using namespace pmsb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
+  const exp::WallTimer timer;
   print_banner("E8", "the Telegraphos prototypes (section 4)");
   BenchJson bj("e8_telegraphos");
 
@@ -22,7 +25,7 @@ int main() {
     SwitchConfig cfg;
     const char* paper_rate;
   };
-  const Proto protos[] = {
+  const std::vector<Proto> protos = {
       {"Telegraphos I (FPGA)", telegraphos1(), "107 Mb/s"},
       {"Telegraphos II (std-cell ASIC)", telegraphos2(), "400 Mb/s"},
       {"Telegraphos III (full-custom)", telegraphos3(), "1000 Mb/s worst"},
@@ -31,16 +34,21 @@ int main() {
   std::printf("\nEach prototype at saturation (uniform destinations) on the\n"
               "cycle-accurate pipelined-memory core:\n\n");
   Table t({"prototype", "geometry", "buffer", "util", "measured/link", "paper/link"});
-  CycleRun t3;
-  double t3_mbps = 0;
-  for (const Proto& p : protos) {
+  exp::SweepRunner runner;
+  const std::vector<CycleRun> results = runner.map(protos, [](const Proto& p) {
     TrafficSpec spec;
     spec.arrivals = ArrivalKind::kSaturated;
     spec.load = 1.0;
     spec.seed = 3;
-    const CycleRun r = run_pipelined(p.cfg, spec, 40000, 4000);
+    return run_pipelined(p.cfg, spec, 40000, 4000);
+  });
+  CycleRun t3;
+  double t3_mbps = 0;
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    const Proto& p = protos[i];
+    const CycleRun& r = results[i];
     const double mbps = r.output_utilization * p.cfg.link_mbps();
-    if (&p == &protos[2]) {
+    if (i == 2) {
       t3 = r;
       t3_mbps = mbps;
     }
@@ -83,6 +91,7 @@ int main() {
   bj.add_table("prototypes at saturation", t);
   bj.add_table("Telegraphos III timing corners", corners);
   bj.add_table("Telegraphos II floorplan", fpt);
+  bj.finish_runtime(timer);
   bj.write();
 
   std::printf(

@@ -16,6 +16,7 @@
 // figure-9 model does not charge for.
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 
 #include "arch/input_smoothing.hpp"
@@ -72,18 +73,32 @@ double print_floorplan(const char* title, double hi, double hs, BenchJson& bj,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::parse_threads_arg(argc, argv);
+  const exp::WallTimer timer;
   print_banner("E9", "shared vs input buffering VLSI cost (section 5.1, figure 9)");
   BenchJson bj("e9_area_shared_vs_input");
 
   std::printf("\nStep 1 -- measured equal-performance buffer heights (loss <= 1e-3 at\n"
               "load 0.8, 16x16, uniform traffic):\n\n");
-  const std::size_t shared_cells =
-      min_capacity_for_loss([&](std::size_t c) { return loss_shared(c); }, 16, 512, kTarget);
-  const std::size_t smooth_frame =
-      min_capacity_for_loss([&](std::size_t c) { return loss_smoothing(c); }, 4, 256, kTarget);
-  const std::size_t voq_per_input =
-      min_capacity_for_loss([&](std::size_t c) { return loss_voq(c); }, 2, 256, kTarget);
+  // Three independent binary searches, one parallel sweep point each (the
+  // probes inside a search stay sequential -- each depends on the last).
+  exp::SweepRunner runner;
+  std::vector<std::function<std::size_t()>> searches;
+  searches.push_back([] {
+    return min_capacity_for_loss([](std::size_t c) { return loss_shared(c); }, 16, 512, kTarget);
+  });
+  searches.push_back([] {
+    return min_capacity_for_loss([](std::size_t c) { return loss_smoothing(c); }, 4, 256,
+                                 kTarget);
+  });
+  searches.push_back([] {
+    return min_capacity_for_loss([](std::size_t c) { return loss_voq(c); }, 2, 256, kTarget);
+  });
+  const std::vector<std::size_t> found = runner.run(std::move(searches));
+  const std::size_t shared_cells = found[0];
+  const std::size_t smooth_frame = found[1];
+  const std::size_t voq_per_input = found[2];
   const double hs = static_cast<double>(shared_cells) / kN;
   Table sizes({"organization", "cells per port", "paper (section 2.2)"});
   sizes.add_row({"shared buffer (H_s)", Table::num(hs, 1), "5.4 / output"});
@@ -108,6 +123,7 @@ int main() {
   bj.metric("area_ratio_case1_input_over_shared", ratio1);
   bj.metric("area_ratio_case2_input_over_shared", ratio2);
   bj.add_table("equal-performance buffer heights", sizes);
+  bj.finish_runtime(timer);
   bj.write();
 
   std::printf(

@@ -2,10 +2,19 @@
 // cycle-accurate switches and slots/second of the behavioural models. Not a
 // paper experiment -- this documents the cost of running the reproduction
 // itself and guards against performance regressions in the kernel.
+//
+// Unlike stock BENCHMARK_MAIN(), main() installs a capturing reporter and
+// publishes every benchmark's items/second into BENCH_sim_speed.json, so CI
+// can track kernel throughput PR over PR alongside the experiment artifacts.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
 
 #include "arch/shared_buffer.hpp"
 #include "core/dual_switch.hpp"
@@ -74,7 +83,51 @@ void BM_SharedBufferSlots(benchmark::State& state) {
 }
 BENCHMARK(BM_SharedBufferSlots);
 
+/// ConsoleReporter that additionally records each run's items/second (and
+/// an item count estimate) for the JSON artifact.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      const auto it = r.counters.find("items_per_second");
+      if (it == r.counters.end()) continue;
+      const double ips = static_cast<double>(it->second);
+      rates_.emplace_back(r.benchmark_name(), ips);
+      bench::add_simulated_units(
+          static_cast<std::uint64_t>(ips * r.real_accumulated_time));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<std::pair<std::string, double>>& rates() const { return rates_; }
+
+ private:
+  std::vector<std::pair<std::string, double>> rates_;
+};
+
 }  // namespace
 }  // namespace pmsb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pmsb::exp::parse_threads_arg(argc, argv);
+  const pmsb::exp::WallTimer timer;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  pmsb::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  pmsb::bench::BenchJson bj("sim_speed");
+  double total = 0;
+  for (const auto& [name, ips] : reporter.rates()) {
+    bj.metric(name + " items/s", ips);
+    total += ips;
+  }
+  // The fixed-schema keys: "throughput" aggregates the per-benchmark rates
+  // so a single number is diffable at a glance.
+  bj.metric("throughput", total);
+  bj.finish_runtime(timer);
+  bj.write();
+  return 0;
+}

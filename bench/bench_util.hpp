@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -20,11 +21,29 @@
 #include "arch/slot_sim.hpp"
 #include "core/switch.hpp"
 #include "core/testbench.hpp"
+#include "exp/sweep.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
 #include "stats/table.hpp"
 
 namespace pmsb::bench {
+
+/// Process-wide count of simulated time units (slots for slot-time models,
+/// cycles for the cycle-accurate switches), accumulated by run_uniform /
+/// run_pipelined across all sweep threads. The BenchJson runtime block
+/// divides it by wall time to report simulation speed.
+inline std::atomic<std::uint64_t>& simulated_units_counter() {
+  static std::atomic<std::uint64_t> units{0};
+  return units;
+}
+
+inline void add_simulated_units(std::uint64_t u) {
+  simulated_units_counter().fetch_add(u, std::memory_order_relaxed);
+}
+
+inline std::uint64_t simulated_units() {
+  return simulated_units_counter().load(std::memory_order_relaxed);
+}
 
 /// Result of one slot-model run. Throughput and loss are measured over the
 /// post-warmup window only (warmup deliveries would otherwise dilute both).
@@ -71,6 +90,7 @@ SlotRun run_uniform(MakeModel&& make_model, unsigned n, double load, Cycle slots
                : static_cast<double>(dropped) / static_cast<double>(injected);
   r.mean_latency = model->latency().mean();
   r.p99_latency = model->latency().p99();
+  add_simulated_units(static_cast<std::uint64_t>(slots));
   return r;
 }
 
@@ -114,10 +134,12 @@ inline CycleRun run_pipelined(const SwitchConfig& cfg, const TrafficSpec& spec, 
   CycleRun out;
   out.head_latency.set_warmup(warmup);
   std::uint64_t grants = 0;
+  std::uint64_t grants_measured = 0;  ///< Read grants issued after warmup.
   std::int64_t extra_sum = 0;
   SwitchEvents ev;
   ev.on_read_grant = [&](unsigned, unsigned, Cycle tr, Cycle, Cycle a0, bool) {
     out.head_latency.record(a0, tr + 1);  // Head word appears at tr + 1.
+    if (tr >= warmup) ++grants_measured;
     if (a0 >= warmup) {
       ++grants;
       extra_sum += (tr - a0 - 1);
@@ -128,8 +150,15 @@ inline CycleRun run_pipelined(const SwitchConfig& cfg, const TrafficSpec& spec, 
   out.stats = tb.dut().stats();
   out.mean_extra_initiation_delay =
       grants == 0 ? 0.0 : static_cast<double>(extra_sum) / static_cast<double>(grants);
-  out.output_utilization = static_cast<double>(out.stats.read_grants) * cfg.cell_words /
-                           (static_cast<double>(cfg.n_ports) * static_cast<double>(cycles));
+  // Utilization over the post-warmup window only: grants issued during
+  // warmup belong to the transient being discarded, and dividing by the
+  // total cycle count diluted the utilization of warm runs.
+  const Cycle measured_cycles = cycles - warmup;
+  out.output_utilization =
+      measured_cycles <= 0
+          ? 0.0
+          : static_cast<double>(grants_measured) * cfg.cell_words /
+                (static_cast<double>(cfg.n_ports) * static_cast<double>(measured_cycles));
   out.buffer_peak = tb.dut().buffer_peak();
   if (const obs::GaugeStats* g = metrics.find_gauge("switch.free_list.in_use"))
     out.mean_buffer_occupancy = g->mean();
@@ -137,6 +166,7 @@ inline CycleRun run_pipelined(const SwitchConfig& cfg, const TrafficSpec& spec, 
     out.mean_queue_depth = g->mean();
   if (const obs::Counter* c = metrics.find_counter("switch.stalled_read_initiations"))
     out.stalled_read_initiations = c->value();
+  add_simulated_units(static_cast<std::uint64_t>(cycles));
   return out;
 }
 
@@ -171,6 +201,22 @@ class BenchJson {
     tables_.emplace_back(title, t);
   }
 
+  /// Record how the bench ran: wall time, simulated time units (slots or
+  /// cycles) and the sweep width. Emitted as the artifact's "runtime"
+  /// object -- excluded from determinism diffs, which compare only
+  /// "metrics" and "tables".
+  void set_runtime(double wall_seconds, std::uint64_t units, unsigned threads) {
+    wall_seconds_ = wall_seconds;
+    units_ = units;
+    threads_ = threads;
+  }
+
+  /// Convenience: stamp the runtime block from a bench's top-level timer,
+  /// the process-wide simulated-unit counter, and the resolved sweep width.
+  void finish_runtime(const exp::WallTimer& timer) {
+    set_runtime(timer.seconds(), simulated_units(), exp::thread_count());
+  }
+
   std::string json() const {
     obs::JsonWriter w;
     w.begin_object();
@@ -178,6 +224,13 @@ class BenchJson {
     w.field("schema_version", 1);
     w.key("metrics").begin_object();
     for (const auto& m : metrics_) w.field(m.first, m.second);
+    w.end_object();
+    w.key("runtime").begin_object();
+    w.field("wall_seconds", wall_seconds_);
+    w.field("simulated_slots", units_);
+    w.field("slots_per_second",
+            wall_seconds_ > 0.0 ? static_cast<double>(units_) / wall_seconds_ : 0.0);
+    w.field("threads", threads_);
     w.end_object();
     w.key("tables").begin_array();
     for (const auto& [title, t] : tables_) {
@@ -207,13 +260,20 @@ class BenchJson {
       path = std::string(dir) + "/" + path;
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      std::fprintf(stderr, "warning: could not open %s for writing\n", path.c_str());
       return false;
     }
     const std::string doc = json();
-    std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
+    // A short write or failed close (full disk, dead NFS mount) must not
+    // masquerade as a published artifact: CI diffs these files.
+    const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                       std::fputc('\n', f) != EOF;
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+      std::fprintf(stderr, "warning: failed writing %s (disk full?)\n", path.c_str());
+      std::remove(path.c_str());
+      return false;
+    }
     std::printf("\n[bench-json] wrote %s\n", path.c_str());
     return true;
   }
@@ -222,6 +282,9 @@ class BenchJson {
   std::string name_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::pair<std::string, Table>> tables_;
+  double wall_seconds_ = 0;
+  std::uint64_t units_ = 0;
+  unsigned threads_ = 1;
 };
 
 }  // namespace pmsb::bench

@@ -1,0 +1,80 @@
+// SmallVec: a tiny vector with inline storage for the common case and a
+// heap spill for the rare one. The cycle kernel stores one buffer address
+// per cell segment; nearly every configuration uses one segment per cell
+// (cell_words == 2n), so carrying those addresses in std::vector meant one
+// heap allocation per switched cell on the hot path. SmallVec keeps up to
+// `N` elements inline (no allocation) and falls back to a std::vector
+// only for configurations with more segments per cell.
+//
+// Only what the kernel needs is implemented: push_back, indexing,
+// iteration, size, front. Elements must be trivially copyable.
+
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>, "SmallVec holds POD-like elements only");
+  static_assert(N >= 1, "inline capacity must be at least one element");
+
+ public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  void push_back(const T& v) {
+    if (size_ < N) {
+      inline_[size_] = v;
+    } else {
+      if (size_ == N) {  // First spill: move the inline prefix to the heap.
+        heap_.reserve(2 * N);
+        heap_.assign(inline_, inline_ + N);
+      }
+      heap_.push_back(v);
+    }
+    ++size_;
+  }
+
+  void clear() {
+    size_ = 0;
+    heap_.clear();
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& front() const {
+    PMSB_CHECK(size_ > 0, "front() of empty SmallVec");
+    return data()[0];
+  }
+
+  T* data() { return size_ <= N ? inline_ : heap_.data(); }
+  const T* data() const { return size_ <= N ? inline_ : heap_.data(); }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+ private:
+  T inline_[N] = {};
+  std::size_t size_ = 0;
+  std::vector<T> heap_;
+};
+
+/// Segment addresses of one buffered cell. Inline capacity 4 covers every
+/// paper configuration (Telegraphos and PRIZMA cells are 1-2 segments).
+using SegAddrs = SmallVec<std::uint32_t, 4>;
+
+}  // namespace pmsb

@@ -10,10 +10,9 @@ FreeList::FreeList(std::uint32_t n_addresses)
   for (std::uint32_t a = n_addresses; a-- > 0;) free_.push_back(a);
 }
 
-std::vector<std::uint32_t> FreeList::alloc(std::uint32_t count) {
+SegAddrs FreeList::alloc(std::uint32_t count) {
   PMSB_CHECK(can_alloc(count), "free list underflow (caller must check can_alloc)");
-  std::vector<std::uint32_t> out;
-  out.reserve(count);
+  SegAddrs out;
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint32_t a = free_.back();
     free_.pop_back();

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/util.hpp"
 
 namespace pmsb {
@@ -31,7 +32,9 @@ class FreeList {
   bool can_alloc(std::uint32_t count) const { return available() >= count; }
 
   /// Allocate `count` addresses (caller must have checked can_alloc).
-  std::vector<std::uint32_t> alloc(std::uint32_t count);
+  /// Returned inline (no heap traffic) for cells of up to 4 segments --
+  /// this runs once per accepted cell on the simulation hot path.
+  SegAddrs alloc(std::uint32_t count);
 
   /// Return an address; visible to alloc() from the next cycle.
   void release(std::uint32_t addr);

@@ -12,6 +12,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/util.hpp"
 
 namespace pmsb {
@@ -22,7 +23,7 @@ struct BufferedCell {
   unsigned dest = 0;                    ///< Departure link.
   Cycle head_arrival = 0;               ///< a0: head word latched at end of this cycle.
   Cycle write_start = 0;                ///< t0: write-wave initiation cycle.
-  std::vector<std::uint32_t> seg_addrs; ///< One buffer address per segment.
+  SegAddrs seg_addrs;                   ///< One buffer address per segment.
 };
 
 class OutQueues {

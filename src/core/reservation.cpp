@@ -29,8 +29,7 @@ ReservationTable::Entry& ReservationTable::occupied_at(Cycle t) {
   return e;
 }
 
-void ReservationTable::reserve_writes(Cycle t0, Cycle step,
-                                      const std::vector<std::uint32_t>& addrs,
+void ReservationTable::reserve_writes(Cycle t0, Cycle step, AddrSpan addrs,
                                       unsigned in_link, Cycle a0) {
   for (unsigned k = 0; k < addrs.size(); ++k) {
     const Cycle t = t0 + static_cast<Cycle>(k) * step;
@@ -44,8 +43,7 @@ void ReservationTable::reserve_writes(Cycle t0, Cycle step,
   }
 }
 
-void ReservationTable::reserve_reads(Cycle t0, Cycle step,
-                                     const std::vector<std::uint32_t>& addrs,
+void ReservationTable::reserve_reads(Cycle t0, Cycle step, AddrSpan addrs,
                                      unsigned out_link) {
   for (unsigned k = 0; k < addrs.size(); ++k) {
     const Cycle t = t0 + static_cast<Cycle>(k) * step;
@@ -58,8 +56,7 @@ void ReservationTable::reserve_reads(Cycle t0, Cycle step,
   }
 }
 
-void ReservationTable::attach_snoop_reads(Cycle t0, Cycle step,
-                                          const std::vector<std::uint32_t>& addrs,
+void ReservationTable::attach_snoop_reads(Cycle t0, Cycle step, AddrSpan addrs,
                                           unsigned out_link) {
   for (unsigned k = 0; k < addrs.size(); ++k) {
     const Cycle t = t0 + static_cast<Cycle>(k) * step;

@@ -14,11 +14,29 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/util.hpp"
 
 namespace pmsb {
+
+/// Non-owning view of a cell's segment addresses. Reservation calls sit on
+/// the per-cell hot path; taking a view instead of std::vector lets callers
+/// hand over SegAddrs (inline storage), vectors, or braced literals without
+/// materializing a heap vector.
+struct AddrSpan {
+  const std::uint32_t* ptr;
+  std::size_t count;
+
+  AddrSpan(const std::uint32_t* p, std::size_t n) : ptr(p), count(n) {}
+  AddrSpan(const SegAddrs& a) : ptr(a.data()), count(a.size()) {}                // NOLINT
+  AddrSpan(const std::vector<std::uint32_t>& a) : ptr(a.data()), count(a.size()) {}  // NOLINT
+
+  std::size_t size() const { return count; }
+  std::uint32_t operator[](std::size_t i) const { return ptr[i]; }
+};
 
 /// Per-segment operation scheduled at one stage-0 slot.
 struct SlotOp {
@@ -50,17 +68,28 @@ class ReservationTable {
   /// Reserve the write waves of a cell: segment k at t0 + k*step with
   /// address addrs[k]; the cell's head word arrived at the end of a0 (so
   /// segment k's first word arrives at a0 + k*step). Slots must be free.
-  void reserve_writes(Cycle t0, Cycle step, const std::vector<std::uint32_t>& addrs,
-                      unsigned in_link, Cycle a0);
+  void reserve_writes(Cycle t0, Cycle step, AddrSpan addrs, unsigned in_link, Cycle a0);
 
   /// Reserve the read waves of a cell (slots must be free).
-  void reserve_reads(Cycle t0, Cycle step, const std::vector<std::uint32_t>& addrs,
-                     unsigned out_link);
+  void reserve_reads(Cycle t0, Cycle step, AddrSpan addrs, unsigned out_link);
 
   /// Attach snooping reads to already-reserved write slots of the same cell
   /// (same slots, same addresses): same-cycle cut-through.
-  void attach_snoop_reads(Cycle t0, Cycle step, const std::vector<std::uint32_t>& addrs,
-                          unsigned out_link);
+  void attach_snoop_reads(Cycle t0, Cycle step, AddrSpan addrs, unsigned out_link);
+
+  // Braced-literal conveniences (tests reserve with `{7}`-style lists).
+  void reserve_writes(Cycle t0, Cycle step, std::initializer_list<std::uint32_t> a,
+                      unsigned in_link, Cycle a0) {
+    reserve_writes(t0, step, AddrSpan(a.begin(), a.size()), in_link, a0);
+  }
+  void reserve_reads(Cycle t0, Cycle step, std::initializer_list<std::uint32_t> a,
+                     unsigned out_link) {
+    reserve_reads(t0, step, AddrSpan(a.begin(), a.size()), out_link);
+  }
+  void attach_snoop_reads(Cycle t0, Cycle step, std::initializer_list<std::uint32_t> a,
+                          unsigned out_link) {
+    attach_snoop_reads(t0, step, AddrSpan(a.begin(), a.size()), out_link);
+  }
 
   /// Remove and return the operation scheduled at cycle t (empty if none).
   SlotOp take(Cycle t);

@@ -165,7 +165,7 @@ bool PipelinedSwitch::try_grant_write(Cycle t) {
   if (i < 0) return false;
 
   Pending& p = pending_[i];
-  const std::vector<std::uint32_t> addrs = free_.alloc(m_);
+  const SegAddrs addrs = free_.alloc(m_);
   resv_.reserve_writes(t, S_, addrs, static_cast<unsigned>(i), p.a0);
   ++stats_.accepted;
   if (tracing())

@@ -1,0 +1,44 @@
+#include "exp/sweep.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace pmsb::exp {
+
+namespace {
+
+unsigned g_override = 0;
+
+unsigned parse_count(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1) return 0;
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+void set_thread_override(unsigned threads) { g_override = threads; }
+
+unsigned thread_count() {
+  if (g_override >= 1) return g_override;
+  if (const unsigned env = parse_count(std::getenv("PMSB_THREADS")); env >= 1) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+unsigned parse_threads_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--threads") == 0 && i + 1 < argc) {
+      if (const unsigned v = parse_count(argv[i + 1]); v >= 1) set_thread_override(v);
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      if (const unsigned v = parse_count(a + 10); v >= 1) set_thread_override(v);
+    }
+  }
+  return thread_count();
+}
+
+}  // namespace pmsb::exp

@@ -67,6 +67,7 @@ class CreditBridge : public Component {
     ++flits_forwarded_;
   }
   void commit(Cycle) override {}
+  bool has_commit() const override { return false; }
   std::string name() const override { return "credit_bridge"; }
 
   std::uint64_t flits_forwarded() const { return flits_forwarded_; }

@@ -1,5 +1,8 @@
 #include "rtl/addr_decoder.hpp"
 
+#include <algorithm>
+#include <bit>
+
 namespace pmsb {
 
 std::vector<bool> decode_one_hot(std::uint32_t addr, std::size_t words) {
@@ -22,7 +25,12 @@ std::uint32_t encode_from_one_hot(const std::vector<bool>& lines) {
 }
 
 AddressPath::AddressPath(unsigned stages, std::size_t words, AddrPathMode mode)
-    : stages_(stages), words_(words), mode_(mode), pipe_(stages) {
+    : stages_(stages),
+      words_(words),
+      mode_(mode),
+      blocks_((words + 63) / 64),
+      bits_(stages * ((words + 63) / 64), 0),
+      valid_(stages, 0) {
   PMSB_CHECK(stages >= 1, "address path needs at least one stage");
   PMSB_CHECK(words >= 1, "address path needs at least one word line");
 }
@@ -40,34 +48,51 @@ long AddressPath::active_addr(unsigned s, std::uint32_t ctrl_addr, bool stage_ac
   if (s == 0) {
     if (!stage_active) return -1;
     ++decode_ops_;
-    stage0_next_ = Lines{true, decode_one_hot(ctrl_addr, words_)};
+    PMSB_CHECK(ctrl_addr < words_, "decode address out of range");
+    const unsigned p = phys(0);  // Cleared by the previous tick().
+    valid_[p] = 1;
+    bits_[p * blocks_ + ctrl_addr / 64] |= std::uint64_t{1} << (ctrl_addr % 64);
     return static_cast<long>(ctrl_addr);
   }
-  const Lines& l = pipe_[s];
-  if (!l.valid) {
+  const unsigned p = phys(s);
+  if (!valid_[p]) {
     PMSB_CHECK(!stage_active, "control pipeline active but word-line pipeline idle");
     return -1;
   }
   PMSB_CHECK(stage_active, "word-line pipeline active but control pipeline idle");
-  const std::uint32_t from_lines = encode_from_one_hot(l.lines);
-  PMSB_CHECK(from_lines == ctrl_addr,
+  const std::uint64_t* blocks = &bits_[p * blocks_];
+  long found = -1;
+  for (std::size_t i = 0; i < blocks_; ++i) {
+    const std::uint64_t b = blocks[i];
+    if (b == 0) continue;
+    PMSB_CHECK(found < 0 && (b & (b - 1)) == 0, "word-line vector is not one-hot");
+    found = static_cast<long>(i * 64 + static_cast<std::size_t>(std::countr_zero(b)));
+  }
+  PMSB_CHECK(found >= 0, "word-line vector has no active line");
+  PMSB_CHECK(static_cast<std::uint32_t>(found) == ctrl_addr,
              "decoded-address pipeline diverged from the address the control "
              "pipeline carries (figure 7b functional-equivalence violation)");
-  return static_cast<long>(from_lines);
+  return found;
 }
 
 void AddressPath::tick() {
   if (mode_ != AddrPathMode::kDecodedPipeline) return;
-  for (unsigned s = stages_; s-- > 1;) {
-    if (s >= 2) {
-      if (pipe_[s - 1].valid) ++one_hot_transfers_;
-      pipe_[s] = pipe_[s - 1];
-    } else {
-      if (stage0_next_.valid) ++one_hot_transfers_;
-      pipe_[1] = stage0_next_;
+  // Register transfers this edge: the staged decoder output entering the
+  // pipe, plus every inter-stage register that forwards into its successor.
+  // The last register's contents retire (its stage already fired) and are
+  // not transferred anywhere.
+  if (stages_ >= 2) {
+    if (valid_[phys(0)]) ++one_hot_transfers_;
+    for (unsigned s = 1; s + 1 < stages_; ++s) {
+      if (valid_[phys(s)]) ++one_hot_transfers_;
     }
   }
-  stage0_next_ = Lines{};
+  // Rotate the ring: old phys(s-1) becomes new phys(s). The retiring last
+  // slot becomes the new staging slot and is wiped for the next decode.
+  head_ = (head_ + stages_ - 1) % stages_;
+  const unsigned p0 = phys(0);
+  valid_[p0] = 0;
+  std::fill_n(bits_.begin() + static_cast<std::ptrdiff_t>(p0 * blocks_), blocks_, 0);
 }
 
 }  // namespace pmsb

@@ -12,6 +12,15 @@
 // bench_a2 ablation can attach area/energy constants to them, and it
 // *executes* the one-hot pipeline so tests can verify the functional
 // equivalence claim rather than assume it.
+//
+// Representation: the word-line registers are stored as 64-line blocks
+// (std::uint64_t) in one flat ring buffer. A clock edge rotates the ring
+// head instead of copying stages-1 D-bit vectors, and recovering an address
+// scans D/64 words instead of D bools -- the same datapath semantics
+// (genuine one-hot bits, checked on every read) at a fraction of the
+// simulation cost. This path sits inside the per-cycle kernel loop of every
+// cycle-accurate experiment, so it dominated bench_sim_speed before the
+// block rewrite.
 
 #pragma once
 
@@ -54,19 +63,20 @@ class AddressPath {
   std::uint64_t one_hot_reg_transfers() const { return one_hot_transfers_; }
 
  private:
+  /// Physical ring slot of logical word-line register s. Slot phys(0) stages
+  /// the stage-0 decoder output for the next shift; slots phys(1..stages-1)
+  /// are the registers between stages. tick() rotates head_ so that the old
+  /// phys(s-1) becomes the new phys(s) without moving any bits.
+  unsigned phys(unsigned s) const { return (head_ + s) % stages_; }
+
   unsigned stages_;
   std::size_t words_;
   AddrPathMode mode_;
 
-  /// one_hot_[s]: the word-line vector registered between stage s-1 and
-  /// stage s (valid flag alongside). one_hot_[0] is the stage-0 decoder
-  /// output staged for the shift.
-  struct Lines {
-    bool valid = false;
-    std::vector<bool> lines;
-  };
-  std::vector<Lines> pipe_;
-  Lines stage0_next_;
+  std::size_t blocks_;                ///< 64-line blocks per register.
+  std::vector<std::uint64_t> bits_;   ///< stages_ x blocks_ ring of word lines.
+  std::vector<std::uint8_t> valid_;   ///< Per-slot valid flag.
+  unsigned head_ = 0;
 
   std::uint64_t decode_ops_ = 0;
   std::uint64_t one_hot_transfers_ = 0;

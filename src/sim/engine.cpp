@@ -1,39 +1,21 @@
 #include "sim/engine.hpp"
 
-#include "obs/metrics.hpp"
-
 namespace pmsb {
 
 void Engine::add(Component* c) {
   PMSB_CHECK(c != nullptr, "null component");
   components_.push_back(c);
+  if (c->has_commit()) committers_.push_back(c);
 }
 
 void Engine::set_metrics(obs::MetricsRegistry* registry, Cycle period) {
   PMSB_CHECK(registry == nullptr || period > 0, "sampling period must be positive");
   metrics_ = registry;
   sample_period_ = period;
-}
-
-void Engine::step() {
-  const Cycle t = now_;
-  for (Component* c : components_) c->eval(t);
-  for (Component* c : components_) c->commit(t);
-  ++now_;
-  if (metrics_ && now_ % sample_period_ == 0) metrics_->sample(t);
-}
-
-Cycle Engine::run(Cycle cycles) {
-  for (Cycle i = 0; i < cycles; ++i) step();
-  return now_;
-}
-
-bool Engine::run_until(const std::function<bool(Cycle)>& pred, Cycle max_cycles) {
-  for (Cycle i = 0; i < max_cycles; ++i) {
-    step();
-    if (pred(now_ - 1)) return true;
-  }
-  return false;
+  // Preserve the sampling phase: samples land on cycles where the cycle
+  // count after the step is a multiple of the period, exactly as the
+  // modulo formulation did.
+  if (registry != nullptr) sample_countdown_ = period - (now_ % period);
 }
 
 }  // namespace pmsb

@@ -12,20 +12,26 @@
 // registered inter-component signals. Within a component, helper sub-blocks
 // may be combinationally chained as long as the component evaluates them in
 // dataflow order itself.
+//
+// Kernel-loop notes: step()/run()/run_until() are header-inline so the
+// per-cycle loop flattens into the caller; components that declare an empty
+// clock edge (has_commit() == false) are skipped in the commit sweep; and
+// metrics sampling costs one predictable counter decrement per cycle (a
+// countdown, not a modulo) with a single null test when no registry is
+// attached. run_until() takes its predicate as a template parameter so the
+// per-cycle termination check inlines instead of going through
+// std::function.
 
 #pragma once
 
-#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/util.hpp"
+#include "obs/metrics.hpp"
 
 namespace pmsb {
-
-namespace obs {
-class MetricsRegistry;
-}
 
 /// A clocked hardware block (or testbench element).
 class Component {
@@ -37,6 +43,10 @@ class Component {
 
   /// Clock edge at the end of cycle t: commit staged updates.
   virtual void commit(Cycle t) = 0;
+
+  /// Override to return false when commit() is a no-op; the engine then
+  /// leaves this component out of the commit sweep entirely.
+  virtual bool has_commit() const { return true; }
 
   /// For diagnostics.
   virtual std::string name() const { return "component"; }
@@ -50,15 +60,34 @@ class Engine {
  public:
   void add(Component* c);
 
+  /// Advance exactly one cycle.
+  void step() {
+    const Cycle t = now_;
+    for (Component* c : components_) c->eval(t);
+    for (Component* c : committers_) c->commit(t);
+    ++now_;
+    if (metrics_ != nullptr && --sample_countdown_ == 0) {
+      sample_countdown_ = sample_period_;
+      metrics_->sample(t);
+    }
+  }
+
   /// Run `cycles` more cycles. Returns the cycle count after running.
-  Cycle run(Cycle cycles);
+  Cycle run(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) step();
+    return now_;
+  }
 
   /// Run until `pred(t)` is true at the *end* of a cycle, or `max_cycles`
   /// elapse. Returns true if the predicate fired.
-  bool run_until(const std::function<bool(Cycle)>& pred, Cycle max_cycles);
-
-  /// Advance exactly one cycle.
-  void step();
+  template <typename Pred>
+  bool run_until(Pred&& pred, Cycle max_cycles) {
+    for (Cycle i = 0; i < max_cycles; ++i) {
+      step();
+      if (pred(now_ - 1)) return true;
+    }
+    return false;
+  }
 
   Cycle now() const { return now_; }
 
@@ -73,9 +102,11 @@ class Engine {
 
  private:
   std::vector<Component*> components_;
+  std::vector<Component*> committers_;  ///< components_ minus empty clock edges.
   Cycle now_ = 0;  ///< Next cycle to execute.
   obs::MetricsRegistry* metrics_ = nullptr;
   Cycle sample_period_ = 1024;
+  Cycle sample_countdown_ = 0;  ///< Cycles until the next sample() call.
 };
 
 }  // namespace pmsb

@@ -110,6 +110,7 @@ class CellSource : public Component {
 
   void eval(Cycle t) override;
   void commit(Cycle t) override;
+  bool has_commit() const override { return false; }
   std::string name() const override { return "cell_source"; }
 
  private:
@@ -155,6 +156,7 @@ class CellSink : public Component {
 
   void eval(Cycle t) override;
   void commit(Cycle t) override;
+  bool has_commit() const override { return false; }
   std::string name() const override { return "cell_sink"; }
 
  private:

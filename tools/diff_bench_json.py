@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Diff two directories of BENCH_*.json artifacts, ignoring "runtime".
+
+The determinism contract (DESIGN.md "Parallel sweeps & simulator
+performance") says every bench's "metrics" and "tables" must be
+byte-identical at ANY thread count; only the "runtime" object (wall time,
+slots/second, thread count) may differ. CI runs the suite at PMSB_THREADS=1
+and PMSB_THREADS=4 and feeds both output directories to this script.
+
+Exit status: 0 when every artifact pair matches, 1 on any difference or on
+artifacts present on one side only.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def canonical(path: Path) -> str:
+    doc = json.loads(path.read_text())
+    doc.pop("runtime", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} DIR_A DIR_B", file=sys.stderr)
+        return 2
+    a, b = Path(sys.argv[1]), Path(sys.argv[2])
+    names_a = {p.name for p in a.glob("BENCH_*.json")}
+    names_b = {p.name for p in b.glob("BENCH_*.json")}
+    if not names_a:
+        print(f"error: no BENCH_*.json artifacts in {a}", file=sys.stderr)
+        return 1
+    failed = False
+    for name in sorted(names_a | names_b):
+        if name not in names_a or name not in names_b:
+            side = a if name not in names_b else b
+            print(f"MISSING  {name} (only in {side})")
+            failed = True
+            continue
+        if canonical(a / name) != canonical(b / name):
+            print(f"DIFFERS  {name}")
+            failed = True
+        else:
+            print(f"ok       {name}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
