@@ -1,0 +1,151 @@
+#include "check/minimize.hpp"
+
+#include <algorithm>
+
+namespace pmsb::check {
+
+namespace {
+
+struct Budget {
+  unsigned used = 0;
+  unsigned max = 0;
+  bool exhausted() const { return used >= max; }
+};
+
+/// One differential run against the shrink candidate; true iff it still
+/// fails in the original category.
+bool still_fails(const FuzzSpec& spec, const std::vector<ScheduledCell>& cells,
+                 const std::string& category, Budget& budget, std::string* first_issue) {
+  if (budget.exhausted()) return false;
+  ++budget.used;
+  const RunOutcome o = run(spec, cells);
+  if (o.ok || issue_category(o.issues.front()) != category) return false;
+  if (first_issue) *first_issue = o.issues.front();
+  return true;
+}
+
+/// Greedy chunked removal: try dropping [pos, pos+chunk) for halving chunk
+/// sizes, keeping every removal that preserves the failure category.
+bool shrink_cells(FuzzSpec& spec, std::vector<ScheduledCell>& cells,
+                  const std::string& category, Budget& budget, std::string* first_issue) {
+  bool progress = false;
+  for (std::size_t chunk = std::max<std::size_t>(1, cells.size() / 2); chunk >= 1;
+       chunk /= 2) {
+    std::size_t pos = 0;
+    while (pos < cells.size() && !budget.exhausted()) {
+      std::vector<ScheduledCell> candidate;
+      candidate.reserve(cells.size());
+      candidate.insert(candidate.end(), cells.begin(),
+                       cells.begin() + static_cast<std::ptrdiff_t>(pos));
+      candidate.insert(candidate.end(),
+                       cells.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(cells.size(), pos + chunk)),
+                       cells.end());
+      if (!candidate.empty() && still_fails(spec, candidate, category, budget, first_issue)) {
+        cells = std::move(candidate);
+        progress = true;
+        // Do not advance: the next chunk now starts at `pos`.
+      } else {
+        pos += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return progress;
+}
+
+/// Drop cells that no longer fit a reduced configuration.
+std::vector<ScheduledCell> filter_ports(const std::vector<ScheduledCell>& cells, unsigned n) {
+  std::vector<ScheduledCell> out;
+  for (const ScheduledCell& c : cells) {
+    if (c.input < n && c.dest < n) out.push_back(c);
+  }
+  return out;
+}
+
+/// Config bisection: one pass over the structural parameters, keeping every
+/// reduction under which the failure category survives.
+bool shrink_config(FuzzSpec& spec, std::vector<ScheduledCell>& cells,
+                   const std::string& category, Budget& budget, std::string* first_issue) {
+  bool progress = false;
+
+  if (spec.segments > 1) {
+    FuzzSpec s = spec;
+    s.segments = 1;
+    if (still_fails(s, cells, category, budget, first_issue)) {
+      spec = s;
+      progress = true;
+    }
+  }
+  while (spec.capacity_cells > 2 && !budget.exhausted()) {
+    FuzzSpec s = spec;
+    s.capacity_cells = std::max(2u, spec.capacity_cells / 2);
+    // Keep the shrunk config admissible (limit may not exceed capacity).
+    s.out_queue_limit = std::min(s.out_queue_limit, s.capacity_cells);
+    if (!still_fails(s, cells, category, budget, first_issue)) break;
+    spec = s;
+    progress = true;
+  }
+  while (spec.n > 2 && !budget.exhausted()) {
+    FuzzSpec s = spec;
+    s.n = spec.n / 2;
+    std::vector<ScheduledCell> kept = filter_ports(cells, s.n);
+    if (kept.empty() || !still_fails(s, kept, category, budget, first_issue)) break;
+    spec = s;
+    cells = std::move(kept);
+    progress = true;
+  }
+  if (!cells.empty()) {
+    unsigned max_slot = 0;
+    for (const ScheduledCell& c : cells) max_slot = std::max(max_slot, c.slot);
+    if (max_slot + 1 < spec.slots) {
+      FuzzSpec s = spec;
+      s.slots = max_slot + 1;
+      if (still_fails(s, cells, category, budget, first_issue)) {
+        spec = s;
+        progress = true;
+      }
+    }
+  }
+  if (spec.out_queue_limit != 0) {
+    FuzzSpec s = spec;
+    s.out_queue_limit = 0;
+    if (still_fails(s, cells, category, budget, first_issue)) {
+      spec = s;
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+Repro minimize(const FuzzSpec& spec, std::vector<ScheduledCell> cells,
+               const RunOutcome& outcome, unsigned max_runs, MinimizeStats* stats) {
+  PMSB_CHECK(!outcome.ok && !outcome.issues.empty(), "minimize() needs a failing outcome");
+  Repro repro;
+  repro.spec = spec;
+  repro.category = issue_category(outcome.issues.front());
+  repro.first_issue = outcome.issues.front();
+
+  Budget budget{0, max_runs};
+  const std::size_t before = cells.size();
+  std::string issue = repro.first_issue;
+
+  bool progress = true;
+  while (progress && !budget.exhausted()) {
+    progress = shrink_cells(repro.spec, cells, repro.category, budget, &issue);
+    progress = shrink_config(repro.spec, cells, repro.category, budget, &issue) || progress;
+  }
+
+  repro.cells = std::move(cells);
+  repro.first_issue = issue;
+  if (stats) {
+    stats->runs = budget.used;
+    stats->cells_before = before;
+    stats->cells_after = repro.cells.size();
+  }
+  return repro;
+}
+
+}  // namespace pmsb::check

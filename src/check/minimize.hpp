@@ -1,0 +1,52 @@
+// Failure minimizer: shrink a failing differential run to a small,
+// replayable witness.
+//
+// When the fuzzer finds a spec + schedule whose differential run fails, the
+// raw witness is typically hundreds of cells on a large configuration --
+// useless for debugging. minimize() applies
+//
+//   1. greedy chunked cell removal (delta debugging, halving chunk sizes
+//      down to single cells), and
+//   2. config bisection: fewer segments per cell, smaller buffer capacity,
+//      fewer ports (dropping cells that no longer fit), fewer slots,
+//
+// re-running the differential harness after each candidate reduction and
+// keeping it only if the run still fails *in the same category* as the
+// original failure (issue_category of the first issue), so shrinking never
+// wanders to an unrelated failure. The result serializes to .repro.json
+// (check/repro.hpp) and replays via tools/replay_repro.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/differential.hpp"
+
+namespace pmsb::check {
+
+/// A replayable failing run: the (possibly shrunk) spec and schedule plus
+/// the failure it reproduces.
+struct Repro {
+  FuzzSpec spec;
+  std::vector<ScheduledCell> cells;
+  std::string category;  ///< issue_category of the first issue ("invariant", ...).
+  std::string first_issue;
+};
+
+struct MinimizeStats {
+  unsigned runs = 0;           ///< Differential runs spent shrinking.
+  std::size_t cells_before = 0;
+  std::size_t cells_after = 0;
+};
+
+/// Shrink a known-failing (spec, cells) pair. `outcome` must be the failing
+/// run's result (outcome.ok == false). `max_runs` bounds the shrink effort;
+/// the original failure is always preserved, so minimize() never returns a
+/// passing repro.
+Repro minimize(const FuzzSpec& spec, std::vector<ScheduledCell> cells,
+               const RunOutcome& outcome, unsigned max_runs = 400,
+               MinimizeStats* stats = nullptr);
+
+}  // namespace pmsb::check

@@ -1,0 +1,46 @@
+// .repro.json serialization and replay of minimized failing runs.
+//
+// A repro file is self-contained: the FuzzSpec, the explicit cell schedule
+// (so replay does not depend on the traffic generator's RNG staying
+// bit-compatible), and the failure category it witnesses. Written by the
+// fuzzer (tools/fuzz_differential) after minimization, consumed by
+// tools/replay_repro and by the regression test suite.
+//
+// The reader is a deliberately small strict JSON parser -- the repo has no
+// external JSON dependency, and repro files are tiny.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/differential.hpp"
+#include "check/minimize.hpp"
+
+namespace pmsb::check {
+
+/// Serialize to the .repro.json document (schema key "pmsb_repro": 1).
+std::string to_json(const Repro& r);
+
+/// Write to_json(r) to `path`. False + *err on I/O failure.
+bool write_repro_file(const Repro& r, const std::string& path, std::string* err);
+
+/// Parse a .repro.json document. False + *err on malformed input.
+bool parse_repro(const std::string& json, Repro* out, std::string* err);
+
+/// Read + parse `path`.
+bool read_repro_file(const std::string& path, Repro* out, std::string* err);
+
+struct ReplayResult {
+  bool reproduced = false;     ///< Run failed again in the recorded category.
+  std::string expected_category;
+  RunOutcome outcome;
+};
+
+/// Re-run a repro's differential check.
+ReplayResult replay(const Repro& r);
+
+/// read_repro_file + replay. False + *err if the file cannot be loaded.
+bool replay_file(const std::string& path, ReplayResult* out, std::string* err);
+
+}  // namespace pmsb::check

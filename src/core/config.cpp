@@ -10,14 +10,24 @@ void SwitchConfig::validate() const {
     throw std::invalid_argument("word_bits must be in [1, 64]");
   if (dest_bits() >= word_bits)
     throw std::invalid_argument("head word too narrow for the destination field");
-  if (cell_words == 0 || cell_words % stages() != 0)
+  if (cell_words == 0 || cell_words % stages() != 0) {
+    if (cell_words != 0 && stages() % cell_words == 0)
+      throw std::invalid_argument(
+          "cell_words divides the stage count instead of being a multiple of it: "
+          "sub-quantum cells (e.g. the half-quantum n-word cells of section 3.5) "
+          "need the dual organization -- use DualPipelinedSwitch, not PipelinedSwitch");
     throw std::invalid_argument(
         "cell_words must be a positive multiple of 2*n_ports (the pipelined "
         "memory packet-size quantum, section 3.5)");
+  }
   if (capacity_segments == 0)
     throw std::invalid_argument("capacity_segments must be >= 1");
   if (capacity_segments % segments_per_cell() != 0)
     throw std::invalid_argument("capacity_segments must be a multiple of segments per cell");
+  if (out_queue_limit != 0 && out_queue_limit > capacity_cells())
+    throw std::invalid_argument(
+        "out_queue_limit exceeds the buffer capacity in cells: the anti-hogging "
+        "threshold could never bind before the shared buffer itself fills");
   if (clock_mhz <= 0) throw std::invalid_argument("clock_mhz must be positive");
 }
 

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "core/arbiter.hpp"
@@ -60,7 +61,20 @@ class DualPipelinedSwitch : public Component {
   WireLink& in_link(unsigned i) { return in_links_.at(i); }
   WireLink& out_link(unsigned o) { return out_links_.at(o); }
 
-  void set_events(SwitchEvents ev) { events_ = std::move(ev); }
+  void set_events(SwitchEvents ev) {
+    events_ = std::move(ev);
+    if (on_events_replaced_) on_events_replaced_();
+  }
+
+  /// Currently installed observer callbacks (the invariant checker chains
+  /// itself in front of these instead of overwriting them).
+  const SwitchEvents& events() const { return events_; }
+
+  /// Invoked after every set_events() call; lets the invariant checker
+  /// re-chain itself when callers replace the observers mid-run.
+  void set_events_replaced_hook(std::function<void()> hook) {
+    on_events_replaced_ = std::move(hook);
+  }
 
   void eval(Cycle t) override;
   void commit(Cycle t) override;
@@ -69,6 +83,20 @@ class DualPipelinedSwitch : public Component {
   const SwitchStats& stats() const { return stats_; }
   std::uint32_t buffer_in_use() const { return free_[0].in_use() + free_[1].in_use(); }
   bool drained() const;
+
+  /// Committed cells across all per-output lists (verification).
+  std::size_t queued_cells() const {
+    std::size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
+
+  /// Cells latched but not yet accepted or dropped (at most one per input).
+  unsigned pending_cells() const {
+    unsigned c = 0;
+    for (const auto& p : pending_) c += p.valid ? 1 : 0;
+    return c;
+  }
 
   /// Cycles in which BOTH a read and a write wave were initiated (the
   /// section 3.5 claim: the organization supports 1 + 1 per cycle).
@@ -122,6 +150,7 @@ class DualPipelinedSwitch : public Component {
   std::vector<Cycle> next_read_ok_;
 
   SwitchEvents events_;
+  std::function<void()> on_events_replaced_;
   SwitchStats stats_;
   std::uint64_t dual_cycles_ = 0;
 };

@@ -49,6 +49,10 @@ class FreeList {
   /// the next clock edge (their data is still live until tick()).
   std::uint32_t in_use() const;
 
+  /// True while `addr` is allocated (false once release() was called, even
+  /// before the tick() that makes it allocatable again). Verification only.
+  bool is_allocated(std::uint32_t addr) const { return allocated_.at(addr); }
+
  private:
   std::uint32_t total_;
   std::vector<std::uint32_t> free_;      ///< Allocatable now.

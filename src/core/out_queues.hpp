@@ -52,6 +52,16 @@ class OutQueues {
   /// Lifetime high-water mark of total_size() (updated at tick()).
   std::size_t peak_total_size() const { return peak_total_; }
 
+  /// Invoke fn(output, cell) on every committed queued cell, head-of-line
+  /// first per output. Verification only (the invariant checker walks the
+  /// queues to prove per-address exclusivity).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (unsigned o = 0; o < queues_.size(); ++o) {
+      for (const BufferedCell& c : queues_[o]) fn(o, c);
+    }
+  }
+
  private:
   std::vector<std::deque<BufferedCell>> queues_;
   std::vector<BufferedCell> staged_;

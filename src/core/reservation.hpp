@@ -94,6 +94,16 @@ class ReservationTable {
   /// Remove and return the operation scheduled at cycle t (empty if none).
   SlotOp take(Cycle t);
 
+  /// Invoke fn(cycle, op) on every outstanding reservation. Verification
+  /// only: the invariant checker cross-references reserved addresses against
+  /// the free list. Entries already consumed by take() are skipped.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& e : ring_) {
+      if (e.cycle >= 0 && !e.op.empty()) fn(e.cycle, e.op);
+    }
+  }
+
  private:
   struct Entry {
     Cycle cycle = -1;

@@ -163,6 +163,12 @@ bool PipelinedSwitch::try_grant_write(Cycle t) {
     return pending_[in].valid && free_.can_alloc(m_);
   });
   if (i < 0) return false;
+  if (fault_.suppress_write_grant_period != 0 &&
+      ++fault_write_grants_ % fault_.suppress_write_grant_period == 0) {
+    // Injected arbiter bug: the grant this cell was owed never happens, so
+    // its latch-window deadline can silently pass (see FaultPlan).
+    return false;
+  }
 
   Pending& p = pending_[i];
   const SegAddrs addrs = free_.alloc(m_);

@@ -97,6 +97,18 @@ struct SwitchEvents {
       on_read_grant;
 };
 
+/// Test-only fault injection (src/check/): deliberately mis-arbitrate so the
+/// invariant checker, minimizer, and replay tool can be demonstrated against
+/// a switch that is known to be broken. All-zero = no faults.
+struct FaultPlan {
+  /// Every k-th otherwise-eligible write grant is silently skipped (k > 0
+  /// enables). Starves pending cells past their latch-window deadline: the
+  /// bug class the paper's 2n-cycle write-window invariant forbids.
+  unsigned suppress_write_grant_period = 0;
+
+  bool none() const { return suppress_write_grant_period == 0; }
+};
+
 class PipelinedSwitch : public Component {
  public:
   explicit PipelinedSwitch(const SwitchConfig& cfg,
@@ -107,7 +119,25 @@ class PipelinedSwitch : public Component {
   WireLink& in_link(unsigned i) { return in_links_.at(i); }
   WireLink& out_link(unsigned o) { return out_links_.at(o); }
 
-  void set_events(SwitchEvents ev) { events_ = std::move(ev); }
+  void set_events(SwitchEvents ev) {
+    events_ = std::move(ev);
+    if (on_events_replaced_) on_events_replaced_();
+  }
+
+  /// Currently installed observer callbacks. The invariant checker chains
+  /// itself in front of these instead of overwriting them.
+  const SwitchEvents& events() const { return events_; }
+
+  /// Invoked after every set_events() call. The invariant checker installs a
+  /// re-chaining hook here so that callers replacing the observer callbacks
+  /// mid-run (tests, bench binaries) cannot silently sever the check chain.
+  void set_events_replaced_hook(std::function<void()> hook) {
+    on_events_replaced_ = std::move(hook);
+  }
+
+  /// Inject arbitration faults (verification demos only; see FaultPlan).
+  void set_fault_plan(const FaultPlan& f) { fault_ = f; }
+  const FaultPlan& fault_plan() const { return fault_; }
 
   /// Live formatting of every trace record to the tracer's sink. For the
   /// bounded, allocation-free mechanism use set_trace() instead (and
@@ -145,6 +175,21 @@ class PipelinedSwitch : public Component {
   std::uint32_t buffer_in_use() const { return free_.in_use(); }
   std::uint32_t buffer_peak() const { return free_.peak_in_use(); }
   std::size_t queued_cells() const { return oq_.total_size(); }
+
+  // Read-only views for the invariant checker (src/check/invariants.hpp):
+  // it cross-references the free list, reservation table, and output queues
+  // to prove per-address exclusivity and cell conservation every cycle.
+  const FreeList& free_list() const { return free_; }
+  const OutQueues& out_queues() const { return oq_; }
+  const ReservationTable& reservations() const { return resv_; }
+
+  /// Cells whose head has been latched but whose accept/drop decision is
+  /// still pending (at most one per input).
+  unsigned pending_cells() const {
+    unsigned c = 0;
+    for (const auto& p : pending_) c += p.valid ? 1 : 0;
+    return c;
+  }
 
   /// True once no cell is arriving, buffered, queued, or in flight.
   bool drained() const;
@@ -198,7 +243,10 @@ class PipelinedSwitch : public Component {
   std::vector<Cycle> next_read_ok_;  ///< Earliest next read initiation per output.
 
   SwitchEvents events_;
+  std::function<void()> on_events_replaced_;
   SwitchStats stats_;
+  FaultPlan fault_;
+  std::uint64_t fault_write_grants_ = 0;  ///< Eligible write grants seen (fault pacing).
   Tracer* tracer_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
   // Cached registry counters (null = not registered = zero hot-path cost).

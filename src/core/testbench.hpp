@@ -7,8 +7,10 @@
 #pragma once
 
 #include <memory>
+#include <type_traits>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "core/scoreboard.hpp"
 #include "core/switch.hpp"
 #include "sim/engine.hpp"
@@ -74,6 +76,31 @@ class Testbench {
     for (auto& s : bursty_sources_) engine_.add(s.get());
     engine_.add(&sw_);
     for (auto& s : sinks_) engine_.add(s.get());
+
+    // Invariant checking (src/check/) rides along on every harnessed run
+    // when requested via PMSB_CHECK=1 (or the pmsb_check CMake option).
+    // Attached after the scoreboard so the checker chains its events.
+    if constexpr (std::is_same_v<SwitchT, PipelinedSwitch> ||
+                  std::is_same_v<SwitchT, DualPipelinedSwitch>) {
+      if (check::env_enabled()) {
+        attach_checker();
+        enforce_checker_ = true;
+      }
+    }
+  }
+
+  /// PMSB_CHECK=1 runs enforce the invariants at teardown: any recorded
+  /// violation aborts loudly (skipped for deliberately-faulted DUTs, whose
+  /// violations are the expected output of the fault demo).
+  ~Testbench() {
+    if (!enforce_checker_ || !checker_ || checker_->ok()) return;
+    if constexpr (std::is_same_v<SwitchT, PipelinedSwitch>) {
+      if (!sw_.fault_plan().none()) return;
+    }
+    PMSB_CHECK(checker_->ok(),
+               "PMSB_CHECK run recorded " + std::to_string(checker_->total_violations()) +
+                   " invariant violations; first: " +
+                   checker_->violations().front().message);
   }
 
   void run(Cycle cycles) { engine_.run(cycles); }
@@ -92,6 +119,18 @@ class Testbench {
   Engine& engine() { return engine_; }
   Scoreboard& scoreboard() { return scoreboard_; }
 
+  /// Attach (or return the already-attached) invariant checker. Only
+  /// instantiable for the switch types the checker supports.
+  check::InvariantChecker& attach_checker() {
+    if (!checker_) {
+      checker_ = std::make_unique<check::InvariantChecker>();
+      checker_->attach(sw_, engine_);
+    }
+    return *checker_;
+  }
+  /// Null unless attach_checker() ran (directly or via PMSB_CHECK=1).
+  check::InvariantChecker* checker() { return checker_.get(); }
+
   std::uint64_t injected() const {
     std::uint64_t total = 0;
     for (const auto& s : sources_) total += s->cells_injected();
@@ -108,6 +147,8 @@ class Testbench {
   SwitchT sw_;
   Engine engine_;
   Scoreboard scoreboard_;
+  std::unique_ptr<check::InvariantChecker> checker_;
+  bool enforce_checker_ = false;
   std::unique_ptr<DestPattern> dests_;
   std::vector<std::unique_ptr<CellSource>> sources_;
   std::vector<std::unique_ptr<BurstyCellSource>> bursty_sources_;

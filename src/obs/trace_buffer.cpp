@@ -37,6 +37,7 @@ const char* to_string(TraceEvent e) {
     case TraceEvent::kSnoop: return "snoop";
     case TraceEvent::kDrop: return "drop";
     case TraceEvent::kWaveInit: return "wave-init";
+    case TraceEvent::kViolation: return "violation";
   }
   return "?";
 }
@@ -69,6 +70,9 @@ std::string format(const TraceRecord& r) {
     case TraceEvent::kWaveInit:
       std::snprintf(buf, sizeof buf, "M0 %-11s addr=%u in=%u out=%u", wave_op_name(r.arg),
                     r.addr, r.input, r.output);
+      break;
+    case TraceEvent::kViolation:
+      std::snprintf(buf, sizeof buf, "VIOLATION  invariant=%u digest=%08x", r.arg, r.addr);
       break;
   }
   return buf;

@@ -27,6 +27,8 @@ enum class TraceEvent : std::uint8_t {
   kSnoop,      ///< Same-cycle write+read co-grant: output, input, addr.
   kDrop,       ///< Cell lost: input, arg = DropReason.
   kWaveInit,   ///< M0 initiation this cycle: addr, arg = StageOp, input/output.
+  kViolation,  ///< Invariant check failed: arg = check::Invariant id, addr =
+               ///< state digest of the violating cycle (see src/check/).
 };
 
 const char* to_string(TraceEvent e);

@@ -8,6 +8,11 @@ void Engine::add(Component* c) {
   if (c->has_commit()) committers_.push_back(c);
 }
 
+void Engine::add_cycle_observer(CycleObserver* o) {
+  PMSB_CHECK(o != nullptr, "null cycle observer");
+  observers_.push_back(o);
+}
+
 void Engine::set_metrics(obs::MetricsRegistry* registry, Cycle period) {
   PMSB_CHECK(registry == nullptr || period > 0, "sampling period must be positive");
   metrics_ = registry;

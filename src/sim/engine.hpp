@@ -52,6 +52,17 @@ class Component {
   virtual std::string name() const { return "component"; }
 };
 
+/// Post-commit inspection hook (the invariant checkers of src/check/): the
+/// engine calls on_cycle_end(t) after every component's commit(t), when all
+/// state for cycle t+1 is visible -- the only point in the cycle where
+/// cross-component conservation invariants are meaningful. Observers never
+/// mutate simulation state.
+class CycleObserver {
+ public:
+  virtual ~CycleObserver() = default;
+  virtual void on_cycle_end(Cycle t) = 0;
+};
+
 /// Drives a set of components through clock cycles.
 ///
 /// Components are not owned; the caller keeps them alive for the engine's
@@ -60,11 +71,17 @@ class Engine {
  public:
   void add(Component* c);
 
+  /// Register a post-commit observer (not owned). With none registered the
+  /// per-cycle cost is one empty-vector test, preserving the hot-path speed
+  /// of unchecked runs.
+  void add_cycle_observer(CycleObserver* o);
+
   /// Advance exactly one cycle.
   void step() {
     const Cycle t = now_;
     for (Component* c : components_) c->eval(t);
     for (Component* c : committers_) c->commit(t);
+    for (CycleObserver* o : observers_) o->on_cycle_end(t);
     ++now_;
     if (metrics_ != nullptr && --sample_countdown_ == 0) {
       sample_countdown_ = sample_period_;
@@ -103,6 +120,7 @@ class Engine {
  private:
   std::vector<Component*> components_;
   std::vector<Component*> committers_;  ///< components_ minus empty clock edges.
+  std::vector<CycleObserver*> observers_;
   Cycle now_ = 0;  ///< Next cycle to execute.
   obs::MetricsRegistry* metrics_ = nullptr;
   Cycle sample_period_ = 1024;

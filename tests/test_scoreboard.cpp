@@ -92,6 +92,8 @@ TEST(Scoreboard, DetectsAcceptCycleMismatch) {
   sb.on_inject(inj(1, 0, 2, 10));
   sb.on_accept(0, 12, 13);  // Claims the head arrived at 12, not 10.
   EXPECT_FALSE(sb.ok());
+  EXPECT_NE(sb.errors().front().find("accept event cycle mismatch"), std::string::npos);
+  EXPECT_NE(sb.errors().front().find("expected a0=10"), std::string::npos);
 }
 
 TEST(Scoreboard, DetectsGrantBeforeArrival) {
@@ -99,6 +101,53 @@ TEST(Scoreboard, DetectsGrantBeforeArrival) {
   sb.on_inject(inj(1, 0, 2, 10));
   sb.on_accept(0, 10, 10);  // t0 must be strictly after a0.
   EXPECT_FALSE(sb.ok());
+  EXPECT_NE(sb.errors().front().find("before the head word was latched"),
+            std::string::npos);
+}
+
+TEST(Scoreboard, DetectsOutOfRangeInjection) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 7, 2, 10));  // Input 7 on a 4x4 scoreboard.
+  EXPECT_FALSE(sb.ok());
+  EXPECT_NE(sb.errors().front().find("injection with out-of-range ports"),
+            std::string::npos);
+  sb.on_inject(inj(2, 0, 9, 12));  // Destination 9.
+  EXPECT_EQ(sb.errors().size(), 2u);
+}
+
+TEST(Scoreboard, DetectsAcceptOnOutOfRangeInput) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_accept(17, 10, 11);  // Input index past n_in: same guard as empty queue.
+  EXPECT_FALSE(sb.ok());
+  EXPECT_NE(sb.errors().front().find("accept event with no cell awaiting a decision"),
+            std::string::npos);
+}
+
+TEST(Scoreboard, DetectsDropWithoutInjection) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_drop(1, 10, DropReason::kNoAddress);
+  EXPECT_FALSE(sb.ok());
+  EXPECT_NE(sb.errors().front().find("drop event with no cell awaiting a decision"),
+            std::string::npos);
+}
+
+TEST(Scoreboard, DetectsDropCycleMismatch) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_drop(0, 14, DropReason::kOutputLimit);  // Head arrived at 10, not 14.
+  EXPECT_FALSE(sb.ok());
+  EXPECT_NE(sb.errors().front().find("drop event cycle mismatch"), std::string::npos);
+}
+
+TEST(Scoreboard, DetectsDeliveryOnOutOfRangeOutput) {
+  Scoreboard sb(4, 4, fmt());
+  sb.on_inject(inj(1, 0, 2, 10));
+  sb.on_accept(0, 10, 11);
+  sb.on_deliver(CellSink::Delivery{11, make_cell_words(1, 2, fmt()), 13, 20});
+  EXPECT_FALSE(sb.ok());
+  EXPECT_NE(sb.errors().front().find("delivery on out-of-range output"),
+            std::string::npos);
 }
 
 TEST(Scoreboard, DropsResolveInArrivalOrder) {

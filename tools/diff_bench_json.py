@@ -7,13 +7,32 @@ byte-identical at ANY thread count; only the "runtime" object (wall time,
 slots/second, thread count) may differ. CI runs the suite at PMSB_THREADS=1
 and PMSB_THREADS=4 and feeds both output directories to this script.
 
-Exit status: 0 when every artifact pair matches, 1 on any difference or on
-artifacts present on one side only.
+Each artifact must also carry exactly the schema's top-level keys
+(REQUIRED_KEYS). Without this check a bench that silently stopped emitting
+"metrics" (or grew an unreviewed key) on BOTH sides would still diff clean,
+because both directories run the same binary.
+
+Exit status: 0 when every artifact pair matches, 1 on any difference, on
+artifacts present on one side only, or on a malformed artifact.
 """
 
 import json
 import sys
 from pathlib import Path
+
+REQUIRED_KEYS = {"bench", "schema_version", "metrics", "runtime", "tables"}
+
+
+def check_schema(path: Path, doc: dict) -> bool:
+    keys = set(doc)
+    ok = True
+    for missing in sorted(REQUIRED_KEYS - keys):
+        print(f"MALFORMED {path.name}: missing top-level key {missing!r}")
+        ok = False
+    for extra in sorted(keys - REQUIRED_KEYS):
+        print(f"MALFORMED {path.name}: unexpected top-level key {extra!r}")
+        ok = False
+    return ok
 
 
 def canonical(path: Path) -> str:
@@ -39,7 +58,13 @@ def main() -> int:
             print(f"MISSING  {name} (only in {side})")
             failed = True
             continue
-        if canonical(a / name) != canonical(b / name):
+        docs_ok = True
+        for side in (a / name, b / name):
+            if not check_schema(side, json.loads(side.read_text())):
+                docs_ok = False
+        if not docs_ok:
+            failed = True
+        elif canonical(a / name) != canonical(b / name):
             print(f"DIFFERS  {name}")
             failed = True
         else:

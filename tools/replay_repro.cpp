@@ -1,0 +1,74 @@
+// Replay a minimized .repro.json failure witness (see src/check/repro.hpp).
+//
+// Exit status: 1 when the recorded failure reproduces (the expected outcome
+// for a committed repro), 0 when the run is now clean or fails only in a
+// different category (the bug is fixed or has morphed), 2 on usage or file
+// errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "check/repro.hpp"
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-v") == 0 || std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: replay_repro [-v] <file.repro.json>\n");
+    return 2;
+  }
+
+  pmsb::check::Repro repro;
+  std::string err;
+  if (!pmsb::check::read_repro_file(path, &repro, &err)) {
+    std::fprintf(stderr, "replay_repro: %s: %s\n", path, err.c_str());
+    return 2;
+  }
+  std::printf("replaying %s: n=%u segments=%u capacity=%u slots=%u cells=%zu fault=%u\n",
+              path, repro.spec.n, repro.spec.segments, repro.spec.capacity_cells,
+              repro.spec.slots, repro.cells.size(), repro.spec.fault_suppress_write_period);
+  if (!repro.first_issue.empty()) {
+    std::printf("recorded failure: %s\n", repro.first_issue.c_str());
+  }
+
+  const pmsb::check::ReplayResult res = pmsb::check::replay(repro);
+  for (const auto& s : res.outcome.summaries) {
+    std::printf("  %-14s injected=%llu delivered=%llu dropped=%llu violations=%llu\n",
+                s.model.c_str(), static_cast<unsigned long long>(s.injected),
+                static_cast<unsigned long long>(s.delivered),
+                static_cast<unsigned long long>(s.dropped),
+                static_cast<unsigned long long>(s.violations));
+  }
+  const std::size_t shown = verbose ? res.outcome.issues.size()
+                                    : std::min<std::size_t>(res.outcome.issues.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::printf("  issue: %s\n", res.outcome.issues[i].c_str());
+  }
+  if (res.outcome.issues.size() > shown) {
+    std::printf("  ... %zu more issues (-v shows all)\n", res.outcome.issues.size() - shown);
+  }
+
+  if (res.reproduced) {
+    std::printf("REPRODUCED (category %s)\n",
+                res.expected_category.empty() ? "any" : res.expected_category.c_str());
+    return 1;
+  }
+  if (res.outcome.ok) {
+    std::printf("DID NOT REPRODUCE: run is clean\n");
+  } else {
+    std::printf("DID NOT REPRODUCE in category %s (first issue now: %s)\n",
+                res.expected_category.c_str(), res.outcome.issues.front().c_str());
+  }
+  return 0;
+}
