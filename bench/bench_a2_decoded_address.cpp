@@ -51,43 +51,48 @@ PathRun run_mode(AddrPathMode mode, Cycle cycles) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  print_banner("A2", "decoded-address pipeline ablation (section 4.3, figure 7)");
+  return pmsb::bench::Main(
+      argc, argv, {"A2", "decoded-address pipeline ablation (section 4.3, figure 7)", "a2_decoded_address"},
+      [](pmsb::bench::BenchContext& ctx) {
+    const Cycle kCycles = 30000;
+    exp::SweepRunner runner;
+    const std::vector<AddrPathMode> modes = {AddrPathMode::kPerStageDecoders,
+                                             AddrPathMode::kDecodedPipeline};
+    const std::vector<PathRun> runs =
+        runner.map(modes, [kCycles](AddrPathMode m) { return run_mode(m, kCycles); });
+    const PathRun a = runs[0];
+    const PathRun b = runs[1];
 
-  const Cycle kCycles = 30000;
-  exp::SweepRunner runner;
-  const std::vector<AddrPathMode> modes = {AddrPathMode::kPerStageDecoders,
-                                           AddrPathMode::kDecodedPipeline};
-  const std::vector<PathRun> runs =
-      runner.map(modes, [kCycles](AddrPathMode m) { return run_mode(m, kCycles); });
-  const PathRun a = runs[0];
-  const PathRun b = runs[1];
+    std::printf("\nTelegraphos III configuration, saturated uniform traffic, %lld cycles.\n"
+                "Both modes deliver identical behaviour (the decoded-pipeline model\n"
+                "re-encodes its one-hot word lines every stage and asserts equality):\n\n",
+                static_cast<long long>(kCycles));
+    Table t({"address path", "decode operations", "one-hot reg transfers", "cells switched"});
+    t.add_row({"fig 7(a): decoder per stage", Table::integer(static_cast<long long>(a.decode_ops)),
+               Table::integer(static_cast<long long>(a.one_hot_transfers)),
+               Table::integer(static_cast<long long>(a.cells))});
+    t.add_row({"fig 7(b): decoded pipeline", Table::integer(static_cast<long long>(b.decode_ops)),
+               Table::integer(static_cast<long long>(b.one_hot_transfers)),
+               Table::integer(static_cast<long long>(b.cells))});
+    t.print();
+    std::printf("\nDecode operations reduced by %.1fx (S = 16 stages decode once instead\n"
+                "of sixteen times per wave).\n",
+                static_cast<double>(a.decode_ops) / static_cast<double>(b.decode_ops));
 
-  std::printf("\nTelegraphos III configuration, saturated uniform traffic, %lld cycles.\n"
-              "Both modes deliver identical behaviour (the decoded-pipeline model\n"
-              "re-encodes its one-hot word lines every stage and asserts equality):\n\n",
-              static_cast<long long>(kCycles));
-  Table t({"address path", "decode operations", "one-hot reg transfers", "cells switched"});
-  t.add_row({"fig 7(a): decoder per stage", Table::integer(static_cast<long long>(a.decode_ops)),
-             Table::integer(static_cast<long long>(a.one_hot_transfers)),
-             Table::integer(static_cast<long long>(a.cells))});
-  t.add_row({"fig 7(b): decoded pipeline", Table::integer(static_cast<long long>(b.decode_ops)),
-             Table::integer(static_cast<long long>(b.one_hot_transfers)),
-             Table::integer(static_cast<long long>(b.cells))});
-  t.print();
-  std::printf("\nDecode operations reduced by %.1fx (S = 16 stages decode once instead\n"
-              "of sixteen times per wave).\n",
-              static_cast<double>(a.decode_ops) / static_cast<double>(b.decode_ops));
+    std::printf("\nArea view (per stage, D = 256 word lines, section 4.4 constants):\n\n");
+    const auto tech = area::full_custom_1um();
+    const double decoder_um2 = tech.decoder_um2_per_word * 256;
+    const double line_ff_um2 = decoder_um2 * tech.line_pipe_ratio;
+    Table ar({"per-stage address circuit", "model um^2", "relative"});
+    ar.add_row({"full decoder (7a)", Table::num(decoder_um2, 0), "2.3x"});
+    ar.add_row({"decoded-line pipeline register (7b)", Table::num(line_ff_um2, 0), "1x"});
+    ar.print();
+    std::printf("\n(paper: 'a decoded address pipeline register is 2.3 times smaller than\n"
+                "the normal address decoder')\n");
 
-  std::printf("\nArea view (per stage, D = 256 word lines, section 4.4 constants):\n\n");
-  const auto tech = area::full_custom_1um();
-  const double decoder_um2 = tech.decoder_um2_per_word * 256;
-  const double line_ff_um2 = decoder_um2 * tech.line_pipe_ratio;
-  Table ar({"per-stage address circuit", "model um^2", "relative"});
-  ar.add_row({"full decoder (7a)", Table::num(decoder_um2, 0), "2.3x"});
-  ar.add_row({"decoded-line pipeline register (7b)", Table::num(line_ff_um2, 0), "1x"});
-  ar.print();
-  std::printf("\n(paper: 'a decoded address pipeline register is 2.3 times smaller than\n"
-              "the normal address decoder')\n");
-  return 0;
+    ctx.json.metric("decode ops reduction",
+                    static_cast<double>(a.decode_ops) / static_cast<double>(b.decode_ops));
+    ctx.json.metric("decoder vs line-register um2 ratio", decoder_um2 / line_ff_um2);
+    return 0;
+      });
 }

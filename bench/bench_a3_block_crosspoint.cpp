@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/block_crosspoint.hpp"
@@ -41,74 +42,78 @@ double loss_at(unsigned groups, double load, bool hotspot, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  print_banner("A3", "block-crosspoint buffering (section 2.2 extension)");
-  std::printf(
-      "\n16x16 switch, fixed total budget of %zu cells split into g x g shared\n"
-      "blocks (%zu cells per block at granularity g). Loss ratio at load 0.9:\n\n",
-      kTotalCells, kTotalCells);
+  return pmsb::bench::Main(
+      argc, argv, {"A3", "block-crosspoint buffering (section 2.2 extension)", "a3_block_crosspoint"},
+      [](pmsb::bench::BenchContext& ctx) {
+    std::printf(
+        "\n16x16 switch, fixed total budget of %zu cells split into g x g shared\n"
+        "blocks (%zu cells per block at granularity g). Loss ratio at load 0.9:\n\n",
+        kTotalCells, kTotalCells);
 
-  Table t({"g (groups)", "blocks", "cells/block", "per-buffer throughput", "loss uniform",
-           "loss hotspot(0.3)"});
-  exp::SweepRunner runner;
-  const std::vector<unsigned> gran = {1u, 2u, 4u};
-  std::vector<std::function<double()>> g_points;
-  for (unsigned g : gran) {
-    g_points.push_back([g] { return loss_at(g, 0.9, false, 401 + g); });
-    g_points.push_back([g] { return loss_at(g, 0.9, true, 411 + g); });
-  }
-  const std::vector<double> g_r = runner.run(std::move(g_points));
-  for (std::size_t i = 0; i < gran.size(); ++i) {
-    const unsigned g = gran[i];
-    t.add_row({Table::integer(g), Table::integer(g * g),
-               Table::integer(static_cast<long long>(kTotalCells / (g * g))),
-               Table::integer(2 * kN / g) + " cells/slot",
-               Table::sci(g_r[i * 2], 2), Table::sci(g_r[i * 2 + 1], 2)});
-  }
-  t.print();
-
-  std::printf("\nLoss vs load at g = 2 (the compromise point):\n\n");
-  Table s({"load", "loss (g=1 shared)", "loss (g=2)", "loss (g=4)"});
-  const std::vector<double> s_loads = {0.7, 0.8, 0.9, 0.95};
-  std::vector<std::function<double()>> s_points;
-  const std::vector<unsigned> s_gran = {1u, 2u, 4u};
-  for (double load : s_loads)
-    for (std::size_t gi = 0; gi < s_gran.size(); ++gi) {
-      const unsigned g = s_gran[gi];
-      const std::uint64_t seed = 421 + gi;  // Original column seeds: 421, 422, 423.
-      s_points.push_back([g, load, seed] { return loss_at(g, load, false, seed); });
+    Table t({"g (groups)", "blocks", "cells/block", "per-buffer throughput", "loss uniform",
+             "loss hotspot(0.3)"});
+    exp::SweepRunner runner;
+    const std::vector<unsigned> gran = {1u, 2u, 4u};
+    std::vector<std::function<double()>> g_points;
+    for (unsigned g : gran) {
+      g_points.push_back([g] { return loss_at(g, 0.9, false, 401 + g); });
+      g_points.push_back([g] { return loss_at(g, 0.9, true, 411 + g); });
     }
-  const std::vector<double> s_r = runner.run(std::move(s_points));
-  for (std::size_t i = 0; i < s_loads.size(); ++i)
-    s.add_row({Table::num(s_loads[i], 2), Table::sci(s_r[i * 3], 2),
-               Table::sci(s_r[i * 3 + 1], 2), Table::sci(s_r[i * 3 + 2], 2)});
-  s.print();
+    const std::vector<double> g_r = runner.run(std::move(g_points));
+    for (std::size_t i = 0; i < gran.size(); ++i) {
+      const unsigned g = gran[i];
+      t.add_row({Table::integer(g), Table::integer(g * g),
+                 Table::integer(static_cast<long long>(kTotalCells / (g * g))),
+                 Table::integer(2 * kN / g) + " cells/slot",
+                 Table::sci(g_r[i * 2], 2), Table::sci(g_r[i * 2 + 1], 2)});
+    }
+    t.print();
 
-  std::printf(
-      "\nShape check vs paper: under uniform traffic, splitting the pool raises\n"
-      "loss monotonically at equal total capacity (statistical multiplexing\n"
-      "lost), while each block's required memory throughput falls as 2n/g --\n"
-      "exactly the trade section 2.2 describes. The HOTSPOT column shows the\n"
-      "inverse: one unrestricted shared pool gets hogged by cells for the\n"
-      "saturated output, starving everyone (the classic shared-buffer hogging\n"
-      "problem); partitioning isolates the damage. Real shared-buffer switches\n"
-      "add per-output occupancy limits for this reason -- see the\n"
-      "out_queue_limit extension of SharedBufferModel and bench_a3's companion\n"
-      "sweep below.\n");
+    std::printf("\nLoss vs load at g = 2 (the compromise point):\n\n");
+    Table s({"load", "loss (g=1 shared)", "loss (g=2)", "loss (g=4)"});
+    const std::vector<double> s_loads = {0.7, 0.8, 0.9, 0.95};
+    std::vector<std::function<double()>> s_points;
+    const std::vector<unsigned> s_gran = {1u, 2u, 4u};
+    for (double load : s_loads)
+      for (std::size_t gi = 0; gi < s_gran.size(); ++gi) {
+        const unsigned g = s_gran[gi];
+        const std::uint64_t seed = 421 + gi;  // Original column seeds: 421, 422, 423.
+        s_points.push_back([g, load, seed] { return loss_at(g, load, false, seed); });
+      }
+    const std::vector<double> s_r = runner.run(std::move(s_points));
+    for (std::size_t i = 0; i < s_loads.size(); ++i)
+      s.add_row({Table::num(s_loads[i], 2), Table::sci(s_r[i * 3], 2),
+                 Table::sci(s_r[i * 3 + 1], 2), Table::sci(s_r[i * 3 + 2], 2)});
+    s.print();
 
-  std::printf("\nPer-output occupancy limits on the g=1 shared pool (hotspot 0.3,\n"
-              "load 0.9): capping any one output's share of the 128-cell pool\n"
-              "restores the non-hot traffic without giving up sharing:\n\n");
-  Table lim({"per-output limit", "loss overall", "delivered/slot"});
-  for (std::size_t cap : {std::size_t{0}, std::size_t{64}, std::size_t{16}, std::size_t{8}}) {
-    SharedBufferModel m(kN, kTotalCells, cap);
-    HotspotDest dests(kN, 0, 0.3);
-    SlotTraffic traffic(kN, 0.9, &dests, Rng(499));
-    run_slot_sim(m, traffic, kSlots, 0);
-    lim.add_row({cap == 0 ? "none" : Table::integer(static_cast<long long>(cap)),
-                 Table::sci(m.counts().loss_ratio(), 2),
-                 Table::num(static_cast<double>(m.counts().delivered) / kSlots, 2)});
-  }
-  lim.print();
-  return 0;
+    std::printf(
+        "\nShape check vs paper: under uniform traffic, splitting the pool raises\n"
+        "loss monotonically at equal total capacity (statistical multiplexing\n"
+        "lost), while each block's required memory throughput falls as 2n/g --\n"
+        "exactly the trade section 2.2 describes. The HOTSPOT column shows the\n"
+        "inverse: one unrestricted shared pool gets hogged by cells for the\n"
+        "saturated output, starving everyone (the classic shared-buffer hogging\n"
+        "problem); partitioning isolates the damage. Real shared-buffer switches\n"
+        "add per-output occupancy limits for this reason -- see the\n"
+        "out_queue_limit extension of SharedBufferModel and bench_a3's companion\n"
+        "sweep below.\n");
+
+    std::printf("\nPer-output occupancy limits on the g=1 shared pool (hotspot 0.3,\n"
+                "load 0.9): capping any one output's share of the 128-cell pool\n"
+                "restores the non-hot traffic without giving up sharing:\n\n");
+    Table lim({"per-output limit", "loss overall", "delivered/slot"});
+    for (std::size_t cap : {std::size_t{0}, std::size_t{64}, std::size_t{16}, std::size_t{8}}) {
+      SharedBufferModel m(kN, kTotalCells, cap);
+      HotspotDest dests(kN, 0, 0.3);
+      SlotTraffic traffic(kN, 0.9, &dests, Rng(499));
+      run_slot_sim(m, traffic, kSlots, 0);
+      lim.add_row({cap == 0 ? "none" : Table::integer(static_cast<long long>(cap)),
+                   Table::sci(m.counts().loss_ratio(), 2),
+                   Table::num(static_cast<double>(m.counts().delivered) / kSlots, 2)});
+      ctx.json.metric("hotspot loss (limit " + std::string(cap == 0 ? "none" : std::to_string(cap)) + ")",
+                      m.counts().loss_ratio());
+    }
+    lim.print();
+    return 0;
+      });
 }

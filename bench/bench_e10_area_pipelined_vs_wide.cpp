@@ -18,63 +18,62 @@ using namespace pmsb;
 using namespace pmsb::area;
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  const exp::WallTimer timer;
-  print_banner("E10", "pipelined vs wide-memory peripheral area (section 5.2)");
-  pmsb::bench::BenchJson bj("e10_area_pipelined_vs_wide");
-  const TechParams tech = full_custom_1um();
+  return pmsb::bench::Main(
+      argc, argv, {"E10", "pipelined vs wide-memory peripheral area (section 5.2)", "e10_area_pipelined_vs_wide"},
+      [](pmsb::bench::BenchContext& ctx) {
+        pmsb::bench::BenchJson& bj = ctx.json;
+    const TechParams tech = full_custom_1um();
 
-  std::printf("\nComponent inventory at Telegraphos III parameters (n=8, w=16, D=256):\n\n");
-  const PeriphInventory pipe = pipelined_inventory(8, 16, 256);
-  const PeriphInventory wide = wide_inventory(8, 16, 256);
-  Table inv({"component", "pipelined", "wide memory"});
-  inv.add_row({"data register bits", Table::num(pipe.data_reg_bits, 0),
-               Table::num(wide.data_reg_bits, 0)});
-  inv.add_row({"control register bits", Table::num(pipe.ctrl_reg_bits, 0),
-               Table::num(wide.ctrl_reg_bits, 0)});
-  inv.add_row({"tristate driver bits", Table::num(pipe.driver_bits, 0),
-               Table::num(wide.driver_bits, 0)});
-  inv.add_row({"word-line pipeline FFs", Table::num(pipe.line_pipe_bits, 0),
-               Table::num(wide.line_pipe_bits, 0)});
-  inv.add_row({"address decoders", Table::num(pipe.decoder_instances, 0),
-               Table::num(wide.decoder_instances, 0)});
-  inv.add_row({"crossbar wire crossings", Table::num(pipe.crossbar_crossings, 0),
-               Table::num(wide.crossbar_crossings, 0)});
-  inv.print();
+    std::printf("\nComponent inventory at Telegraphos III parameters (n=8, w=16, D=256):\n\n");
+    const PeriphInventory pipe = pipelined_inventory(8, 16, 256);
+    const PeriphInventory wide = wide_inventory(8, 16, 256);
+    Table inv({"component", "pipelined", "wide memory"});
+    inv.add_row({"data register bits", Table::num(pipe.data_reg_bits, 0),
+                 Table::num(wide.data_reg_bits, 0)});
+    inv.add_row({"control register bits", Table::num(pipe.ctrl_reg_bits, 0),
+                 Table::num(wide.ctrl_reg_bits, 0)});
+    inv.add_row({"tristate driver bits", Table::num(pipe.driver_bits, 0),
+                 Table::num(wide.driver_bits, 0)});
+    inv.add_row({"word-line pipeline FFs", Table::num(pipe.line_pipe_bits, 0),
+                 Table::num(wide.line_pipe_bits, 0)});
+    inv.add_row({"address decoders", Table::num(pipe.decoder_instances, 0),
+                 Table::num(wide.decoder_instances, 0)});
+    inv.add_row({"crossbar wire crossings", Table::num(pipe.crossbar_crossings, 0),
+                 Table::num(wide.crossbar_crossings, 0)});
+    inv.print();
 
-  const double pipe_mm2 = peripheral_mm2(pipe, tech);
-  const double wide_mm2 = peripheral_mm2(wide, tech);
-  std::printf("\nPeripheral area in %s:\n\n", tech.name.c_str());
-  Table t({"organization", "measured mm^2", "paper mm^2"});
-  t.add_row({"pipelined memory (Telegraphos III)", Table::num(pipe_mm2, 1), "~9 (anchor)"});
-  t.add_row({"wide memory ([KaSC91] adjusted)", Table::num(wide_mm2, 1), "~13"});
-  t.print();
-  std::printf("\npipelined / wide = %.2f  (paper: ~0.7, 'about 30%% smaller')\n",
-              pipe_mm2 / wide_mm2);
+    const double pipe_mm2 = peripheral_mm2(pipe, tech);
+    const double wide_mm2 = peripheral_mm2(wide, tech);
+    std::printf("\nPeripheral area in %s:\n\n", tech.name.c_str());
+    Table t({"organization", "measured mm^2", "paper mm^2"});
+    t.add_row({"pipelined memory (Telegraphos III)", Table::num(pipe_mm2, 1), "~9 (anchor)"});
+    t.add_row({"wide memory ([KaSC91] adjusted)", Table::num(wide_mm2, 1), "~13"});
+    t.print();
+    std::printf("\npipelined / wide = %.2f  (paper: ~0.7, 'about 30%% smaller')\n",
+                pipe_mm2 / wide_mm2);
 
-  std::printf("\nScaling with port count (w=16, D=256):\n\n");
-  Table sweep({"n", "pipelined mm^2", "wide mm^2", "ratio"});
-  for (unsigned n : {2u, 4u, 8u, 16u}) {
-    const double p = peripheral_mm2(pipelined_inventory(n, 16, 256), tech);
-    const double w = peripheral_mm2(wide_inventory(n, 16, 256), tech);
-    sweep.add_row({Table::integer(n), Table::num(p, 2), Table::num(w, 2), Table::num(p / w, 2)});
-  }
-  sweep.print();
+    std::printf("\nScaling with port count (w=16, D=256):\n\n");
+    Table sweep({"n", "pipelined mm^2", "wide mm^2", "ratio"});
+    for (unsigned n : {2u, 4u, 8u, 16u}) {
+      const double p = peripheral_mm2(pipelined_inventory(n, 16, 256), tech);
+      const double w = peripheral_mm2(wide_inventory(n, 16, 256), tech);
+      sweep.add_row({Table::integer(n), Table::num(p, 2), Table::num(w, 2), Table::num(p / w, 2)});
+    }
+    sweep.print();
 
-  bj.metric("pipelined_periph_mm2", pipe_mm2);
-  bj.metric("wide_periph_mm2", wide_mm2);
-  bj.metric("pipelined_over_wide_ratio", pipe_mm2 / wide_mm2);
-  bj.metric("occupancy", pipe_mm2);  // Area benches report mm^2 as the resource figure.
-  bj.add_table("component inventory", inv);
-  bj.add_table("peripheral area", t);
-  bj.add_table("scaling with port count", sweep);
-  bj.finish_runtime(timer);
-  bj.write();
+    bj.metric("pipelined_periph_mm2", pipe_mm2);
+    bj.metric("wide_periph_mm2", wide_mm2);
+    bj.metric("pipelined_over_wide_ratio", pipe_mm2 / wide_mm2);
+    bj.metric("occupancy", pipe_mm2);  // Area benches report mm^2 as the resource figure.
+    bj.add_table("component inventory", inv);
+    bj.add_table("peripheral area", t);
+    bj.add_table("scaling with port count", sweep);
 
-  std::printf(
-      "\nShape check vs paper: double input/output buffering and the bypass\n"
-      "drivers make the wide periphery ~1.4-1.5x the pipelined one at n >= 4\n"
-      "(n = 2 is below the crossover: there the decoded word-line pipeline\n"
-      "dominates -- an honest model artifact, see tests/test_area.cpp).\n");
-  return 0;
+    std::printf(
+        "\nShape check vs paper: double input/output buffering and the bypass\n"
+        "drivers make the wide periphery ~1.4-1.5x the pipelined one at n >= 4\n"
+        "(n = 2 is below the crossover: there the decoded word-line pipeline\n"
+        "dominates -- an honest model artifact, see tests/test_area.cpp).\n");
+    return 0;
+      });
 }

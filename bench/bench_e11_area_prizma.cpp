@@ -52,65 +52,63 @@ double pipelined_utilization(unsigned n, unsigned cells, Cycle cycles) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  const exp::WallTimer timer;
-  print_banner("E11", "PRIZMA interleaved vs pipelined shared buffer (section 5.3)");
-  BenchJson bj("e11_area_prizma");
-
-  std::printf("\nFunctional equivalence first -- both are full-throughput shared\n"
-              "buffers (saturated uniform traffic, equal capacity in cells):\n\n");
-  Table fn({"n", "capacity (cells)", "PRIZMA util", "pipelined util"});
-  const std::vector<unsigned> fn_sizes = {4u, 8u};
-  std::vector<std::function<double()>> fn_points;
-  for (unsigned n : fn_sizes) {
-    const unsigned cells = 32 * n;
-    fn_points.push_back([n, cells] { return prizma_utilization(n, cells, 30000); });
-    fn_points.push_back([n, cells] { return pipelined_utilization(n, cells, 30000); });
-  }
-  exp::SweepRunner runner;
-  const std::vector<double> fn_r = runner.run(std::move(fn_points));
-  double prizma_util8 = 0, pipelined_util8 = 0;
-  for (std::size_t i = 0; i < fn_sizes.size(); ++i) {
-    const unsigned n = fn_sizes[i];
-    const double pu = fn_r[i * 2];
-    const double su = fn_r[i * 2 + 1];
-    fn.add_row({Table::integer(n), Table::integer(32 * n), Table::num(pu, 3),
-                Table::num(su, 3)});
-    if (n == 8) {
-      prizma_util8 = pu;
-      pipelined_util8 = su;
+  return pmsb::bench::Main(
+      argc, argv, {"E11", "PRIZMA interleaved vs pipelined shared buffer (section 5.3)", "e11_area_prizma"},
+      [](pmsb::bench::BenchContext& ctx) {
+        BenchJson& bj = ctx.json;
+    std::printf("\nFunctional equivalence first -- both are full-throughput shared\n"
+                "buffers (saturated uniform traffic, equal capacity in cells):\n\n");
+    Table fn({"n", "capacity (cells)", "PRIZMA util", "pipelined util"});
+    const std::vector<unsigned> fn_sizes = {4u, 8u};
+    std::vector<std::function<double()>> fn_points;
+    for (unsigned n : fn_sizes) {
+      const unsigned cells = 32 * n;
+      fn_points.push_back([n, cells] { return prizma_utilization(n, cells, 30000); });
+      fn_points.push_back([n, cells] { return pipelined_utilization(n, cells, 30000); });
     }
-  }
-  fn.print();
+    exp::SweepRunner runner;
+    const std::vector<double> fn_r = runner.run(std::move(fn_points));
+    double prizma_util8 = 0, pipelined_util8 = 0;
+    for (std::size_t i = 0; i < fn_sizes.size(); ++i) {
+      const unsigned n = fn_sizes[i];
+      const double pu = fn_r[i * 2];
+      const double su = fn_r[i * 2 + 1];
+      fn.add_row({Table::integer(n), Table::integer(32 * n), Table::num(pu, 3),
+                  Table::num(su, 3)});
+      if (n == 8) {
+        prizma_util8 = pu;
+        pipelined_util8 = su;
+      }
+    }
+    fn.print();
 
-  std::printf("\nCrossbar complexity (the section 5.3 argument): PRIZMA's router and\n"
-              "selector connect n links to M banks; the pipelined memory's two\n"
-              "datapath blocks connect n links to 2n stages:\n\n");
-  Table t({"n", "M (cells)", "PRIZMA ~ n x M", "pipelined ~ n x 2n", "cost ratio",
-           "paper"});
-  for (auto [n, m] : {std::pair{8u, 256u}, {4u, 64u}, {8u, 64u}, {16u, 256u}}) {
-    t.add_row({Table::integer(n), Table::integer(m),
-               Table::integer(static_cast<long long>(n) * m),
-               Table::integer(static_cast<long long>(n) * 2 * n),
-               Table::num(area::prizma_crossbar_ratio(n, m), 1),
-               (n == 8 && m == 256) ? "16x (Telegraphos III scale)" : "-"});
-  }
-  t.print();
+    std::printf("\nCrossbar complexity (the section 5.3 argument): PRIZMA's router and\n"
+                "selector connect n links to M banks; the pipelined memory's two\n"
+                "datapath blocks connect n links to 2n stages:\n\n");
+    Table t({"n", "M (cells)", "PRIZMA ~ n x M", "pipelined ~ n x 2n", "cost ratio",
+             "paper"});
+    for (auto [n, m] : {std::pair{8u, 256u}, {4u, 64u}, {8u, 64u}, {16u, 256u}}) {
+      t.add_row({Table::integer(n), Table::integer(m),
+                 Table::integer(static_cast<long long>(n) * m),
+                 Table::integer(static_cast<long long>(n) * 2 * n),
+                 Table::num(area::prizma_crossbar_ratio(n, m), 1),
+                 (n == 8 && m == 256) ? "16x (Telegraphos III scale)" : "-"});
+    }
+    t.print();
 
-  bj.metric("throughput", pipelined_util8);
-  bj.metric("prizma_utilization_n8", prizma_util8);
-  bj.metric("pipelined_utilization_n8", pipelined_util8);
-  bj.metric("occupancy", area::prizma_crossbar_ratio(8, 256));
-  bj.metric("crossbar_cost_ratio_t3_scale", area::prizma_crossbar_ratio(8, 256));
-  bj.add_table("functional equivalence", fn);
-  bj.add_table("crossbar complexity", t);
-  bj.finish_runtime(timer);
-  bj.write();
+    bj.metric("throughput", pipelined_util8);
+    bj.metric("prizma_utilization_n8", prizma_util8);
+    bj.metric("pipelined_utilization_n8", pipelined_util8);
+    bj.metric("occupancy", area::prizma_crossbar_ratio(8, 256));
+    bj.metric("crossbar_cost_ratio_t3_scale", area::prizma_crossbar_ratio(8, 256));
+    bj.add_table("functional equivalence", fn);
+    bj.add_table("crossbar complexity", t);
 
-  std::printf(
-      "\nShape check vs paper: equal delivered performance, but the interleaved\n"
-      "organization's steering crossbars scale with the buffer CAPACITY (M)\n"
-      "instead of the port count (2n) -- 16x at 2n = 16, M = 256. The PRIZMA\n"
-      "banks were even granted a free extra port (1R1W) in our model.\n");
-  return 0;
+    std::printf(
+        "\nShape check vs paper: equal delivered performance, but the interleaved\n"
+        "organization's steering crossbars scale with the buffer CAPACITY (M)\n"
+        "instead of the port count (2n) -- 16x at 2n = 16, M = 256. The PRIZMA\n"
+        "banks were even granted a free extra port (1R1W) in our model.\n");
+    return 0;
+      });
 }

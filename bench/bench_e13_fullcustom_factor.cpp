@@ -17,49 +17,47 @@ using namespace pmsb;
 using namespace pmsb::area;
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  const exp::WallTimer timer;
-  print_banner("E13", "full-custom vs standard-cell factor (section 4.4)");
-  pmsb::bench::BenchJson bj("e13_fullcustom_factor");
+  return pmsb::bench::Main(
+      argc, argv, {"E13", "full-custom vs standard-cell factor (section 4.4)", "e13_fullcustom_factor"},
+      [](pmsb::bench::BenchContext& ctx) {
+        pmsb::bench::BenchJson& bj = ctx.json;
+    const FullCustomGain g = full_custom_gain();
+    std::printf("\nThe 'factor of 22' decomposition:\n\n");
+    Table t({"axis", "factor", "evidence"});
+    t.add_row({"links (8x8 vs 4x4)", Table::num(g.link_factor, 1), "T-III vs T-II geometry"});
+    t.add_row({"clock (16 ns vs 40 ns)", Table::num(g.clock_factor, 1),
+               Table::num(std_cell_1um().cycle_ns_worst / full_custom_1um().cycle_ns_worst, 1) +
+                   "x from the model's corners"});
+    t.add_row({"peripheral area", Table::num(g.area_factor, 1), "std-cell penalty in the model"});
+    t.add_row({"combined", Table::num(g.combined(), 1), "paper: 'approximately a factor of 22'"});
+    t.print();
 
-  const FullCustomGain g = full_custom_gain();
-  std::printf("\nThe 'factor of 22' decomposition:\n\n");
-  Table t({"axis", "factor", "evidence"});
-  t.add_row({"links (8x8 vs 4x4)", Table::num(g.link_factor, 1), "T-III vs T-II geometry"});
-  t.add_row({"clock (16 ns vs 40 ns)", Table::num(g.clock_factor, 1),
-             Table::num(std_cell_1um().cycle_ns_worst / full_custom_1um().cycle_ns_worst, 1) +
-                 "x from the model's corners"});
-  t.add_row({"peripheral area", Table::num(g.area_factor, 1), "std-cell penalty in the model"});
-  t.add_row({"combined", Table::num(g.combined(), 1), "paper: 'approximately a factor of 22'"});
-  t.print();
+    std::printf("\nQuadratic growth of the peripheral area with link count (std cells):\n\n");
+    Table sq({"configuration", "peripheral mm^2", "vs full-custom 8x8 (9 mm^2)"});
+    for (unsigned n : {4u, 8u, 16u}) {
+      const double mm2 = std_cell_periph_mm2(n);
+      sq.add_row({Table::integer(n) + "x" + Table::integer(n) + " standard cells",
+                  Table::num(mm2, 0), Table::num(mm2 / 9.0, 1) + "x"});
+    }
+    sq.print();
+    std::printf("\n(paper: 41 mm^2 at 4x4; the 8x8 standard-cell periphery is ~18x the\n"
+                "9 mm^2 full-custom one)\n");
 
-  std::printf("\nQuadratic growth of the peripheral area with link count (std cells):\n\n");
-  Table sq({"configuration", "peripheral mm^2", "vs full-custom 8x8 (9 mm^2)"});
-  for (unsigned n : {4u, 8u, 16u}) {
-    const double mm2 = std_cell_periph_mm2(n);
-    sq.add_row({Table::integer(n) + "x" + Table::integer(n) + " standard cells",
-                Table::num(mm2, 0), Table::num(mm2 / 9.0, 1) + "x"});
-  }
-  sq.print();
-  std::printf("\n(paper: 41 mm^2 at 4x4; the 8x8 standard-cell periphery is ~18x the\n"
-              "9 mm^2 full-custom one)\n");
+    std::printf("\nCross-check with the component model (same inventory, both flows):\n\n");
+    const PeriphInventory inv8 = pipelined_inventory(8, 16, 256);
+    Table xc({"flow", "model mm^2"});
+    xc.add_row({"full-custom 1.0 um", Table::num(peripheral_mm2(inv8, full_custom_1um()), 1)});
+    xc.add_row({"standard cells 1.0 um", Table::num(peripheral_mm2(inv8, std_cell_1um()), 1)});
+    xc.print();
 
-  std::printf("\nCross-check with the component model (same inventory, both flows):\n\n");
-  const PeriphInventory inv8 = pipelined_inventory(8, 16, 256);
-  Table xc({"flow", "model mm^2"});
-  xc.add_row({"full-custom 1.0 um", Table::num(peripheral_mm2(inv8, full_custom_1um()), 1)});
-  xc.add_row({"standard cells 1.0 um", Table::num(peripheral_mm2(inv8, std_cell_1um()), 1)});
-  xc.print();
-
-  bj.metric("link_factor", g.link_factor);
-  bj.metric("clock_factor", g.clock_factor);
-  bj.metric("area_factor", g.area_factor);
-  bj.metric("combined_factor", g.combined());
-  bj.metric("occupancy", std_cell_periph_mm2(8));  // mm^2 of the 8x8 std-cell periphery.
-  bj.add_table("factor-of-22 decomposition", t);
-  bj.add_table("quadratic growth with link count", sq);
-  bj.add_table("component-model cross-check", xc);
-  bj.finish_runtime(timer);
-  bj.write();
-  return 0;
+    bj.metric("link_factor", g.link_factor);
+    bj.metric("clock_factor", g.clock_factor);
+    bj.metric("area_factor", g.area_factor);
+    bj.metric("combined_factor", g.combined());
+    bj.metric("occupancy", std_cell_periph_mm2(8));  // mm^2 of the 8x8 std-cell periphery.
+    bj.add_table("factor-of-22 decomposition", t);
+    bj.add_table("quadratic growth with link count", sq);
+    bj.add_table("component-model cross-check", xc);
+    return 0;
+      });
 }

@@ -32,89 +32,88 @@ double saturation(const std::function<std::unique_ptr<SlotModel>()>& make, unsig
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  const exp::WallTimer timer;
-  print_banner("E1", "saturation throughput by architecture (section 2.1, [KaHM87])");
-  BenchJson bj("e1_saturation");
-  exp::SweepRunner runner;
+  return pmsb::bench::Main(
+      argc, argv, {"E1", "saturation throughput by architecture (section 2.1, [KaHM87])", "e1_saturation"},
+      [](pmsb::bench::BenchContext& ctx) {
+        BenchJson& bj = ctx.json;
+    exp::SweepRunner runner;
 
-  std::printf("\nSaturation throughput (offered load 1.0, uniform destinations):\n");
-  Table sat({"n", "input FIFO", "VOQ+PIM(4)", "output", "shared", "crosspoint",
-             "paper: input FIFO"});
-  // Five architectures per switch size; every point owns its model and Rng,
-  // so all 20 runs go through the sweep runner at once.
-  const std::vector<unsigned> sizes = {4u, 8u, 16u, 32u};
-  std::vector<std::function<double()>> sat_points;
-  for (unsigned n : sizes) {
-    sat_points.push_back([n] {
-      return saturation([&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(10 + n)); },
-                        n, n);
-    });
-    sat_points.push_back([n] {
-      return saturation([&] { return std::make_unique<VoqPim>(n, 0, 4, Rng(20 + n)); }, n,
-                        n + 1);
-    });
-    sat_points.push_back(
-        [n] { return saturation([&] { return std::make_unique<OutputQueueing>(n, 0); }, n, n + 2); });
-    sat_points.push_back([n] {
-      return saturation([&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, n + 3);
-    });
-    sat_points.push_back([n] {
-      return saturation([&] { return std::make_unique<CrosspointQueueing>(n, 0); }, n, n + 4);
-    });
-  }
-  const std::vector<double> sat_r = runner.run(std::move(sat_points));
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    const unsigned n = sizes[i];
-    const double* v = &sat_r[i * 5];
-    sat.add_row({Table::integer(n), Table::num(v[0]), Table::num(v[1]), Table::num(v[2]),
-                 Table::num(v[3]), Table::num(v[4]),
-                 n >= 32 ? "~0.586 (2-sqrt 2)" : "> 0.586"});
-  }
-  sat.print();
+    std::printf("\nSaturation throughput (offered load 1.0, uniform destinations):\n");
+    Table sat({"n", "input FIFO", "VOQ+PIM(4)", "output", "shared", "crosspoint",
+               "paper: input FIFO"});
+    // Five architectures per switch size; every point owns its model and Rng,
+    // so all 20 runs go through the sweep runner at once.
+    const std::vector<unsigned> sizes = {4u, 8u, 16u, 32u};
+    std::vector<std::function<double()>> sat_points;
+    for (unsigned n : sizes) {
+      sat_points.push_back([n] {
+        return saturation([&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(10 + n)); },
+                          n, n);
+      });
+      sat_points.push_back([n] {
+        return saturation([&] { return std::make_unique<VoqPim>(n, 0, 4, Rng(20 + n)); }, n,
+                          n + 1);
+      });
+      sat_points.push_back(
+          [n] { return saturation([&] { return std::make_unique<OutputQueueing>(n, 0); }, n, n + 2); });
+      sat_points.push_back([n] {
+        return saturation([&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, n + 3);
+      });
+      sat_points.push_back([n] {
+        return saturation([&] { return std::make_unique<CrosspointQueueing>(n, 0); }, n, n + 4);
+      });
+    }
+    const std::vector<double> sat_r = runner.run(std::move(sat_points));
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const unsigned n = sizes[i];
+      const double* v = &sat_r[i * 5];
+      sat.add_row({Table::integer(n), Table::num(v[0]), Table::num(v[1]), Table::num(v[2]),
+                   Table::num(v[3]), Table::num(v[4]),
+                   n >= 32 ? "~0.586 (2-sqrt 2)" : "> 0.586"});
+    }
+    sat.print();
 
-  std::printf(
-      "\nThroughput vs offered load, n = 16 (head-of-line blocking caps the\n"
-      "input-queued curve; the shared buffer tracks the offered load):\n");
-  Table series({"offered", "input FIFO", "shared", "crosspoint"});
-  const unsigned n = 16;
-  std::vector<double> loads;
-  for (double load = 0.1; load < 1.05; load += 0.1) loads.push_back(load);
-  std::vector<std::function<SlotRun()>> series_points;
-  for (double load : loads) {
-    series_points.push_back([n, load] {
-      return run_uniform([&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(31)); }, n,
-                         load, kSlots, 41);
-    });
-    series_points.push_back([n, load] {
-      return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, load,
-                         kSlots, 42);
-    });
-    series_points.push_back([n, load] {
-      return run_uniform([&] { return std::make_unique<CrosspointQueueing>(n, 0); }, n, load,
-                         kSlots, 43);
-    });
-  }
-  const std::vector<SlotRun> series_r = runner.run(std::move(series_points));
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    series.add_row({Table::num(loads[i], 1), Table::num(series_r[i * 3].throughput),
-                    Table::num(series_r[i * 3 + 1].throughput),
-                    Table::num(series_r[i * 3 + 2].throughput)});
-  }
-  series.print();
-  const SlotRun shared_last = series_r[(loads.size() - 1) * 3 + 1];
+    std::printf(
+        "\nThroughput vs offered load, n = 16 (head-of-line blocking caps the\n"
+        "input-queued curve; the shared buffer tracks the offered load):\n");
+    Table series({"offered", "input FIFO", "shared", "crosspoint"});
+    const unsigned n = 16;
+    std::vector<double> loads;
+    for (double load = 0.1; load < 1.05; load += 0.1) loads.push_back(load);
+    std::vector<std::function<SlotRun()>> series_points;
+    for (double load : loads) {
+      series_points.push_back([n, load] {
+        return run_uniform([&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(31)); }, n,
+                           load, kSlots, 41);
+      });
+      series_points.push_back([n, load] {
+        return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, load,
+                           kSlots, 42);
+      });
+      series_points.push_back([n, load] {
+        return run_uniform([&] { return std::make_unique<CrosspointQueueing>(n, 0); }, n, load,
+                           kSlots, 43);
+      });
+    }
+    const std::vector<SlotRun> series_r = runner.run(std::move(series_points));
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      series.add_row({Table::num(loads[i], 1), Table::num(series_r[i * 3].throughput),
+                      Table::num(series_r[i * 3 + 1].throughput),
+                      Table::num(series_r[i * 3 + 2].throughput)});
+    }
+    series.print();
+    const SlotRun shared_last = series_r[(loads.size() - 1) * 3 + 1];
 
-  bj.metric("throughput", shared_last.throughput);
-  bj.metric("mean_latency", shared_last.mean_latency);
-  bj.metric("p99_latency", static_cast<double>(shared_last.p99_latency));
-  bj.metric("loss", shared_last.loss);
-  bj.add_table("saturation throughput by architecture", sat);
-  bj.add_table("throughput vs offered load, n=16", series);
-  bj.finish_runtime(timer);
-  bj.write();
+    bj.metric("throughput", shared_last.throughput);
+    bj.metric("mean_latency", shared_last.mean_latency);
+    bj.metric("p99_latency", static_cast<double>(shared_last.p99_latency));
+    bj.metric("loss", shared_last.loss);
+    bj.add_table("saturation throughput by architecture", sat);
+    bj.add_table("throughput vs offered load, n=16", series);
 
-  std::printf(
-      "\nShape check vs paper: FIFO input queueing flattens near 0.59 for large n\n"
-      "(paper/[KaHM87]: ~0.586); all other organizations track offered load to ~1.0.\n");
-  return 0;
+    std::printf(
+        "\nShape check vs paper: FIFO input queueing flattens near 0.59 for large n\n"
+        "(paper/[KaHM87]: ~0.586); all other organizations track offered load to ~1.0.\n");
+    return 0;
+      });
 }

@@ -47,81 +47,79 @@ Point run_point(double rate, unsigned buffer_flits, unsigned message_flits,
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  const exp::WallTimer timer;
-  print_banner("E2", "bursty wormhole traffic (section 2.1, [Dally90 fig. 8, 1 lane])");
-  BenchJson bj("e2_bursty_wormhole");
+  return pmsb::bench::Main(
+      argc, argv, {"E2", "bursty wormhole traffic (section 2.1, [Dally90 fig. 8, 1 lane])", "e2_bursty_wormhole"},
+      [](pmsb::bench::BenchContext& ctx) {
+        BenchJson& bj = ctx.json;
+    // All three sweeps (rate series, buffer/message ablation, lane count) are
+    // independent network instances: submit the whole grid at once and print
+    // the tables from the ordered results.
+    const std::vector<double> rates = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.60, 0.90};
+    const std::vector<std::pair<unsigned, unsigned>> ablation = {
+        {20u, 4u}, {20u, 16u}, {20u, 64u}, {8u, 4u}, {8u, 16u}, {8u, 64u}};
+    const std::vector<unsigned> lane_counts = {1u, 2u, 4u};
+    std::vector<std::function<Point()>> points;
+    for (double rate : rates)
+      points.push_back([rate] { return run_point(rate, 16, 20, 7); });
+    for (auto [msg, buf] : ablation)
+      points.push_back([msg = msg, buf = buf] { return run_point(0.9, buf, msg, 9); });
+    for (unsigned l : lane_counts)
+      points.push_back([l] { return run_point(0.9, 16, 20, 10, l); });
+    exp::SweepRunner runner;
+    const std::vector<Point> results = runner.run(std::move(points));
 
-  // All three sweeps (rate series, buffer/message ablation, lane count) are
-  // independent network instances: submit the whole grid at once and print
-  // the tables from the ordered results.
-  const std::vector<double> rates = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.60, 0.90};
-  const std::vector<std::pair<unsigned, unsigned>> ablation = {
-      {20u, 4u}, {20u, 16u}, {20u, 64u}, {8u, 4u}, {8u, 16u}, {8u, 64u}};
-  const std::vector<unsigned> lane_counts = {1u, 2u, 4u};
-  std::vector<std::function<Point()>> points;
-  for (double rate : rates)
-    points.push_back([rate] { return run_point(rate, 16, 20, 7); });
-  for (auto [msg, buf] : ablation)
-    points.push_back([msg = msg, buf = buf] { return run_point(0.9, buf, msg, 9); });
-  for (unsigned l : lane_counts)
-    points.push_back([l] { return run_point(0.9, 16, 20, 10, l); });
-  exp::SweepRunner runner;
-  const std::vector<Point> results = runner.run(std::move(points));
+    std::printf(
+        "\n8x8 mesh, single-lane wormhole routers, 20-flit messages, 16-flit\n"
+        "input buffers, uniform destinations. Latency is head-injection to\n"
+        "tail-ejection; saturation shows as accepted << offered + exploding\n"
+        "backlog. Paper citation: saturation at ~25%% of link capacity.\n\n");
 
-  std::printf(
-      "\n8x8 mesh, single-lane wormhole routers, 20-flit messages, 16-flit\n"
-      "input buffers, uniform destinations. Latency is head-injection to\n"
-      "tail-ejection; saturation shows as accepted << offered + exploding\n"
-      "backlog. Paper citation: saturation at ~25%% of link capacity.\n\n");
+    Table t({"offered (flits/node/cy)", "accepted", "mean latency (cy)", "source backlog"});
+    double saturation = 0;
+    double light_latency = 0;
+    std::uint64_t peak_backlog = 0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const Point& p = results[i];
+      t.add_row({Table::num(p.offered, 2), Table::num(p.accepted, 3), Table::num(p.latency, 1),
+                 Table::integer(static_cast<long long>(p.backlog))});
+      saturation = std::max(saturation, p.accepted);
+      if (rates[i] == 0.05) light_latency = p.latency;
+      peak_backlog = std::max(peak_backlog, p.backlog);
+    }
+    t.print();
+    std::printf("\nMeasured saturation throughput: %.3f flits/node/cycle (paper: ~0.25).\n",
+                saturation);
 
-  Table t({"offered (flits/node/cy)", "accepted", "mean latency (cy)", "source backlog"});
-  double saturation = 0;
-  double light_latency = 0;
-  std::uint64_t peak_backlog = 0;
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    const Point& p = results[i];
-    t.add_row({Table::num(p.offered, 2), Table::num(p.accepted, 3), Table::num(p.latency, 1),
-               Table::integer(static_cast<long long>(p.backlog))});
-    saturation = std::max(saturation, p.accepted);
-    if (rates[i] == 0.05) light_latency = p.latency;
-    peak_backlog = std::max(peak_backlog, p.backlog);
-  }
-  t.print();
-  std::printf("\nMeasured saturation throughput: %.3f flits/node/cycle (paper: ~0.25).\n",
-              saturation);
+    std::printf(
+        "\nAblation -- buffer depth vs message length (offered 0.9, the same\n"
+        "mesh): deeper buffers relieve the 1-lane coupling, shorter messages\n"
+        "relieve it too; 'messages longer than buffers' is the painful corner.\n\n");
+    Table ab({"message flits", "buffer flits", "accepted at offered 0.9"});
+    for (std::size_t i = 0; i < ablation.size(); ++i) {
+      const Point& p = results[rates.size() + i];
+      ab.add_row({Table::integer(ablation[i].first), Table::integer(ablation[i].second),
+                  Table::num(p.accepted, 3)});
+    }
+    ab.print();
 
-  std::printf(
-      "\nAblation -- buffer depth vs message length (offered 0.9, the same\n"
-      "mesh): deeper buffers relieve the 1-lane coupling, shorter messages\n"
-      "relieve it too; 'messages longer than buffers' is the painful corner.\n\n");
-  Table ab({"message flits", "buffer flits", "accepted at offered 0.9"});
-  for (std::size_t i = 0; i < ablation.size(); ++i) {
-    const Point& p = results[rates.size() + i];
-    ab.add_row({Table::integer(ablation[i].first), Table::integer(ablation[i].second),
-                Table::num(p.accepted, 3)});
-  }
-  ab.print();
+    std::printf(
+        "\nVirtual-channel lanes ([Dally90]'s remedy) at CONSTANT total buffering\n"
+        "(16 flits/port, 20-flit messages, offered 0.9): the '1 lane' case the\n"
+        "paper cites is the worst point of Dally's own figure:\n\n");
+    Table lanes({"lanes", "flits per lane", "accepted at offered 0.9"});
+    for (std::size_t i = 0; i < lane_counts.size(); ++i) {
+      const Point& p = results[rates.size() + ablation.size() + i];
+      lanes.add_row({Table::integer(lane_counts[i]), Table::integer(16 / lane_counts[i]),
+                     Table::num(p.accepted, 3)});
+    }
+    lanes.print();
 
-  std::printf(
-      "\nVirtual-channel lanes ([Dally90]'s remedy) at CONSTANT total buffering\n"
-      "(16 flits/port, 20-flit messages, offered 0.9): the '1 lane' case the\n"
-      "paper cites is the worst point of Dally's own figure:\n\n");
-  Table lanes({"lanes", "flits per lane", "accepted at offered 0.9"});
-  for (std::size_t i = 0; i < lane_counts.size(); ++i) {
-    const Point& p = results[rates.size() + ablation.size() + i];
-    lanes.add_row({Table::integer(lane_counts[i]), Table::integer(16 / lane_counts[i]),
-                   Table::num(p.accepted, 3)});
-  }
-  lanes.print();
-
-  bj.metric("throughput", saturation);
-  bj.metric("mean_latency", light_latency);
-  bj.metric("occupancy", static_cast<double>(peak_backlog));
-  bj.add_table("latency vs accepted traffic", t);
-  bj.add_table("buffer depth vs message length", ab);
-  bj.add_table("virtual-channel lanes", lanes);
-  bj.finish_runtime(timer);
-  bj.write();
-  return 0;
+    bj.metric("throughput", saturation);
+    bj.metric("mean_latency", light_latency);
+    bj.metric("occupancy", static_cast<double>(peak_backlog));
+    bj.add_table("latency vs accepted traffic", t);
+    bj.add_table("buffer depth vs message length", ab);
+    bj.add_table("virtual-channel lanes", lanes);
+    return 0;
+      });
 }

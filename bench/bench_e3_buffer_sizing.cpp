@@ -46,129 +46,128 @@ double loss_smoothing(std::size_t frame, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  const exp::WallTimer timer;
-  print_banner("E3", "buffer sizing for loss <= 1e-3 (section 2.2, [HlKa88])");
-  BenchJson bj("e3_buffer_sizing");
-  std::printf("\n16x16 switch, uniform Bernoulli arrivals at load 0.8; binary search of\n"
-              "each organization's capacity for cell-loss ratio <= 1e-3.\n\n");
+  return pmsb::bench::Main(
+      argc, argv, {"E3", "buffer sizing for loss <= 1e-3 (section 2.2, [HlKa88])", "e3_buffer_sizing"},
+      [](pmsb::bench::BenchContext& ctx) {
+        BenchJson& bj = ctx.json;
+    std::printf("\n16x16 switch, uniform Bernoulli arrivals at load 0.8; binary search of\n"
+                "each organization's capacity for cell-loss ratio <= 1e-3.\n\n");
 
-  // Each binary search is sequential in its own probes (probe c depends on
-  // the loss at the previous c), but the three searches are independent of
-  // one another, so they run as three parallel sweep points.
-  exp::SweepRunner runner;
-  std::vector<std::function<std::size_t()>> searches;
-  searches.push_back([] {
-    return min_capacity_for_loss([](std::size_t c) { return loss_shared(c, 101); }, 16, 256,
-                                 kTarget);
-  });
-  searches.push_back([] {
-    return min_capacity_for_loss([](std::size_t c) { return loss_output(c, 102); }, 2, 64,
-                                 kTarget);
-  });
-  searches.push_back([] {
-    return min_capacity_for_loss([](std::size_t c) { return loss_smoothing(c, 103); }, 4, 256,
-                                 kTarget);
-  });
-  const std::vector<std::size_t> found = runner.run(std::move(searches));
-  const std::size_t shared_cells = found[0];
-  const std::size_t output_per_port = found[1];
-  const std::size_t smoothing_frame = found[2];
-
-  Table t({"organization", "measured total cells", "measured per port", "paper total",
-           "paper per port"});
-  t.add_row({"shared buffering", Table::integer(static_cast<long long>(shared_cells)),
-             Table::num(static_cast<double>(shared_cells) / kN, 1), "86", "5.4 / output"});
-  t.add_row({"output queueing",
-             Table::integer(static_cast<long long>(output_per_port * kN)),
-             Table::num(static_cast<double>(output_per_port), 1), "178", "11.1 / output"});
-  t.add_row({"input smoothing",
-             Table::integer(static_cast<long long>(smoothing_frame * kN)),
-             Table::num(static_cast<double>(smoothing_frame), 1), "1300", "80 / input"});
-  t.print();
-
-  // Confirmation runs at the found sizes, again mutually independent.
-  std::vector<std::function<double()>> confirms;
-  confirms.push_back([shared_cells] { return loss_shared(shared_cells, 111); });
-  confirms.push_back([output_per_port] { return loss_output(output_per_port, 112); });
-  confirms.push_back([smoothing_frame] { return loss_smoothing(smoothing_frame, 113); });
-  const std::vector<double> confirmed = runner.run(std::move(confirms));
-  const double shared_loss = confirmed[0];
-  std::printf(
-      "\nLoss at the found sizes (shared %zu, output %zu/port, smoothing frame %zu):\n"
-      "  shared: %.2e   output: %.2e   smoothing: %.2e\n",
-      shared_cells, output_per_port, smoothing_frame, shared_loss, confirmed[1], confirmed[2]);
-
-  std::printf(
-      "\nShape check vs paper: shared << output << smoothing, with roughly the\n"
-      "paper's ratios (shared needs ~2x less than output queueing and ~15x less\n"
-      "than input smoothing). Exact values differ slightly from [HlKa88]'s\n"
-      "analytic queueing model; the ordering and magnitudes are the claim.\n");
-
-  // Cross-check: the CYCLE-ACCURATE pipelined switch under slotted arrivals
-  // is the same queueing system as the behavioural shared-buffer model --
-  // their loss ratios at equal capacity must agree.
-  std::printf("\nCross-check, behavioural model vs cycle-accurate pipelined switch\n"
-              "(8x8, 24-cell buffer, slotted arrivals at load 0.9):\n\n");
-  {
-    const unsigned n = 8;
-    const std::size_t cells = 24;
-    const double load = 0.9;
-    const Cycle slots = 200000;
-    std::vector<std::function<double()>> checks;
-    checks.push_back([n, cells, load, slots] {
-      return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, cells); }, n, load,
-                         slots, 707)
-          .loss;
+    // Each binary search is sequential in its own probes (probe c depends on
+    // the loss at the previous c), but the three searches are independent of
+    // one another, so they run as three parallel sweep points.
+    exp::SweepRunner runner;
+    std::vector<std::function<std::size_t()>> searches;
+    searches.push_back([] {
+      return min_capacity_for_loss([](std::size_t c) { return loss_shared(c, 101); }, 16, 256,
+                                   kTarget);
     });
-    checks.push_back([n, cells, load, slots] {
-      return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, cells + n); }, n,
-                         load, slots, 707)
-          .loss;
+    searches.push_back([] {
+      return min_capacity_for_loss([](std::size_t c) { return loss_output(c, 102); }, 2, 64,
+                                   kTarget);
     });
-    checks.push_back([n, cells, load, slots] {
-      SwitchConfig cfg;
-      cfg.n_ports = n;
-      cfg.word_bits = 16;
-      cfg.cell_words = 2 * n;
-      cfg.capacity_segments = static_cast<unsigned>(cells);
-      TrafficSpec spec;
-      spec.arrivals = ArrivalKind::kSlotted;
-      spec.load = load;
-      spec.seed = 708;
-      const CycleRun r = run_pipelined(cfg, spec, slots * 2 * n, 0);
-      return static_cast<double>(r.stats.dropped()) /
-             static_cast<double>(r.stats.heads_seen);
+    searches.push_back([] {
+      return min_capacity_for_loss([](std::size_t c) { return loss_smoothing(c, 103); }, 4, 256,
+                                   kTarget);
     });
-    const std::vector<double> check_r = runner.run(std::move(checks));
-    const double behav = check_r[0];
-    const double behav_plus = check_r[1];
-    const double cyc = check_r[2];
-    Table x({"model", "loss ratio"});
-    x.add_row({"behavioural, 24 cells", Table::sci(behav, 2)});
-    x.add_row({"cycle-accurate pipelined switch, 24 cells", Table::sci(cyc, 2)});
-    x.add_row({"behavioural, 24 + n cells", Table::sci(behav_plus, 2)});
-    x.print();
+    const std::vector<std::size_t> found = runner.run(std::move(searches));
+    const std::size_t shared_cells = found[0];
+    const std::size_t output_per_port = found[1];
+    const std::size_t smoothing_frame = found[2];
 
-    bj.metric("throughput", kLoad * (1.0 - shared_loss));
-    bj.metric("occupancy", static_cast<double>(shared_cells));
-    bj.metric("loss_shared", shared_loss);
-    bj.metric("cells_shared", static_cast<double>(shared_cells));
-    bj.metric("cells_output_per_port", static_cast<double>(output_per_port));
-    bj.metric("cells_smoothing_frame", static_cast<double>(smoothing_frame));
-    bj.metric("crosscheck_loss_behavioural", behav);
-    bj.metric("crosscheck_loss_cycle_accurate", cyc);
-    bj.add_table("buffer sizing for loss <= 1e-3", t);
-    bj.add_table("behavioural vs cycle-accurate loss", x);
-    bj.finish_runtime(timer);
-    bj.write();
+    Table t({"organization", "measured total cells", "measured per port", "paper total",
+             "paper per port"});
+    t.add_row({"shared buffering", Table::integer(static_cast<long long>(shared_cells)),
+               Table::num(static_cast<double>(shared_cells) / kN, 1), "86", "5.4 / output"});
+    t.add_row({"output queueing",
+               Table::integer(static_cast<long long>(output_per_port * kN)),
+               Table::num(static_cast<double>(output_per_port), 1), "178", "11.1 / output"});
+    t.add_row({"input smoothing",
+               Table::integer(static_cast<long long>(smoothing_frame * kN)),
+               Table::num(static_cast<double>(smoothing_frame), 1), "1300", "80 / input"});
+    t.print();
+
+    // Confirmation runs at the found sizes, again mutually independent.
+    std::vector<std::function<double()>> confirms;
+    confirms.push_back([shared_cells] { return loss_shared(shared_cells, 111); });
+    confirms.push_back([output_per_port] { return loss_output(output_per_port, 112); });
+    confirms.push_back([smoothing_frame] { return loss_smoothing(smoothing_frame, 113); });
+    const std::vector<double> confirmed = runner.run(std::move(confirms));
+    const double shared_loss = confirmed[0];
     std::printf(
-        "\n(The machine lands between the two behavioural capacities: the\n"
-        "pipelined memory recycles a cell's address when its read wave STARTS,\n"
-        "not when the last word has left -- worth up to n extra cells of\n"
-        "effective capacity at saturation. A real, measurable advantage of the\n"
-        "organization; otherwise the RTL machine and the queueing abstraction\n"
-        "follow the same shared-buffer discipline.)\n");
-  }
-  return 0;
+        "\nLoss at the found sizes (shared %zu, output %zu/port, smoothing frame %zu):\n"
+        "  shared: %.2e   output: %.2e   smoothing: %.2e\n",
+        shared_cells, output_per_port, smoothing_frame, shared_loss, confirmed[1], confirmed[2]);
+
+    std::printf(
+        "\nShape check vs paper: shared << output << smoothing, with roughly the\n"
+        "paper's ratios (shared needs ~2x less than output queueing and ~15x less\n"
+        "than input smoothing). Exact values differ slightly from [HlKa88]'s\n"
+        "analytic queueing model; the ordering and magnitudes are the claim.\n");
+
+    // Cross-check: the CYCLE-ACCURATE pipelined switch under slotted arrivals
+    // is the same queueing system as the behavioural shared-buffer model --
+    // their loss ratios at equal capacity must agree.
+    std::printf("\nCross-check, behavioural model vs cycle-accurate pipelined switch\n"
+                "(8x8, 24-cell buffer, slotted arrivals at load 0.9):\n\n");
+    {
+      const unsigned n = 8;
+      const std::size_t cells = 24;
+      const double load = 0.9;
+      const Cycle slots = 200000;
+      std::vector<std::function<double()>> checks;
+      checks.push_back([n, cells, load, slots] {
+        return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, cells); }, n, load,
+                           slots, 707)
+            .loss;
+      });
+      checks.push_back([n, cells, load, slots] {
+        return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, cells + n); }, n,
+                           load, slots, 707)
+            .loss;
+      });
+      checks.push_back([n, cells, load, slots] {
+        SwitchConfig cfg;
+        cfg.n_ports = n;
+        cfg.word_bits = 16;
+        cfg.cell_words = 2 * n;
+        cfg.capacity_segments = static_cast<unsigned>(cells);
+        TrafficSpec spec;
+        spec.arrivals = ArrivalKind::kSlotted;
+        spec.load = load;
+        spec.seed = 708;
+        const CycleRun r = run_pipelined(cfg, spec, slots * 2 * n, 0);
+        return static_cast<double>(r.stats.dropped()) /
+               static_cast<double>(r.stats.heads_seen);
+      });
+      const std::vector<double> check_r = runner.run(std::move(checks));
+      const double behav = check_r[0];
+      const double behav_plus = check_r[1];
+      const double cyc = check_r[2];
+      Table x({"model", "loss ratio"});
+      x.add_row({"behavioural, 24 cells", Table::sci(behav, 2)});
+      x.add_row({"cycle-accurate pipelined switch, 24 cells", Table::sci(cyc, 2)});
+      x.add_row({"behavioural, 24 + n cells", Table::sci(behav_plus, 2)});
+      x.print();
+
+      bj.metric("throughput", kLoad * (1.0 - shared_loss));
+      bj.metric("occupancy", static_cast<double>(shared_cells));
+      bj.metric("loss_shared", shared_loss);
+      bj.metric("cells_shared", static_cast<double>(shared_cells));
+      bj.metric("cells_output_per_port", static_cast<double>(output_per_port));
+      bj.metric("cells_smoothing_frame", static_cast<double>(smoothing_frame));
+      bj.metric("crosscheck_loss_behavioural", behav);
+      bj.metric("crosscheck_loss_cycle_accurate", cyc);
+      bj.add_table("buffer sizing for loss <= 1e-3", t);
+      bj.add_table("behavioural vs cycle-accurate loss", x);
+      std::printf(
+          "\n(The machine lands between the two behavioural capacities: the\n"
+          "pipelined memory recycles a cell's address when its read wave STARTS,\n"
+          "not when the last word has left -- worth up to n extra cells of\n"
+          "effective capacity at saturation. A real, measurable advantage of the\n"
+          "organization; otherwise the RTL machine and the queueing abstraction\n"
+          "follow the same shared-buffer discipline.)\n");
+    }
+    return 0;
+      });
 }

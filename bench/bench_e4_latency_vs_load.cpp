@@ -19,69 +19,68 @@ using namespace pmsb;
 using namespace pmsb::bench;
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  const exp::WallTimer timer;
-  print_banner("E4", "latency vs load (section 2.2, [AOST93 fig. 3])");
-  BenchJson bj("e4_latency_vs_load");
-  const unsigned n = 16;
-  const Cycle slots = 120000;
+  return pmsb::bench::Main(
+      argc, argv, {"E4", "latency vs load (section 2.2, [AOST93 fig. 3])", "e4_latency_vs_load"},
+      [](pmsb::bench::BenchContext& ctx) {
+        BenchJson& bj = ctx.json;
+    const unsigned n = 16;
+    const Cycle slots = 120000;
 
-  std::printf("\n16x16, uniform Bernoulli arrivals, unbounded buffers; mean queueing\n"
-              "latency in cell slots (and the VOQ/output ratio the paper quotes as ~2x):\n\n");
-  Table t({"load", "output qng", "shared", "VOQ+PIM(4)", "input FIFO", "VOQ/output ratio"});
-  const std::vector<double> loads = {0.3, 0.5, 0.6, 0.7, 0.8, 0.9};
-  std::vector<std::function<SlotRun()>> points;
-  for (double load : loads) {
-    points.push_back([n, load] {
-      return run_uniform([&] { return std::make_unique<OutputQueueing>(n, 0); }, n, load, slots,
-                         201);
-    });
-    points.push_back([n, load] {
-      return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, load,
-                         slots, 201);
-    });
-    points.push_back([n, load] {
-      return run_uniform([&] { return std::make_unique<VoqPim>(n, 0, 4, Rng(77)); }, n, load,
-                         slots, 201);
-    });
-    points.push_back([n, load] {
-      return run_uniform([&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(78)); }, n,
-                         load, slots, 201);
-    });
-  }
-  exp::SweepRunner runner;
-  const std::vector<SlotRun> r = runner.run(std::move(points));
-  SlotRun shared_last;
-  double ratio_last = 0;
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    const double load = loads[i];
-    const SlotRun& oq = r[i * 4];
-    const SlotRun& sh = r[i * 4 + 1];
-    const SlotRun& pim = r[i * 4 + 2];
-    const SlotRun& fifo = r[i * 4 + 3];
-    // +1 on both sides: count the transmission slot itself, as [AOST93] does
-    // (a cell needs at least one slot to cross the switch).
-    const double ratio = (pim.mean_latency + 1) / (oq.mean_latency + 1);
-    t.add_row({Table::num(load, 2), Table::num(oq.mean_latency, 2),
-               Table::num(sh.mean_latency, 2), Table::num(pim.mean_latency, 2),
-               load < 0.59 ? Table::num(fifo.mean_latency, 2) : "unstable",
-               Table::num(ratio, 2)});
-    shared_last = sh;
-    ratio_last = ratio;
-  }
-  t.print();
+    std::printf("\n16x16, uniform Bernoulli arrivals, unbounded buffers; mean queueing\n"
+                "latency in cell slots (and the VOQ/output ratio the paper quotes as ~2x):\n\n");
+    Table t({"load", "output qng", "shared", "VOQ+PIM(4)", "input FIFO", "VOQ/output ratio"});
+    const std::vector<double> loads = {0.3, 0.5, 0.6, 0.7, 0.8, 0.9};
+    std::vector<std::function<SlotRun()>> points;
+    for (double load : loads) {
+      points.push_back([n, load] {
+        return run_uniform([&] { return std::make_unique<OutputQueueing>(n, 0); }, n, load, slots,
+                           201);
+      });
+      points.push_back([n, load] {
+        return run_uniform([&] { return std::make_unique<SharedBufferModel>(n, 0); }, n, load,
+                           slots, 201);
+      });
+      points.push_back([n, load] {
+        return run_uniform([&] { return std::make_unique<VoqPim>(n, 0, 4, Rng(77)); }, n, load,
+                           slots, 201);
+      });
+      points.push_back([n, load] {
+        return run_uniform([&] { return std::make_unique<InputQueueingFifo>(n, 0, Rng(78)); }, n,
+                           load, slots, 201);
+      });
+    }
+    exp::SweepRunner runner;
+    const std::vector<SlotRun> r = runner.run(std::move(points));
+    SlotRun shared_last;
+    double ratio_last = 0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      const double load = loads[i];
+      const SlotRun& oq = r[i * 4];
+      const SlotRun& sh = r[i * 4 + 1];
+      const SlotRun& pim = r[i * 4 + 2];
+      const SlotRun& fifo = r[i * 4 + 3];
+      // +1 on both sides: count the transmission slot itself, as [AOST93] does
+      // (a cell needs at least one slot to cross the switch).
+      const double ratio = (pim.mean_latency + 1) / (oq.mean_latency + 1);
+      t.add_row({Table::num(load, 2), Table::num(oq.mean_latency, 2),
+                 Table::num(sh.mean_latency, 2), Table::num(pim.mean_latency, 2),
+                 load < 0.59 ? Table::num(fifo.mean_latency, 2) : "unstable",
+                 Table::num(ratio, 2)});
+      shared_last = sh;
+      ratio_last = ratio;
+    }
+    t.print();
 
-  bj.metric("throughput", shared_last.throughput);
-  bj.metric("mean_latency", shared_last.mean_latency);
-  bj.metric("p99_latency", static_cast<double>(shared_last.p99_latency));
-  bj.metric("voq_over_output_ratio", ratio_last);
-  bj.add_table("mean queueing latency vs load", t);
-  bj.finish_runtime(timer);
-  bj.write();
+    bj.metric("throughput", shared_last.throughput);
+    bj.metric("mean_latency", shared_last.mean_latency);
+    bj.metric("p99_latency", static_cast<double>(shared_last.p99_latency));
+    bj.metric("voq_over_output_ratio", ratio_last);
+    bj.add_table("mean queueing latency vs load", t);
 
-  std::printf(
-      "\nShape check vs paper: output queueing == shared buffering (identical\n"
-      "service), VOQ+PIM runs roughly 1.5-3x slower across 0.6-0.9 (paper: ~2x),\n"
-      "and FIFO input queueing has no stable latency past ~0.586.\n");
-  return 0;
+    std::printf(
+        "\nShape check vs paper: output queueing == shared buffering (identical\n"
+        "service), VOQ+PIM runs roughly 1.5-3x slower across 0.6-0.9 (paper: ~2x),\n"
+        "and FIFO input queueing has no stable latency past ~0.586.\n");
+    return 0;
+      });
 }

@@ -76,7 +76,7 @@ StaggerResult measure(unsigned n, double load, Cycle cycles, std::uint64_t seed)
       extra_sum += (tr - a0 - 1);
     }
   };
-  tb.dut().set_events(std::move(ev));
+  const Subscription ev_sub = tb.dut().events().subscribe(std::move(ev));
   tb.run(cycles);
 
   StaggerResult r;
@@ -90,53 +90,52 @@ StaggerResult measure(unsigned n, double load, Cycle cycles, std::uint64_t seed)
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  const exp::WallTimer timer;
-  print_banner("E6", "staggered-initiation latency penalty (section 3.4)");
-  BenchJson bj("e6_stagger_latency");
-  std::printf(
-      "\nExpected extra cut-through latency from simultaneous head arrivals.\n"
-      "'collision/2' is the quantity the paper's derivation computes;\n"
-      "'end-to-end' is mean(tr - a0 - 1) of snooped cut-through cells (adds\n"
-      "higher-order interference the derivation ignores). Cycles:\n\n");
-  Table t({"n", "load p", "analytic (p/4)(n-1)/n", "measured collision/2",
-           "measured end-to-end"});
-  // 12 independent 400k-cycle runs: the longest sweep in the suite, and the
-  // one that benefits most from the parallel runner.
-  struct Point {
-    unsigned n;
-    double load;
-  };
-  std::vector<Point> grid;
-  for (unsigned n : {2u, 4u, 8u, 16u}) {
-    for (double load : {0.2, 0.4, 0.6}) grid.push_back({n, load});
-  }
-  exp::SweepRunner runner;
-  const std::vector<StaggerResult> results = runner.map(
-      grid, [](const Point& p) { return measure(p.n, p.load, 400000, 1000 + p.n); });
-  StaggerResult ref{};
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    const StaggerResult& r = results[i];
-    t.add_row({Table::integer(grid[i].n), Table::num(grid[i].load, 1),
-               Table::num(r.analytic, 4), Table::num(r.collision_based, 4),
-               Table::num(r.end_to_end, 4)});
-    if (grid[i].n == 16 && grid[i].load == 0.4) ref = r;
-  }
-  t.print();
+  return pmsb::bench::Main(
+      argc, argv, {"E6", "staggered-initiation latency penalty (section 3.4)", "e6_stagger_latency"},
+      [](pmsb::bench::BenchContext& ctx) {
+        BenchJson& bj = ctx.json;
+    std::printf(
+        "\nExpected extra cut-through latency from simultaneous head arrivals.\n"
+        "'collision/2' is the quantity the paper's derivation computes;\n"
+        "'end-to-end' is mean(tr - a0 - 1) of snooped cut-through cells (adds\n"
+        "higher-order interference the derivation ignores). Cycles:\n\n");
+    Table t({"n", "load p", "analytic (p/4)(n-1)/n", "measured collision/2",
+             "measured end-to-end"});
+    // 12 independent 400k-cycle runs: the longest sweep in the suite, and the
+    // one that benefits most from the parallel runner.
+    struct Point {
+      unsigned n;
+      double load;
+    };
+    std::vector<Point> grid;
+    for (unsigned n : {2u, 4u, 8u, 16u}) {
+      for (double load : {0.2, 0.4, 0.6}) grid.push_back({n, load});
+    }
+    exp::SweepRunner runner;
+    const std::vector<StaggerResult> results = runner.map(
+        grid, [](const Point& p) { return measure(p.n, p.load, 400000, 1000 + p.n); });
+    StaggerResult ref{};
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const StaggerResult& r = results[i];
+      t.add_row({Table::integer(grid[i].n), Table::num(grid[i].load, 1),
+                 Table::num(r.analytic, 4), Table::num(r.collision_based, 4),
+                 Table::num(r.end_to_end, 4)});
+      if (grid[i].n == 16 && grid[i].load == 0.4) ref = r;
+    }
+    t.print();
 
-  bj.metric("throughput", 0.4);  // Reference operating point: n=16, load 0.4.
-  bj.metric("mean_latency", ref.end_to_end);
-  bj.metric("occupancy", ref.collision_based);
-  bj.metric("analytic_extra_latency", ref.analytic);
-  bj.metric("measured_collision_half", ref.collision_based);
-  bj.metric("measured_end_to_end_extra", ref.end_to_end);
-  bj.add_table("stagger penalty, measured vs analytic", t);
-  bj.finish_runtime(timer);
-  bj.write();
-  std::printf(
-      "\nShape check vs paper: the collision statistic matches (p/4)(n-1)/n\n"
-      "closely at every (n, p); at 40%% load the penalty is ~0.1 cycles --\n"
-      "the paper's 'negligible'. End-to-end delay is slightly larger because\n"
-      "M0 may also be busy with waves of earlier cells.\n");
-  return 0;
+    bj.metric("throughput", 0.4);  // Reference operating point: n=16, load 0.4.
+    bj.metric("mean_latency", ref.end_to_end);
+    bj.metric("occupancy", ref.collision_based);
+    bj.metric("analytic_extra_latency", ref.analytic);
+    bj.metric("measured_collision_half", ref.collision_based);
+    bj.metric("measured_end_to_end_extra", ref.end_to_end);
+    bj.add_table("stagger penalty, measured vs analytic", t);
+    std::printf(
+        "\nShape check vs paper: the collision statistic matches (p/4)(n-1)/n\n"
+        "closely at every (n, p); at 40%% load the penalty is ~0.1 cycles --\n"
+        "the paper's 'negligible'. End-to-end delay is slightly larger because\n"
+        "M0 may also be busy with waves of earlier cells.\n");
+    return 0;
+      });
 }

@@ -42,7 +42,7 @@ DualRun run_dual(unsigned n, PatternKind pat, double load, Cycle cycles, std::ui
   ev.on_read_grant = [&](unsigned, unsigned, Cycle tr, Cycle, Cycle a0, bool) {
     lat.record(a0, tr + 1);
   };
-  tb.dut().set_events(std::move(ev));
+  const Subscription ev_sub = tb.dut().events().subscribe(std::move(ev));
   tb.run(cycles);
   const auto& st = tb.dut().stats();
   DualRun r;
@@ -58,59 +58,58 @@ DualRun run_dual(unsigned n, PatternKind pat, double load, Cycle cycles, std::ui
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  const exp::WallTimer timer;
-  print_banner("E7", "half-quantum cells on two pipelined memories (section 3.5)");
-  BenchJson bj("e7_half_quantum");
-  std::printf(
-      "\nDual organization: n-word cells, two n-stage memories, reads from one\n"
-      "group + writes into the other in the same cycle. 'dual-cycle share' is\n"
-      "the fraction of cycles that initiated BOTH a read and a write wave:\n\n");
-  Table t({"n", "cell words", "pattern", "load", "output util", "dual-cycle share",
-           "min latency", "drops"});
-  struct Point {
-    unsigned n;
-    const char* pattern;
-    PatternKind pat;
-    double load;
-    std::uint64_t seed;
-  };
-  std::vector<Point> grid;
-  for (unsigned n : {4u, 8u}) {
-    grid.push_back({n, "permutation", PatternKind::kPermutation, 1.0, 11 + n});
-    grid.push_back({n, "uniform", PatternKind::kUniform, 1.0, 11 + n});
-    grid.push_back({n, "uniform", PatternKind::kUniform, 0.3, 21 + n});
-  }
-  exp::SweepRunner runner;
-  const std::vector<DualRun> results = runner.map(
-      grid, [](const Point& p) { return run_dual(p.n, p.pat, p.load, 40000, p.seed); });
-  DualRun sat8{};
-  DualRun light8{};
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    const Point& p = grid[i];
-    const DualRun& r = results[i];
-    t.add_row({Table::integer(p.n), Table::integer(p.n), p.pattern,
-               Table::num(p.load, 1), Table::num(r.utilization, 3),
-               Table::num(r.dual_cycle_share, 3), Table::num(r.min_latency, 0),
-               Table::integer(static_cast<long long>(r.drops))});
-    if (p.n == 8 && p.pat == PatternKind::kUniform && p.load >= 1.0) sat8 = r;
-    if (p.n == 8 && p.load < 1.0) light8 = r;
-  }
-  t.print();
+  return pmsb::bench::Main(
+      argc, argv, {"E7", "half-quantum cells on two pipelined memories (section 3.5)", "e7_half_quantum"},
+      [](pmsb::bench::BenchContext& ctx) {
+        BenchJson& bj = ctx.json;
+    std::printf(
+        "\nDual organization: n-word cells, two n-stage memories, reads from one\n"
+        "group + writes into the other in the same cycle. 'dual-cycle share' is\n"
+        "the fraction of cycles that initiated BOTH a read and a write wave:\n\n");
+    Table t({"n", "cell words", "pattern", "load", "output util", "dual-cycle share",
+             "min latency", "drops"});
+    struct Point {
+      unsigned n;
+      const char* pattern;
+      PatternKind pat;
+      double load;
+      std::uint64_t seed;
+    };
+    std::vector<Point> grid;
+    for (unsigned n : {4u, 8u}) {
+      grid.push_back({n, "permutation", PatternKind::kPermutation, 1.0, 11 + n});
+      grid.push_back({n, "uniform", PatternKind::kUniform, 1.0, 11 + n});
+      grid.push_back({n, "uniform", PatternKind::kUniform, 0.3, 21 + n});
+    }
+    exp::SweepRunner runner;
+    const std::vector<DualRun> results = runner.map(
+        grid, [](const Point& p) { return run_dual(p.n, p.pat, p.load, 40000, p.seed); });
+    DualRun sat8{};
+    DualRun light8{};
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const Point& p = grid[i];
+      const DualRun& r = results[i];
+      t.add_row({Table::integer(p.n), Table::integer(p.n), p.pattern,
+                 Table::num(p.load, 1), Table::num(r.utilization, 3),
+                 Table::num(r.dual_cycle_share, 3), Table::num(r.min_latency, 0),
+                 Table::integer(static_cast<long long>(r.drops))});
+      if (p.n == 8 && p.pat == PatternKind::kUniform && p.load >= 1.0) sat8 = r;
+      if (p.n == 8 && p.load < 1.0) light8 = r;
+    }
+    t.print();
 
-  bj.metric("throughput", sat8.utilization);
-  bj.metric("mean_latency", light8.min_latency);
-  bj.metric("occupancy", sat8.dual_cycle_share);
-  bj.metric("dual_cycle_share", sat8.dual_cycle_share);
-  bj.metric("min_latency_light_load", light8.min_latency);
-  bj.metric("drops_saturated", static_cast<double>(sat8.drops));
-  bj.add_table("dual organization at saturation and light load", t);
-  bj.finish_runtime(timer);
-  bj.write();
-  std::printf(
-      "\nShape check vs paper: full line rate with n-word cells -- i.e. the\n"
-      "packet-size quantum is halved (section 3.5's construction works), and at\n"
-      "saturation nearly every cycle carries a read AND a write initiation.\n"
-      "Cut-through still gives 2-cycle minimum head latency.\n");
-  return 0;
+    bj.metric("throughput", sat8.utilization);
+    bj.metric("mean_latency", light8.min_latency);
+    bj.metric("occupancy", sat8.dual_cycle_share);
+    bj.metric("dual_cycle_share", sat8.dual_cycle_share);
+    bj.metric("min_latency_light_load", light8.min_latency);
+    bj.metric("drops_saturated", static_cast<double>(sat8.drops));
+    bj.add_table("dual organization at saturation and light load", t);
+    std::printf(
+        "\nShape check vs paper: full line rate with n-word cells -- i.e. the\n"
+        "packet-size quantum is halved (section 3.5's construction works), and at\n"
+        "saturation nearly every cycle carries a read AND a write initiation.\n"
+        "Cut-through still gives 2-cycle minimum head latency.\n");
+    return 0;
+      });
 }

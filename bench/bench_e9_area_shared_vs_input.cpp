@@ -74,65 +74,63 @@ double print_floorplan(const char* title, double hi, double hs, BenchJson& bj,
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::parse_threads_arg(argc, argv);
-  const exp::WallTimer timer;
-  print_banner("E9", "shared vs input buffering VLSI cost (section 5.1, figure 9)");
-  BenchJson bj("e9_area_shared_vs_input");
+  return pmsb::bench::Main(
+      argc, argv, {"E9", "shared vs input buffering VLSI cost (section 5.1, figure 9)", "e9_area_shared_vs_input"},
+      [](pmsb::bench::BenchContext& ctx) {
+        BenchJson& bj = ctx.json;
+    std::printf("\nStep 1 -- measured equal-performance buffer heights (loss <= 1e-3 at\n"
+                "load 0.8, 16x16, uniform traffic):\n\n");
+    // Three independent binary searches, one parallel sweep point each (the
+    // probes inside a search stay sequential -- each depends on the last).
+    exp::SweepRunner runner;
+    std::vector<std::function<std::size_t()>> searches;
+    searches.push_back([] {
+      return min_capacity_for_loss([](std::size_t c) { return loss_shared(c); }, 16, 512, kTarget);
+    });
+    searches.push_back([] {
+      return min_capacity_for_loss([](std::size_t c) { return loss_smoothing(c); }, 4, 256,
+                                   kTarget);
+    });
+    searches.push_back([] {
+      return min_capacity_for_loss([](std::size_t c) { return loss_voq(c); }, 2, 256, kTarget);
+    });
+    const std::vector<std::size_t> found = runner.run(std::move(searches));
+    const std::size_t shared_cells = found[0];
+    const std::size_t smooth_frame = found[1];
+    const std::size_t voq_per_input = found[2];
+    const double hs = static_cast<double>(shared_cells) / kN;
+    Table sizes({"organization", "cells per port", "paper (section 2.2)"});
+    sizes.add_row({"shared buffer (H_s)", Table::num(hs, 1), "5.4 / output"});
+    sizes.add_row({"input smoothing (H_i, case 1)", Table::num(double(smooth_frame), 1),
+                   "80 / input"});
+    sizes.add_row({"VOQ+PIM per-input pool (H_i, case 2)", Table::num(double(voq_per_input), 1),
+                   "n/a (post-paper scheduler)"});
+    sizes.print();
 
-  std::printf("\nStep 1 -- measured equal-performance buffer heights (loss <= 1e-3 at\n"
-              "load 0.8, 16x16, uniform traffic):\n\n");
-  // Three independent binary searches, one parallel sweep point each (the
-  // probes inside a search stay sequential -- each depends on the last).
-  exp::SweepRunner runner;
-  std::vector<std::function<std::size_t()>> searches;
-  searches.push_back([] {
-    return min_capacity_for_loss([](std::size_t c) { return loss_shared(c); }, 16, 512, kTarget);
-  });
-  searches.push_back([] {
-    return min_capacity_for_loss([](std::size_t c) { return loss_smoothing(c); }, 4, 256,
-                                 kTarget);
-  });
-  searches.push_back([] {
-    return min_capacity_for_loss([](std::size_t c) { return loss_voq(c); }, 2, 256, kTarget);
-  });
-  const std::vector<std::size_t> found = runner.run(std::move(searches));
-  const std::size_t shared_cells = found[0];
-  const std::size_t smooth_frame = found[1];
-  const std::size_t voq_per_input = found[2];
-  const double hs = static_cast<double>(shared_cells) / kN;
-  Table sizes({"organization", "cells per port", "paper (section 2.2)"});
-  sizes.add_row({"shared buffer (H_s)", Table::num(hs, 1), "5.4 / output"});
-  sizes.add_row({"input smoothing (H_i, case 1)", Table::num(double(smooth_frame), 1),
-                 "80 / input"});
-  sizes.add_row({"VOQ+PIM per-input pool (H_i, case 2)", Table::num(double(voq_per_input), 1),
-                 "n/a (post-paper scheduler)"});
-  sizes.print();
+    const double ratio1 =
+        print_floorplan("Case 1: figure 9 with the paper's input-buffer generation",
+                        static_cast<double>(smooth_frame), hs, bj, "figure 9, case 1");
+    const double ratio2 =
+        print_floorplan("Case 2: figure 9 against an idealized VOQ+PIM input buffer",
+                        static_cast<double>(voq_per_input), hs, bj, "figure 9, case 2");
 
-  const double ratio1 =
-      print_floorplan("Case 1: figure 9 with the paper's input-buffer generation",
-                      static_cast<double>(smooth_frame), hs, bj, "figure 9, case 1");
-  const double ratio2 =
-      print_floorplan("Case 2: figure 9 against an idealized VOQ+PIM input buffer",
-                      static_cast<double>(voq_per_input), hs, bj, "figure 9, case 2");
+    bj.metric("throughput", kLoad);  // All designs sized for loss <= 1e-3 at load 0.8.
+    bj.metric("occupancy", static_cast<double>(shared_cells));
+    bj.metric("shared_cells_per_port", hs);
+    bj.metric("smoothing_cells_per_input", static_cast<double>(smooth_frame));
+    bj.metric("voq_cells_per_input", static_cast<double>(voq_per_input));
+    bj.metric("area_ratio_case1_input_over_shared", ratio1);
+    bj.metric("area_ratio_case2_input_over_shared", ratio2);
+    bj.add_table("equal-performance buffer heights", sizes);
 
-  bj.metric("throughput", kLoad);  // All designs sized for loss <= 1e-3 at load 0.8.
-  bj.metric("occupancy", static_cast<double>(shared_cells));
-  bj.metric("shared_cells_per_port", hs);
-  bj.metric("smoothing_cells_per_input", static_cast<double>(smooth_frame));
-  bj.metric("voq_cells_per_input", static_cast<double>(voq_per_input));
-  bj.metric("area_ratio_case1_input_over_shared", ratio1);
-  bj.metric("area_ratio_case2_input_over_shared", ratio2);
-  bj.add_table("equal-performance buffer heights", sizes);
-  bj.finish_runtime(timer);
-  bj.write();
-
-  std::printf(
-      "\nShape check vs paper: with the buffer sizings the paper's section 2.2\n"
-      "cites, the shared buffer's H_s << H_i dwarfs its extra datapath block and\n"
-      "shared buffering clearly wins (case 1) -- the paper's conclusion. An\n"
-      "idealized VOQ+PIM scheduler (case 2) closes the equal-loss memory gap;\n"
-      "what it cannot close is the ~2x latency penalty (bench E4) and the\n"
-      "scheduler/queue-management complexity the paper's section 5.1 notes but\n"
-      "the area model conservatively leaves out.\n");
-  return 0;
+    std::printf(
+        "\nShape check vs paper: with the buffer sizings the paper's section 2.2\n"
+        "cites, the shared buffer's H_s << H_i dwarfs its extra datapath block and\n"
+        "shared buffering clearly wins (case 1) -- the paper's conclusion. An\n"
+        "idealized VOQ+PIM scheduler (case 2) closes the equal-loss memory gap;\n"
+        "what it cannot close is the ~2x latency penalty (bench E4) and the\n"
+        "scheduler/queue-management complexity the paper's section 5.1 notes but\n"
+        "the area model conservatively leaves out.\n");
+    return 0;
+      });
 }

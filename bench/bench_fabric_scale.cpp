@@ -1,0 +1,164 @@
+// FS -- Fabric scaling: whole topologies of cycle-accurate pipelined-memory
+// switches (section 5's "switching fabrics made of single-chip switches"),
+// run on the sharded fabric engine (src/fabric/) at 1, 2 and 4 worker
+// threads.
+//
+// Two claims are exercised:
+//  * Determinism: delivered-cell digests, drops and latencies are
+//    bit-identical at every thread count (the bench FAILS otherwise, and
+//    everything outside the "runtime" JSON object is diffable byte for
+//    byte).
+//  * Scaling: node-cycles per second improve with threads. Wall-clock rates
+//    and speedups are timing-dependent, so they are published only inside
+//    the "runtime" object (excluded from determinism diffs).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+#include "fabric/fabric.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+
+using namespace pmsb;
+using namespace pmsb::bench;
+
+namespace {
+
+struct Run {
+  unsigned threads;
+  double wall_seconds;
+  fabric::FabricStats stats;
+};
+
+constexpr Cycle kCycles = 6000;
+constexpr unsigned kLinkStages = 8;  // D: lookahead and per-link latency - 1.
+
+fabric::FabricConfig make_config(const net::Topology& topo, std::uint64_t seed,
+                                 unsigned threads) {
+  fabric::FabricConfig cfg;
+  cfg.topo = topo;
+  cfg.node = SwitchConfig::for_ports(4);
+  cfg.link_pipe_stages = kLinkStages;
+  cfg.load = 0.6;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return pmsb::bench::Main(
+      argc, argv,
+      {"FS", "sharded fabric engine: determinism + thread scaling", "fabric_scale"},
+      [](pmsb::bench::BenchContext& ctx) {
+        const std::vector<net::Topology> topos = {
+            net::Topology{net::TopologyKind::kTorus2D, 4, 4},
+            net::Topology{net::TopologyKind::kTorus2D, 8, 8},
+        };
+        const std::vector<unsigned> thread_counts = {1, 2, 4};
+
+        Table delivery({"topology", "nodes", "cycles", "injected", "delivered", "dropped",
+                        "mean latency", "delivered uid digest"});
+        Table scaling({"topology", "threads", "wall s", "node-cycles/s", "speedup vs 1"});
+        bool deterministic = true;
+
+        for (const net::Topology& topo : topos) {
+          std::vector<Run> runs;
+          for (unsigned threads : thread_counts) {
+            fabric::Fabric fab(make_config(topo, ctx.seed, threads));
+            const exp::WallTimer timer;
+            fab.run(kCycles);
+            runs.push_back(Run{fab.threads(), timer.seconds(), fab.stats()});
+            add_simulated_units(static_cast<std::uint64_t>(kCycles) * topo.nodes());
+          }
+
+          const fabric::FabricStats& ref = runs.front().stats;
+          for (const Run& r : runs) {
+            if (r.stats.uid_digest != ref.uid_digest || r.stats.delivered != ref.delivered ||
+                r.stats.dropped() != ref.dropped() ||
+                r.stats.mean_latency != ref.mean_latency) {
+              std::fprintf(stderr,
+                           "FAIL: %s diverged at %u threads "
+                           "(digest %016llx vs %016llx, delivered %llu vs %llu)\n",
+                           topo.describe().c_str(), r.threads,
+                           static_cast<unsigned long long>(r.stats.uid_digest),
+                           static_cast<unsigned long long>(ref.uid_digest),
+                           static_cast<unsigned long long>(r.stats.delivered),
+                           static_cast<unsigned long long>(ref.delivered));
+              deterministic = false;
+            }
+          }
+
+          char digest[20];
+          std::snprintf(digest, sizeof digest, "%016llx",
+                        static_cast<unsigned long long>(ref.uid_digest));
+          delivery.add_row({topo.describe(),
+                            Table::integer(topo.nodes()),
+                            Table::integer(static_cast<long long>(kCycles)),
+                            Table::integer(static_cast<long long>(ref.injected)),
+                            Table::integer(static_cast<long long>(ref.delivered)),
+                            Table::integer(static_cast<long long>(ref.dropped())),
+                            Table::num(ref.mean_latency, 1), digest});
+
+          const double base_rate =
+              static_cast<double>(kCycles) * topo.nodes() / runs.front().wall_seconds;
+          for (const Run& r : runs) {
+            const double rate =
+                static_cast<double>(kCycles) * topo.nodes() / r.wall_seconds;
+            scaling.add_row({topo.describe(), Table::integer(r.threads),
+                             Table::num(r.wall_seconds, 3), Table::num(rate, 0),
+                             Table::num(rate / base_rate, 2)});
+            const std::string tag = topo.describe() + " t" + std::to_string(r.threads);
+            ctx.json.runtime_metric(tag + " node-cycles/s", rate);
+            if (r.threads != runs.front().threads)
+              ctx.json.runtime_metric(tag + " speedup", rate / base_rate);
+          }
+
+          const std::string prefix = topo.describe();
+          ctx.json.metric(prefix + " delivered", static_cast<double>(ref.delivered));
+          ctx.json.metric(prefix + " dropped", static_cast<double>(ref.dropped()));
+          ctx.json.metric(prefix + " mean latency", ref.mean_latency);
+          ctx.json.metric(prefix + " payload errors",
+                          static_cast<double>(ref.payload_errors));
+        }
+
+        std::printf("Delivery accounting (identical at every thread count):\n\n");
+        delivery.print();
+
+        // The big fabric's latency-by-distance profile: per-hop cost is the
+        // D+1-cycle link plus store-and-forward and switch transit.
+        fabric::Fabric big(make_config(topos.back(), ctx.seed, 1));
+        big.run(kCycles);
+        const fabric::FabricStats st = big.stats();
+        Table hops({"hops", "cells", "mean latency"});
+        for (const auto& row : st.by_hops) {
+          if (row.cells == 0) continue;
+          hops.add_row({Table::integer(row.hops),
+                        Table::integer(static_cast<long long>(row.cells)),
+                        Table::num(row.mean_latency, 1)});
+        }
+        std::printf("\nLatency by route length (%s):\n\n", topos.back().describe().c_str());
+        hops.print();
+
+        std::printf("\nWall-clock scaling (timing-dependent; lives in the runtime "
+                    "object, not the determinism surface):\n\n");
+        scaling.print();
+
+        ctx.json.metric("throughput",
+                        static_cast<double>(st.delivered) / static_cast<double>(kCycles));
+        ctx.json.metric("mean_latency", st.mean_latency);
+        ctx.json.metric("occupancy",
+                        static_cast<double>(st.in_network) / topos.back().nodes());
+        ctx.json.add_table("fabric delivery", delivery);
+        ctx.json.add_table("latency by hops", hops);
+
+        if (!deterministic) return 1;
+        std::printf("\nDeterminism: delivered-cell digests identical across "
+                    "{1, 2, 4} threads on every topology.\n");
+        return 0;
+      });
+}

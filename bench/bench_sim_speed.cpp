@@ -110,24 +110,25 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace pmsb
 
 int main(int argc, char** argv) {
-  pmsb::exp::parse_threads_arg(argc, argv);
-  const pmsb::exp::WallTimer timer;
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  pmsb::CapturingReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
+  return pmsb::bench::Main(
+      argc, argv, {"SIM", "simulation-kernel speed (google-benchmark)", "sim_speed"},
+      [](pmsb::bench::BenchContext& ctx) {
+        // Main consumed the shared flags; the remainder (--benchmark_*) is
+        // google-benchmark's.
+        benchmark::Initialize(&ctx.argc, ctx.argv);
+        if (benchmark::ReportUnrecognizedArguments(ctx.argc, ctx.argv)) return 1;
+        pmsb::CapturingReporter reporter;
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+        benchmark::Shutdown();
 
-  pmsb::bench::BenchJson bj("sim_speed");
-  double total = 0;
-  for (const auto& [name, ips] : reporter.rates()) {
-    bj.metric(name + " items/s", ips);
-    total += ips;
-  }
-  // The fixed-schema keys: "throughput" aggregates the per-benchmark rates
-  // so a single number is diffable at a glance.
-  bj.metric("throughput", total);
-  bj.finish_runtime(timer);
-  bj.write();
-  return 0;
+        double total = 0;
+        for (const auto& [name, ips] : reporter.rates()) {
+          ctx.json.metric(name + " items/s", ips);
+          total += ips;
+        }
+        // The fixed-schema keys: "throughput" aggregates the per-benchmark
+        // rates so a single number is diffable at a glance.
+        ctx.json.metric("throughput", total);
+        return 0;
+      });
 }

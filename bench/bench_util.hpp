@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -145,7 +146,7 @@ inline CycleRun run_pipelined(const SwitchConfig& cfg, const TrafficSpec& spec, 
       extra_sum += (tr - a0 - 1);
     }
   };
-  tb.dut().set_events(std::move(ev));
+  const Subscription ev_sub = tb.dut().events().subscribe(std::move(ev));
   tb.run(cycles);
   out.stats = tb.dut().stats();
   out.mean_extra_initiation_delay =
@@ -211,6 +212,20 @@ class BenchJson {
     threads_ = threads;
   }
 
+  /// Add a named scalar to the "runtime" object. This is where
+  /// timing-dependent values (per-sweep slots/s, speedups) belong: the
+  /// runtime object is excluded from determinism diffs, while a metric()
+  /// must be byte-identical at any thread count.
+  void runtime_metric(const std::string& key, double v) {
+    for (auto& m : runtime_extra_) {
+      if (m.first == key) {
+        m.second = v;
+        return;
+      }
+    }
+    runtime_extra_.emplace_back(key, v);
+  }
+
   /// Convenience: stamp the runtime block from a bench's top-level timer,
   /// the process-wide simulated-unit counter, and the resolved sweep width.
   void finish_runtime(const exp::WallTimer& timer) {
@@ -231,6 +246,7 @@ class BenchJson {
     w.field("slots_per_second",
             wall_seconds_ > 0.0 ? static_cast<double>(units_) / wall_seconds_ : 0.0);
     w.field("threads", threads_);
+    for (const auto& m : runtime_extra_) w.field(m.first, m.second);
     w.end_object();
     w.key("tables").begin_array();
     for (const auto& [title, t] : tables_) {
@@ -253,10 +269,19 @@ class BenchJson {
     return w.str();
   }
 
+  /// Output directory for artifacts: Main's --json-out flag wins, then
+  /// $PMSB_BENCH_JSON_DIR, then the cwd.
+  static std::string& out_dir_override() {
+    static std::string dir;
+    return dir;
+  }
+
   /// Write BENCH_<name>.json; returns false (with a message) on I/O errors.
   bool write() const {
     std::string path = "BENCH_" + name_ + ".json";
-    if (const char* dir = std::getenv("PMSB_BENCH_JSON_DIR"))
+    if (!out_dir_override().empty())
+      path = out_dir_override() + "/" + path;
+    else if (const char* dir = std::getenv("PMSB_BENCH_JSON_DIR"))
       path = std::string(dir) + "/" + path;
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -285,6 +310,90 @@ class BenchJson {
   double wall_seconds_ = 0;
   std::uint64_t units_ = 0;
   unsigned threads_ = 1;
+  std::vector<std::pair<std::string, double>> runtime_extra_;
 };
+
+/// Everything a bench body gets from Main: the artifact under construction,
+/// the resolved seed, and the argv remainder (common flags consumed).
+struct BenchContext {
+  BenchJson json;
+  std::uint64_t seed = 1;
+  int argc = 0;
+  char** argv = nullptr;
+};
+
+/// Banner + artifact identity of one bench binary.
+struct BenchSpec {
+  const char* banner_id;     ///< Table banner id, e.g. "E1".
+  const char* banner_title;  ///< Table banner title line.
+  const char* json_name;     ///< BENCH_<json_name>.json artifact name.
+  std::uint64_t default_seed = 1;  ///< ctx.seed when --seed is absent.
+};
+
+/// Shared entry point for every bench binary: parses the common flags
+/// (--threads N for the sweep width, --json-out DIR for the artifact
+/// directory, --seed N), prints the banner, runs `body`, then stamps the
+/// runtime block and writes the artifact. Flags are consumed; the remainder
+/// is handed to the body as ctx.argc/ctx.argv (bench_sim_speed forwards it
+/// to google-benchmark). A non-zero return from the body skips the artifact.
+///
+///   int main(int argc, char** argv) {
+///     return bench::Main(argc, argv, {"E1", "saturation ...", "e1_saturation"},
+///                        [](bench::BenchContext& ctx) {
+///       BenchJson& bj = ctx.json;
+///       ...
+///       return 0;
+///     });
+///   }
+inline int Main(int argc, char** argv, const BenchSpec& spec,
+                const std::function<int(BenchContext&)>& body) {
+  const exp::WallTimer timer;
+  BenchContext ctx{BenchJson(spec.json_name), spec.default_seed, 0, nullptr};
+
+  std::vector<char*> rest;
+  if (argc > 0) rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* val = nullptr;
+    const auto match = [&](const char* flag) {
+      const std::size_t n = std::strlen(flag);
+      if (std::strcmp(a, flag) == 0) {
+        if (i + 1 < argc) val = argv[++i];
+        return true;
+      }
+      if (std::strncmp(a, flag, n) == 0 && a[n] == '=') {
+        val = a + n + 1;
+        return true;
+      }
+      return false;
+    };
+    if (match("--threads")) {
+      if (val != nullptr) {
+        char* end = nullptr;
+        const long v = std::strtol(val, &end, 10);
+        if (end != val && *end == '\0' && v >= 1) exp::set_thread_override(static_cast<unsigned>(v));
+      }
+    } else if (match("--json-out")) {
+      if (val != nullptr) BenchJson::out_dir_override() = val;
+    } else if (match("--seed")) {
+      if (val != nullptr) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(val, &end, 10);
+        if (end != val && *end == '\0') ctx.seed = v;
+      }
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  ctx.argc = static_cast<int>(rest.size());
+  ctx.argv = rest.data();
+
+  print_banner(spec.banner_id, spec.banner_title);
+  const int rc = body(ctx);
+  if (rc != 0) return rc;
+  ctx.json.finish_runtime(timer);
+  ctx.json.write();
+  return 0;
+}
 
 }  // namespace pmsb::bench

@@ -8,11 +8,18 @@
 // is absorbed by the element buffers instead of being dropped at the
 // crosspoints, so a plain banyan carries high uniform loads with tiny
 // per-element memories.
+//
+// The per-stage "stage view" rows come from EventHub subscriptions: the
+// example attaches an observer to every element's events() hub purely
+// additively -- no element state is claimed, and any further observer (an
+// invariant checker, a scoreboard, another tap) can coexist on the same hub.
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "common/rng.hpp"
+#include "core/event_hub.hpp"
 #include "net/banyan.hpp"
 #include "stats/stats.hpp"
 #include "stats/table.hpp"
@@ -22,12 +29,20 @@ using namespace pmsb::net;
 
 namespace {
 
+/// Per-stage traffic view, filled by an EventHub subscription per element.
+struct StageView {
+  std::uint64_t accepted = 0;
+  std::uint64_t cut_through = 0;
+  std::uint64_t dropped = 0;
+};
+
 struct SweepPoint {
   double offered;
   double carried;
   double loss;
   double lat_mean;
   std::uint64_t lat_min, lat_p99;
+  std::vector<StageView> stages;
 };
 
 SweepPoint run_load(double load, Cycle cycles, std::uint64_t seed) {
@@ -38,6 +53,23 @@ SweepPoint run_load(double load, Cycle cycles, std::uint64_t seed) {
   BanyanNetwork net(cfg);
   Engine eng;
   net.attach(eng);
+
+  // Observe each stage through the multi-subscriber event API. The
+  // subscriptions are plain additive taps on every element's hub.
+  std::vector<StageView> stages(cfg.stages);
+  std::vector<Subscription> taps;
+  for (unsigned s = 0; s < cfg.stages; ++s) {
+    for (unsigned e = 0; e < net.endpoints() / cfg.radix; ++e) {
+      SwitchEvents ev;
+      StageView* view = &stages[s];
+      ev.on_accept = [view](unsigned, Cycle, Cycle) { ++view->accepted; };
+      ev.on_drop = [view](unsigned, Cycle, DropReason) { ++view->dropped; };
+      ev.on_read_grant = [view](unsigned, unsigned, Cycle, Cycle, Cycle, bool ct) {
+        if (ct) ++view->cut_through;
+      };
+      taps.push_back(net.element(s, e).events().subscribe(std::move(ev)));
+    }
+  }
   const unsigned n = net.endpoints();
   const CellFormat fmt = net.cell_format();
 
@@ -117,6 +149,17 @@ SweepPoint run_load(double load, Cycle cycles, std::uint64_t seed) {
   p.lat_mean = lat.mean();
   p.lat_min = lat.min();
   p.lat_p99 = lat.p99();
+  p.stages = stages;
+  // The taps and the network's own stats must agree -- the subscription is a
+  // parallel observer, not a replacement accounting path.
+  for (unsigned s = 0; s < cfg.stages; ++s) {
+    if (p.stages[s].dropped != net.drops_in_stage(s)) {
+      std::fprintf(stderr, "FAIL: stage %u event tap saw %llu drops, stats say %llu\n", s,
+                   static_cast<unsigned long long>(p.stages[s].dropped),
+                   static_cast<unsigned long long>(net.drops_in_stage(s)));
+      std::exit(1);
+    }
+  }
   return p;
 }
 
@@ -126,20 +169,30 @@ int main() {
   std::printf("Banyan fabric: 16x16 from eight 4x4 pipelined-memory elements\n"
               "(two delta stages, 32-cell shared buffer per element, header\n"
               "translation at every element input). Uniform traffic sweep:\n\n");
-  Table t({"offered", "carried", "internal loss", "lat min", "lat mean", "lat p99"});
+  Table t({"offered", "carried", "internal loss", "lat min", "lat mean", "lat p99",
+           "s0 cut-thru", "s1 cut-thru"});
   for (double load : {0.2, 0.4, 0.6, 0.8, 0.9}) {
     const SweepPoint p = run_load(load, 60000, 77 + static_cast<int>(load * 10));
+    const auto ct = [&p](unsigned s) {
+      return p.stages[s].accepted == 0 ? 0.0
+                                       : static_cast<double>(p.stages[s].cut_through) /
+                                             static_cast<double>(p.stages[s].accepted);
+    };
     t.add_row({Table::num(p.offered, 1), Table::num(p.carried, 3), Table::sci(p.loss, 1),
                Table::integer(static_cast<long long>(p.lat_min)), Table::num(p.lat_mean, 1),
-               Table::integer(static_cast<long long>(p.lat_p99))});
+               Table::integer(static_cast<long long>(p.lat_p99)), Table::num(ct(0), 2),
+               Table::num(ct(1), 2)});
   }
   t.print();
   std::printf(
       "\nReading: minimum latency = two cut-through elements + a translation\n"
       "register per hop. A buffer-less banyan would drop every internal\n"
       "collision; here the element shared buffers absorb them (loss stays low\n"
-      "until the fabric itself saturates). For non-blocking behaviour at high\n"
-      "load one adds more stages or buffers -- the [Turn93]-style fabrics the\n"
-      "paper cites.\n");
+      "until the fabric itself saturates). The cut-through columns -- measured\n"
+      "by EventHub taps riding alongside the network's own accounting -- show\n"
+      "contention building stage by stage: as load rises, fewer cells sail\n"
+      "through without first being buffered whole. For non-blocking behaviour\n"
+      "at high load one adds more stages or buffers -- the [Turn93]-style\n"
+      "fabrics the paper cites.\n");
   return 0;
 }

@@ -1,247 +1,96 @@
-// cluster_lan: a small Telegraphos-style LAN built from FOUR 4x4
-// pipelined-memory switches on a ring, with two hosts per switch (the
-// paper's context: "switches ... enable parallel processing on workstations
-// clustered through gigabit LANs", section 4).
+// cluster_lan: a small Telegraphos-style LAN -- EIGHT 2x2 pipelined-memory
+// switches on a ring (the paper's context: "switches ... enable parallel
+// processing on workstations clustered through gigabit LANs", section 4) --
+// expressed on the sharded fabric engine (src/fabric/).
 //
-//        host0 host1      host2 host3
-//          |     |          |     |
-//        [ switch0 ] <---> [ switch1 ]
-//            ^                  v
-//        [ switch3 ] <---> [ switch2 ]
-//          |     |          |     |
-//        host6 host7      host4 host5
+//   [ sw0 ] <-> [ sw1 ] <-> [ sw2 ] <-> ... <-> [ sw7 ] <-> (wraps to sw0)
 //
-// Each switch port 0/1 is the ring (left/right); ports 2/3 are hosts. Cells
-// carry the *global* destination host as a VIRTUAL CIRCUIT id in the head
-// word's tag bits; a HeaderTranslator with a programmed RoutingTable at each
-// ring ingress rewrites the head's local-output field -- hop-by-hop routing
-// exactly as the Telegraphos translation memory does (the RT block of
-// figure 6, src/core/routing_table.hpp). End-to-end latency is measured per
-// hop count; payload words verify integrity across hops.
+// Each node's hosts statistically share the node's injection point: cells
+// board idle slots on the ring, carry their destination node in the head
+// word's tag bits, and every PortBridge rewrites the hop field on the fly
+// (hop-by-hop translation, as the Telegraphos RT block does at each
+// ingress). The fabric verifies payload integrity end to end and accounts
+// latency per route length.
+//
+// Because the whole LAN runs on the fabric engine, it also demonstrates the
+// engine's determinism contract for free: the run is repeated sharded
+// across 2 worker threads and must reproduce the single-thread delivery
+// digest bit for bit.
 
 #include <cstdio>
-#include <map>
-#include <memory>
-#include <vector>
 
-#include "core/routing_table.hpp"
-#include "core/switch.hpp"
-#include "sim/engine.hpp"
-#include "stats/stats.hpp"
+#include "fabric/fabric.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "stats/table.hpp"
 
 using namespace pmsb;
 
 namespace {
 
-constexpr unsigned kSwitches = 4;
-constexpr unsigned kHostsPerSwitch = 2;
-constexpr unsigned kHosts = kSwitches * kHostsPerSwitch;
-constexpr unsigned kPortLeft = 0, kPortRight = 1;
-
-unsigned switch_of(unsigned host) { return host / kHostsPerSwitch; }
-unsigned host_port(unsigned host) { return 2 + host % kHostsPerSwitch; }
-
-/// Local output port at switch `sw` for a cell destined to `host`.
-unsigned route(unsigned sw, unsigned host) {
-  const unsigned dsw = switch_of(host);
-  const unsigned fwd = (dsw + kSwitches - sw) % kSwitches;
-  if (fwd == 0) return host_port(host);
-  return fwd <= kSwitches / 2 ? kPortRight : kPortLeft;
+fabric::FabricConfig lan_config(unsigned threads) {
+  fabric::FabricConfig cfg;
+  cfg.topo = net::Topology{net::TopologyKind::kRing, 8, 1};
+  cfg.node = SwitchConfig::for_ports(2);  // 2x2: left ring port, right ring port.
+  cfg.link_pipe_stages = 2;               // Short LAN links: 3-cycle wires.
+  cfg.load = 0.5;                         // Per-node offered load.
+  cfg.seed = 2026;
+  cfg.threads = threads;
+  return cfg;
 }
-
-/// Head word layout: [local_port:2 | vc = dest_host:3 | uid_hi:11]; word 1
-/// holds uid_lo (16 bits); remaining words are mix64(uid, k) payload. The
-/// dest-host field doubles as the virtual-circuit id the ring's routing
-/// tables translate on (they keep next_vc == vc: the VC *is* the host).
-constexpr unsigned kVcBits = 3;
-Word head_word(unsigned port, unsigned host, std::uint64_t uid) {
-  return (port & 3) | ((host & 7) << 2) | (((uid >> 16) & 0x7FF) << 5);
-}
-Word body_word(std::uint64_t uid, unsigned k) { return mix64(uid * 1315423911u + k) & 0xFFFF; }
-
-struct Lan {
-  SwitchConfig cfg;
-  Engine eng;
-  std::vector<std::unique_ptr<PipelinedSwitch>> sw;
-
-  explicit Lan() {
-    cfg.n_ports = 4;
-    cfg.word_bits = 16;
-    cfg.cell_words = 8;
-    cfg.capacity_segments = 128;
-    cfg.validate();
-    for (unsigned s = 0; s < kSwitches; ++s) sw.push_back(std::make_unique<PipelinedSwitch>(cfg));
-  }
-};
-
-/// Build the routing table for a ring ingress into switch `sw`: every
-/// destination host's VC maps to the local output port `route(sw, host)`;
-/// the VC is carried unchanged (it names the host globally).
-RoutingTable make_ring_table(unsigned sw) {
-  RoutingTable rt(kVcBits);
-  for (unsigned host = 0; host < kHosts; ++host)
-    rt.program(host, static_cast<std::uint16_t>(route(sw, host)), host);
-  return rt;
-}
-
-/// Host NIC: injects cells to random other hosts and checks what arrives.
-class HostNic : public Component {
- public:
-  HostNic(unsigned host, WireLink* tx, WireLink* rx, double load, Rng rng, Cycle warmup)
-      : lat_by_hops_(4), host_(host), tx_(tx), rx_(rx), load_(load), rng_(rng) {
-    for (auto& l : lat_by_hops_) l.set_warmup(warmup);
-  }
-
-  static std::map<std::uint64_t, std::pair<Cycle, unsigned>>& in_flight() {
-    static std::map<std::uint64_t, std::pair<Cycle, unsigned>> m;  // uid -> (cycle, hops)
-    return m;
-  }
-
-  void eval(Cycle t) override {
-    // --- transmit ---
-    if (word_idx_ > 0) {
-      const Word w = word_idx_ == 1 ? (uid_ & 0xFFFF) : body_word(uid_, word_idx_);
-      tx_->drive_next(Flit{true, false, w});
-      if (++word_idx_ == 8) word_idx_ = 0;
-    } else if (rng_.next_bool(load_ / 8.0)) {
-      do {
-        dest_ = static_cast<unsigned>(rng_.next_below(kHosts));
-      } while (dest_ == host_);
-      uid_ = next_uid()++;
-      const unsigned sw0 = switch_of(host_);
-      const unsigned hops = 1 + (std::min((switch_of(dest_) + kSwitches - sw0) % kSwitches,
-                                          (sw0 + kSwitches - switch_of(dest_)) % kSwitches));
-      in_flight()[uid_] = {t + 1, hops};
-      ++injected_;
-      tx_->drive_next(Flit{true, true, head_word(route(sw0, dest_), dest_, uid_)});
-      word_idx_ = 1;
-    }
-    // --- receive ---
-    const Flit& f = rx_->now();
-    if (!f.valid) return;
-    if (f.sop) {
-      rx_uid_hi_ = (f.data >> 5) & 0x7FF;
-      rx_host_ok_ = ((f.data >> 2) & 7) == host_;
-      rx_idx_ = 1;
-      return;
-    }
-    if (rx_idx_ == 1) rx_uid_ = (rx_uid_hi_ << 16) | f.data;
-    if (rx_idx_ >= 2 && body_word(rx_uid_, rx_idx_) != f.data) payload_errors_++;
-    if (++rx_idx_ == 8) {
-      auto it = in_flight().find(rx_uid_);
-      if (it == in_flight().end() || !rx_host_ok_) {
-        ++routing_errors_;
-      } else {
-        ++delivered_;
-        lat_by_hops_[it->second.second].record(it->second.first, t - 7);  // Head cycle.
-        in_flight().erase(it);
-      }
-      rx_idx_ = 0;
-    }
-  }
-  void commit(Cycle) override {}
-  std::string name() const override { return "host_nic"; }
-
-  static std::uint64_t& next_uid() {
-    static std::uint64_t uid = 1;
-    return uid;
-  }
-
-  std::uint64_t injected_ = 0, delivered_ = 0, payload_errors_ = 0, routing_errors_ = 0;
-  std::vector<LatencyStats> lat_by_hops_;
-
- private:
-  unsigned host_;
-  WireLink* tx_;
-  WireLink* rx_;
-  double load_;
-  Rng rng_;
-
-  unsigned word_idx_ = 0;
-  std::uint64_t uid_ = 0;
-  unsigned dest_ = 0;
-
-  unsigned rx_idx_ = 0;
-  std::uint64_t rx_uid_ = 0, rx_uid_hi_ = 0;
-  bool rx_host_ok_ = false;
-};
 
 }  // namespace
 
 int main() {
-  const double kLoad = 0.4;  // Per-host offered load (cells/8-cycle slot).
-  const Cycle kWarmup = 2000, kCycles = 100000;
+  const Cycle kCycles = 60000;
+  const fabric::FabricConfig cfg = lan_config(1);
 
-  Lan lan;
-  std::printf("Telegraphos-style LAN: %u switches (%s)\non a ring, %u hosts, per-host load "
-              "%.2f, word 1 of each cell carries the flow id.\n\n",
-              kSwitches, lan.cfg.describe().c_str(), kHosts, kLoad);
+  std::printf("Telegraphos-style LAN: %s of 2x2 switches (%s),\n"
+              "per-node load %.2f on the fabric engine.\n\n",
+              cfg.topo.describe().c_str(), cfg.node.describe().c_str(), cfg.load);
 
-  // Ring wiring: sw[s] right output -> sw[s+1] left input, and the reverse.
-  // Each ingress is a HeaderTranslator with the neighbour's routing table
-  // (the figure-6 RT block at every input port).
-  const CellFormat fmt = lan.cfg.cell_format();
-  std::vector<std::unique_ptr<RoutingTable>> tables;
-  std::vector<std::unique_ptr<HeaderTranslator>> relays;
-  for (unsigned s = 0; s < kSwitches; ++s) tables.push_back(
-      std::make_unique<RoutingTable>(make_ring_table(s)));
-  for (unsigned s = 0; s < kSwitches; ++s) {
-    const unsigned r = (s + 1) % kSwitches;
-    relays.push_back(std::make_unique<HeaderTranslator>(
-        &lan.sw[s]->out_link(kPortRight), &lan.sw[r]->in_link(kPortLeft), fmt,
-        tables[r].get()));
-    relays.push_back(std::make_unique<HeaderTranslator>(
-        &lan.sw[r]->out_link(kPortLeft), &lan.sw[s]->in_link(kPortRight), fmt,
-        tables[s].get()));
-  }
-  std::vector<std::unique_ptr<HostNic>> nics;
-  Rng seeder(2026);
-  for (unsigned h = 0; h < kHosts; ++h) {
-    const unsigned s = switch_of(h), p = host_port(h);
-    nics.push_back(std::make_unique<HostNic>(h, &lan.sw[s]->in_link(p),
-                                             &lan.sw[s]->out_link(p), kLoad, seeder.split(),
-                                             kWarmup));
-  }
-  for (auto& n : nics) lan.eng.add(n.get());
-  for (auto& r : relays) lan.eng.add(r.get());
-  for (auto& s : lan.sw) lan.eng.add(s.get());
+  obs::MetricsRegistry metrics;
+  fabric::Fabric lan(cfg);
+  lan.register_metrics(&metrics);
+  lan.run(kCycles);
+  const fabric::FabricStats st = lan.stats();
 
-  lan.eng.run(kCycles);
-
-  std::uint64_t injected = 0, delivered = 0, payload_errors = 0, routing_errors = 0;
-  for (auto& n : nics) {
-    injected += n->injected_;
-    delivered += n->delivered_;
-    payload_errors += n->payload_errors_;
-    routing_errors += n->routing_errors_;
-  }
-
-  Table t({"hops (switches)", "cells", "lat min", "lat mean", "lat p99"});
-  for (unsigned h = 1; h <= 3; ++h) {
-    Histogram acc(4096);
-    for (auto& n : nics) acc.merge(n->lat_by_hops_[h].histogram());
-    if (acc.samples() == 0) continue;
-    t.add_row({Table::integer(h), Table::integer(static_cast<long long>(acc.samples())),
-               Table::integer(static_cast<long long>(acc.min())), Table::num(acc.mean(), 1),
-               Table::integer(static_cast<long long>(acc.percentile(0.99)))});
+  Table t({"hops (switches)", "cells", "lat min possible", "lat mean"});
+  for (const auto& row : st.by_hops) {
+    if (row.cells == 0) continue;
+    t.add_row({Table::integer(row.hops), Table::integer(static_cast<long long>(row.cells)),
+               Table::integer(static_cast<long long>(
+                   row.hops * (cfg.link_pipe_stages + 1) + cfg.node.cell_words)),
+               Table::num(row.mean_latency, 1)});
   }
   t.print();
 
-  std::uint64_t switch_drops = 0;
-  for (auto& s : lan.sw) switch_drops += s->stats().dropped();
-  std::printf("\nTotals: injected %llu, delivered %llu, in flight %zu, switch drops %llu.\n",
-              static_cast<unsigned long long>(injected),
-              static_cast<unsigned long long>(delivered), HostNic::in_flight().size(),
-              static_cast<unsigned long long>(switch_drops));
-  std::printf("Integrity: %llu payload errors, %llu routing errors.\n",
-              static_cast<unsigned long long>(payload_errors),
-              static_cast<unsigned long long>(routing_errors));
+  std::printf("\nTotals: injected %llu, delivered %llu, in network %llu, backlog %llu,\n"
+              "switch drops %llu; mean latency %.1f cycles (peak in-network occupancy "
+              "%.0f cells).\n",
+              static_cast<unsigned long long>(st.injected),
+              static_cast<unsigned long long>(st.delivered),
+              static_cast<unsigned long long>(st.in_network),
+              static_cast<unsigned long long>(st.backlog),
+              static_cast<unsigned long long>(st.dropped()), st.mean_latency,
+              metrics.find_gauge("fabric.in_network")->max);
+  std::printf("Integrity: %llu payload errors.\n",
+              static_cast<unsigned long long>(st.payload_errors));
+
+  // Same LAN, sharded across two workers: the delivery record must be
+  // bit-identical (conservative lookahead = link_pipe_stages).
+  fabric::Fabric sharded(lan_config(2));
+  sharded.run(kCycles);
+  const bool deterministic = sharded.stats().uid_digest == st.uid_digest &&
+                             sharded.stats().delivered == st.delivered;
+  std::printf("\nDeterminism: 2-thread rerun %s the single-thread digest %016llx.\n",
+              deterministic ? "reproduces" : "DIVERGES FROM",
+              static_cast<unsigned long long>(st.uid_digest));
+
   std::printf(
-      "\nReading: one-hop traffic (two hosts on the same switch) cuts through in\n"
-      "a few cycles; each extra ring hop adds the relay + another cut-through\n"
-      "switch. This is the paper's LAN use case: the shared buffer keeps every\n"
-      "link busy while bursts from eight hosts statistically share one pool per\n"
-      "switch.\n");
-  return (payload_errors || routing_errors) ? 1 : 0;
+      "\nReading: neighbour traffic cuts through in one link + one switch; each\n"
+      "extra ring hop adds a store-and-forward relay. This is the paper's LAN\n"
+      "use case: bursts from the hosts behind each switch statistically share\n"
+      "one buffer pool per node while every ring link stays busy.\n");
+  return (st.payload_errors || !deterministic) ? 1 : 0;
 }

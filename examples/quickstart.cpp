@@ -77,7 +77,7 @@ int main() {
                 tr == t0 ? ", same-cycle snoop of the write bus" : "",
                 static_cast<long long>(tr + 1), static_cast<long long>(tr + 1 - a0));
   };
-  sw.set_events(std::move(ev));
+  const Subscription ev_sub = sw.events().subscribe(std::move(ev));
 
   Engine eng;
   eng.add(&sw);

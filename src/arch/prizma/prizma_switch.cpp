@@ -4,14 +4,26 @@
 
 namespace pmsb {
 
-void PrizmaConfig::validate() const {
-  if (n_ports < 1) throw std::invalid_argument("n_ports must be >= 1");
+ConfigValidation PrizmaConfig::check() const {
+  ConfigValidation v;
+  auto issue = [&v](ConfigIssue::Code c, std::string msg) {
+    v.issues.push_back(ConfigIssue{c, std::move(msg)});
+  };
+  if (n_ports < 1) issue(ConfigIssue::Code::kBadPorts, "n_ports must be >= 1");
   if (word_bits < 1 || word_bits > 64)
-    throw std::invalid_argument("word_bits must be in [1, 64]");
-  if (dest_bits() >= word_bits)
-    throw std::invalid_argument("head word too narrow for the destination field");
-  if (cell_words < 2) throw std::invalid_argument("cells must be at least two words");
-  if (n_banks < 1) throw std::invalid_argument("need at least one bank");
+    issue(ConfigIssue::Code::kBadWordBits, "word_bits must be in [1, 64]");
+  else if (dest_bits() >= word_bits)
+    issue(ConfigIssue::Code::kHeadTooNarrow,
+          "head word too narrow for the destination field");
+  if (cell_words < 2)
+    issue(ConfigIssue::Code::kBadCellWords, "cells must be at least two words");
+  if (n_banks < 1) issue(ConfigIssue::Code::kBadCapacity, "need at least one bank");
+  return v;
+}
+
+void PrizmaConfig::validate() const {
+  const ConfigValidation v = check();
+  if (!v.ok()) throw std::invalid_argument(v.summary());
 }
 
 PrizmaSwitch::PrizmaSwitch(const PrizmaConfig& cfg)
@@ -47,7 +59,7 @@ void PrizmaSwitch::serve_outputs(Cycle t) {
       ++stats_.read_initiations;
       const bool cut = t < c.a0 + static_cast<Cycle>(L_) - 1;
       if (cut) ++stats_.cut_through_cells;
-      if (events_.on_read_grant) events_.on_read_grant(o, c.input, t, c.a0 + 1, c.a0, cut);
+      events_.read_grant(o, c.input, t, c.a0 + 1, c.a0, cut);
     }
     if (p.streaming) {
       // Word idx was written to the bank at the end of cycle a0 + idx; we
@@ -77,16 +89,16 @@ void PrizmaSwitch::accept_arrivals(Cycle t) {
       PMSB_CHECK(p.dest < cfg_.n_ports, "destination out of range");
       p.a0 = t;
       ++stats_.heads_seen;
-      if (events_.on_head) events_.on_head(i, t, p.dest);
+      events_.head(i, t, p.dest);
       p.discarding = !free_banks_.can_alloc(1);
       if (p.discarding) {
         ++stats_.dropped_no_addr;
-        if (events_.on_drop) events_.on_drop(i, t, DropReason::kNoAddress);
+        events_.drop(i, t, DropReason::kNoAddress);
       } else {
         p.bank = free_banks_.alloc(1)[0];
         ++stats_.accepted;
         ++stats_.write_initiations;
-        if (events_.on_accept) events_.on_accept(i, t, t + 1);
+        events_.accept(i, t, t + 1);
         oq_staged_.push_back(QueuedCell{p.bank, i, p.dest, t});
       }
     } else {

@@ -35,6 +35,9 @@ struct PrizmaConfig {
 
   unsigned dest_bits() const { return bits_for(n_ports); }
   CellFormat cell_format() const { return CellFormat{word_bits, dest_bits(), cell_words}; }
+  /// Non-throwing check with structured issues (see core/config.hpp).
+  ConfigValidation check() const;
+  /// Throws std::invalid_argument(check().summary()) on any issue.
   void validate() const;
 };
 
@@ -47,7 +50,13 @@ class PrizmaSwitch : public Component {
   WireLink& in_link(unsigned i) { return in_links_.at(i); }
   WireLink& out_link(unsigned o) { return out_links_.at(o); }
 
-  void set_events(SwitchEvents ev) { events_ = std::move(ev); }
+  /// Multi-subscriber event fan-out (see core/event_hub.hpp).
+  EventHub& events() { return events_; }
+  const EventHub& events() const { return events_; }
+
+  /// DEPRECATED single-consumer shim; each call replaces the previous
+  /// set_events() callbacks only. New code should events().subscribe().
+  void set_events(SwitchEvents ev) { legacy_events_ = events_.subscribe(std::move(ev)); }
 
   void eval(Cycle t) override;
   void commit(Cycle t) override;
@@ -94,7 +103,8 @@ class PrizmaSwitch : public Component {
   std::vector<InPort> in_;
   std::vector<OutPort> out_;
 
-  SwitchEvents events_;
+  EventHub events_;
+  Subscription legacy_events_;  ///< Slot held by the deprecated set_events().
   SwitchStats stats_;
 };
 

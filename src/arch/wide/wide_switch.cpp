@@ -56,8 +56,7 @@ void WideMemorySwitch::arbitrate_memory(Cycle t) {
     ram_port_used_ = true;
     ++stats_.read_initiations;
     ++stats_.read_grants;
-    if (events_.on_read_grant)
-      events_.on_read_grant(static_cast<unsigned>(o), c.input, t, c.stored_at, c.a0, false);
+    events_.read_grant(static_cast<unsigned>(o), c.input, t, c.stored_at, c.a0, false);
     return;
   }
   const int i = rr_write_.pick(
@@ -114,7 +113,7 @@ void WideMemorySwitch::accept_arrivals(Cycle t) {
       PMSB_CHECK(p.dest < cfg_.n_ports, "destination out of range");
       p.a0 = t;
       ++stats_.heads_seen;
-      if (events_.on_head) events_.on_head(i, t, p.dest);
+      events_.head(i, t, p.dest);
 
       // Cut-through decision -- only possible here, at head arrival, via the
       // dedicated bypass buses and output crossbar of figure 3.
@@ -130,8 +129,8 @@ void WideMemorySwitch::accept_arrivals(Cycle t) {
         ++stats_.accepted;
         ++stats_.cut_through_cells;
         ++stats_.read_grants;
-        if (events_.on_accept) events_.on_accept(i, p.a0, t + 1);
-        if (events_.on_read_grant) events_.on_read_grant(p.dest, i, t + 1, t + 1, p.a0, true);
+        events_.accept(i, p.a0, t + 1);
+        events_.read_grant(p.dest, i, t + 1, t + 1, p.a0, true);
       }
     } else {
       PMSB_CHECK(f.valid && !f.sop, "gap or unexpected head inside a cell");
@@ -159,7 +158,7 @@ void WideMemorySwitch::accept_arrivals(Cycle t) {
     if (p.staged_valid) {
       // Double-buffer overrun: the staging row never got its memory cycle.
       ++stats_.dropped_no_slot;
-      if (events_.on_drop) events_.on_drop(i, p.a0, DropReason::kNoSlot);
+      events_.drop(i, p.a0, DropReason::kNoSlot);
       continue;
     }
     p.staged.swap(p.fill);
@@ -167,7 +166,7 @@ void WideMemorySwitch::accept_arrivals(Cycle t) {
     p.staged_dest = p.dest;
     p.staged_a0 = p.a0;
     ++stats_.accepted;
-    if (events_.on_accept) events_.on_accept(i, p.a0, t + 1);
+    events_.accept(i, p.a0, t + 1);
   }
 }
 

@@ -47,7 +47,13 @@ class WideMemorySwitch : public Component {
   WireLink& in_link(unsigned i) { return in_links_.at(i); }
   WireLink& out_link(unsigned o) { return out_links_.at(o); }
 
-  void set_events(SwitchEvents ev) { events_ = std::move(ev); }
+  /// Multi-subscriber event fan-out (see core/event_hub.hpp).
+  EventHub& events() { return events_; }
+  const EventHub& events() const { return events_; }
+
+  /// DEPRECATED single-consumer shim; each call replaces the previous
+  /// set_events() callbacks only. New code should events().subscribe().
+  void set_events(SwitchEvents ev) { legacy_events_ = events_.subscribe(std::move(ev)); }
 
   void eval(Cycle t) override;
   void commit(Cycle t) override;
@@ -117,7 +123,8 @@ class WideMemorySwitch : public Component {
   std::vector<InPort> in_;
   std::vector<OutPort> out_;
 
-  SwitchEvents events_;
+  EventHub events_;
+  Subscription legacy_events_;  ///< Slot held by the deprecated set_events().
   SwitchStats stats_;
 };
 

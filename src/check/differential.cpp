@@ -201,10 +201,10 @@ CycleRunResult run_cycle_model(const ConfigT& cfg, const CellFormat& fmt, const 
   SwitchEvents ev;
   ev.on_accept = [&sb](unsigned i, Cycle a0, Cycle t0) { sb.on_accept(i, a0, t0); };
   ev.on_drop = [&sb](unsigned i, Cycle a0, DropReason why) { sb.on_drop(i, a0, why); };
-  sw.set_events(std::move(ev));
+  const Subscription sb_sub = sw.events().subscribe(std::move(ev));
 
   InvariantChecker checker;
-  checker.attach(sw, engine);  // Chains in front of the scoreboard events.
+  checker.attach(sw, engine);  // Its own subscription; coexists with sb_sub.
   OccupancyProbe<SwitchT> probe(&sw);
   engine.add_cycle_observer(&probe);
 

@@ -28,38 +28,14 @@ const char* to_string(Invariant inv) {
   return "?";
 }
 
-InvariantChecker::~InvariantChecker() {
-  // The switch may outlive us (Testbench destroys members in reverse
-  // declaration order); drop the re-chain hook so it cannot dangle.
-  if (psw_ != nullptr) psw_->set_events_replaced_hook(nullptr);
-  if (dsw_ != nullptr) dsw_->set_events_replaced_hook(nullptr);
-}
-
-template <typename SwitchT>
-void InvariantChecker::chain_events(SwitchT& sw) {
-  if (chaining_) return;  // Triggered by our own set_events() below.
-  chaining_ = true;
-  SwitchEvents prev = sw.events();
+SwitchEvents InvariantChecker::make_events() {
   SwitchEvents ev;
-  ev.on_head = [this, fwd = prev.on_head](unsigned i, Cycle a0, unsigned dest) {
-    on_head(i, a0, dest);
-    if (fwd) fwd(i, a0, dest);
-  };
-  ev.on_accept = [this, fwd = prev.on_accept](unsigned i, Cycle a0, Cycle t0) {
-    on_accept(i, a0, t0);
-    if (fwd) fwd(i, a0, t0);
-  };
-  ev.on_drop = [this, fwd = prev.on_drop](unsigned i, Cycle a0, DropReason why) {
-    on_drop(i, a0, why);
-    if (fwd) fwd(i, a0, why);
-  };
-  ev.on_read_grant = [this, fwd = prev.on_read_grant](unsigned o, unsigned i, Cycle tr,
-                                                      Cycle t0, Cycle a0, bool cut) {
-    on_read_grant(o, i, tr, t0, a0, cut);
-    if (fwd) fwd(o, i, tr, t0, a0, cut);
-  };
-  sw.set_events(std::move(ev));
-  chaining_ = false;
+  ev.on_head = [this](unsigned i, Cycle a0, unsigned dest) { on_head(i, a0, dest); };
+  ev.on_accept = [this](unsigned i, Cycle a0, Cycle t0) { on_accept(i, a0, t0); };
+  ev.on_drop = [this](unsigned i, Cycle a0, DropReason why) { on_drop(i, a0, why); };
+  ev.on_read_grant = [this](unsigned o, unsigned i, Cycle tr, Cycle t0, Cycle a0,
+                            bool cut) { on_read_grant(o, i, tr, t0, a0, cut); };
+  return ev;
 }
 
 void InvariantChecker::init_common(unsigned n_ports, unsigned stages, unsigned segments,
@@ -81,8 +57,7 @@ void InvariantChecker::attach(PipelinedSwitch& sw, Engine& engine) {
   psw_ = &sw;
   addr_refs_.assign(cfg.capacity_segments, 0);
   addr_marked_.assign(cfg.capacity_segments, 0);
-  sw.set_events_replaced_hook([this, &sw] { chain_events(sw); });
-  chain_events(sw);
+  events_sub_ = sw.events().subscribe(make_events());
 }
 
 void InvariantChecker::attach(DualPipelinedSwitch& sw, Engine& engine) {
@@ -90,8 +65,7 @@ void InvariantChecker::attach(DualPipelinedSwitch& sw, Engine& engine) {
   init_common(cfg.n_ports, cfg.stages(), 1, static_cast<Cycle>(cfg.cell_words()),
               cfg.cut_through, engine);
   dsw_ = &sw;
-  sw.set_events_replaced_hook([this, &sw] { chain_events(sw); });
-  chain_events(sw);
+  events_sub_ = sw.events().subscribe(make_events());
 }
 
 void InvariantChecker::register_metrics(obs::MetricsRegistry& m, const std::string& prefix) {

@@ -9,8 +9,8 @@
 // and buffer addresses. This checker turns each of them into a per-cycle
 // machine-checked property:
 //
-//   * it chains itself in front of the switch's SwitchEvents callbacks to
-//     observe every head/accept/drop/read-grant as it happens, and
+//   * it subscribes to the switch's EventHub to observe every
+//     head/accept/drop/read-grant as it happens, and
 //   * it registers as an Engine CycleObserver so that after every commit
 //     phase it can cross-reference the free list, reservation table, and
 //     output queues -- the only moment the cross-component conservation
@@ -75,13 +75,11 @@ struct Violation {
 class InvariantChecker : public CycleObserver {
  public:
   InvariantChecker() = default;
-  ~InvariantChecker();
 
-  /// Hook a cycle-accurate switch: chains in front of its current
-  /// SwitchEvents (scoreboards attached earlier keep working) and registers
-  /// with the engine's post-commit observer list. Attach exactly once.
-  /// Later set_events() calls on the switch re-chain the checker
-  /// automatically, so observers installed mid-run cannot sever it.
+  /// Hook a cycle-accurate switch: subscribes to its EventHub (coexisting
+  /// with scoreboards, fabric bridges, and any other subscriber) and
+  /// registers with the engine's post-commit observer list. Attach exactly
+  /// once.
   void attach(PipelinedSwitch& sw, Engine& engine);
   void attach(DualPipelinedSwitch& sw, Engine& engine);
 
@@ -120,12 +118,11 @@ class InvariantChecker : public CycleObserver {
 
   void init_common(unsigned n_ports, unsigned stages, unsigned segments,
                    Cycle cell_len, bool cut_through, Engine& engine);
-  template <typename SwitchT>
-  void chain_events(SwitchT& sw);
+  SwitchEvents make_events();
 
   PipelinedSwitch* psw_ = nullptr;
   DualPipelinedSwitch* dsw_ = nullptr;
-  bool chaining_ = false;  ///< Re-entrancy guard: our own set_events() call.
+  Subscription events_sub_;  ///< Our slot on the DUT's EventHub.
 
   unsigned n_ = 0;        ///< Ports.
   unsigned S_ = 0;        ///< Stages (2n single organization, n dual).

@@ -4,15 +4,27 @@
 
 namespace pmsb {
 
-void DualSwitchConfig::validate() const {
-  if (n_ports < 2) throw std::invalid_argument("dual organization needs n_ports >= 2");
+ConfigValidation DualSwitchConfig::check() const {
+  ConfigValidation v;
+  auto issue = [&v](ConfigIssue::Code c, std::string msg) {
+    v.issues.push_back(ConfigIssue{c, std::move(msg)});
+  };
+  if (n_ports < 2)
+    issue(ConfigIssue::Code::kBadPorts, "dual organization needs n_ports >= 2");
   if (word_bits < 1 || word_bits > 64)
-    throw std::invalid_argument("word_bits must be in [1, 64]");
-  if (dest_bits() >= word_bits)
-    throw std::invalid_argument("head word too narrow for the destination field");
+    issue(ConfigIssue::Code::kBadWordBits, "word_bits must be in [1, 64]");
+  else if (dest_bits() >= word_bits)
+    issue(ConfigIssue::Code::kHeadTooNarrow,
+          "head word too narrow for the destination field");
   if (capacity_segments_per_group == 0)
-    throw std::invalid_argument("capacity must be >= 1 cell per group");
-  if (clock_mhz <= 0) throw std::invalid_argument("clock_mhz must be positive");
+    issue(ConfigIssue::Code::kBadCapacity, "capacity must be >= 1 cell per group");
+  if (clock_mhz <= 0) issue(ConfigIssue::Code::kBadClock, "clock_mhz must be positive");
+  return v;
+}
+
+void DualSwitchConfig::validate() const {
+  const ConfigValidation v = check();
+  if (!v.ok()) throw std::invalid_argument(v.summary());
 }
 
 DualPipelinedSwitch::DualPipelinedSwitch(const DualSwitchConfig& cfg, AddrPathMode addr_mode)
@@ -73,8 +85,7 @@ int DualPipelinedSwitch::grant_read(Cycle t) {
   ++stats_.read_grants;
   const bool cut = t < cell.a0 + static_cast<Cycle>(cfg_.cell_words()) - 1;
   if (cut) ++stats_.cut_through_cells;
-  if (events_.on_read_grant)
-    events_.on_read_grant(static_cast<unsigned>(o), cell.input, t, cell.t0, cell.a0, cut);
+  events_.read_grant(static_cast<unsigned>(o), cell.input, t, cell.t0, cell.a0, cut);
   return static_cast<int>(cell.group);
 }
 
@@ -100,7 +111,7 @@ void DualPipelinedSwitch::grant_write(Cycle t, int read_group) {
   const std::uint32_t addr = free_[g].alloc(1)[0];
   ir_.protect_for_wave(static_cast<unsigned>(i), t, p.a0);
   ++stats_.accepted;
-  if (events_.on_accept) events_.on_accept(static_cast<unsigned>(i), p.a0, t);
+  events_.accept(static_cast<unsigned>(i), p.a0, t);
 
   StageCtrl c;
   c.addr = addr;
@@ -120,8 +131,7 @@ void DualPipelinedSwitch::grant_write(Cycle t, int read_group) {
     ++stats_.read_grants;
     const bool cut = t < p.a0 + static_cast<Cycle>(cfg_.cell_words()) - 1;
     if (cut) ++stats_.cut_through_cells;
-    if (events_.on_read_grant)
-      events_.on_read_grant(dest, static_cast<unsigned>(i), t, t, p.a0, cut);
+    events_.read_grant(dest, static_cast<unsigned>(i), t, t, p.a0, cut);
   } else {
     c.op = StageOp::kWrite;
     ++stats_.write_initiations;
@@ -143,9 +153,8 @@ void DualPipelinedSwitch::expire_pending(Cycle t) {
       ++stats_.dropped_no_addr;
     else
       ++stats_.dropped_no_slot;
-    if (events_.on_drop)
-      events_.on_drop(i, p.a0,
-                      p.addr_starved ? DropReason::kNoAddress : DropReason::kNoSlot);
+    events_.drop(i, p.a0,
+                 p.addr_starved ? DropReason::kNoAddress : DropReason::kNoSlot);
     p.valid = false;
   }
 }
@@ -166,7 +175,7 @@ void DualPipelinedSwitch::process_arrivals(Cycle t) {
       PMSB_CHECK(!pending_[i].valid, "new head while the previous cell is unresolved");
       pending_[i] = Pending{true, t, fsm.dest, false};
       ++stats_.heads_seen;
-      if (events_.on_head) events_.on_head(i, t, fsm.dest);
+      events_.head(i, t, fsm.dest);
     } else {
       PMSB_CHECK(f.valid && !f.sop, "gap or unexpected head inside a cell");
       ir_.latch(i, fsm.phase % S_, f.data, t);

@@ -48,6 +48,9 @@ struct DualSwitchConfig {
   unsigned cell_words() const { return n_ports; }      ///< Half quantum.
   unsigned dest_bits() const { return bits_for(n_ports); }
   CellFormat cell_format() const { return CellFormat{word_bits, dest_bits(), cell_words()}; }
+  /// Non-throwing check with structured issues (see core/config.hpp).
+  ConfigValidation check() const;
+  /// Throws std::invalid_argument(check().summary()) on any issue.
   void validate() const;
 };
 
@@ -61,20 +64,13 @@ class DualPipelinedSwitch : public Component {
   WireLink& in_link(unsigned i) { return in_links_.at(i); }
   WireLink& out_link(unsigned o) { return out_links_.at(o); }
 
-  void set_events(SwitchEvents ev) {
-    events_ = std::move(ev);
-    if (on_events_replaced_) on_events_replaced_();
-  }
+  /// Multi-subscriber event fan-out (see core/event_hub.hpp).
+  EventHub& events() { return events_; }
+  const EventHub& events() const { return events_; }
 
-  /// Currently installed observer callbacks (the invariant checker chains
-  /// itself in front of these instead of overwriting them).
-  const SwitchEvents& events() const { return events_; }
-
-  /// Invoked after every set_events() call; lets the invariant checker
-  /// re-chain itself when callers replace the observers mid-run.
-  void set_events_replaced_hook(std::function<void()> hook) {
-    on_events_replaced_ = std::move(hook);
-  }
+  /// DEPRECATED single-consumer shim; each call replaces the previous
+  /// set_events() callbacks only. New code should events().subscribe().
+  void set_events(SwitchEvents ev) { legacy_events_ = events_.subscribe(std::move(ev)); }
 
   void eval(Cycle t) override;
   void commit(Cycle t) override;
@@ -149,8 +145,8 @@ class DualPipelinedSwitch : public Component {
   std::vector<Pending> pending_;
   std::vector<Cycle> next_read_ok_;
 
-  SwitchEvents events_;
-  std::function<void()> on_events_replaced_;
+  EventHub events_;
+  Subscription legacy_events_;  ///< Slot held by the deprecated set_events().
   SwitchStats stats_;
   std::uint64_t dual_cycles_ = 0;
 };

@@ -1,0 +1,27 @@
+#include "core/event_hub.hpp"
+
+#include <algorithm>
+
+namespace pmsb {
+
+Subscription EventHub::subscribe(SwitchEvents ev) {
+  const std::uint64_t id = state_->next_id++;
+  state_->entries.push_back(detail::EventHubState::Entry{id, std::move(ev)});
+  return Subscription(state_, id);
+}
+
+void Subscription::reset() {
+  if (id_ == 0) return;
+  if (auto s = state_.lock()) {
+    auto& v = s->entries;
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [this](const auto& e) { return e.id == id_; }),
+            v.end());
+  }
+  state_.reset();
+  id_ = 0;
+}
+
+bool Subscription::active() const { return id_ != 0 && !state_.expired(); }
+
+}  // namespace pmsb

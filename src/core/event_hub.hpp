@@ -1,0 +1,146 @@
+// Multi-subscriber switch event API.
+//
+// Every cycle-accurate switch publishes its head/accept/drop/read-grant
+// notifications through an EventHub. Any number of observers -- scoreboard,
+// invariant checker, fabric port bridges, metrics adapters, tests -- attach
+// additively with subscribe() and detach via the returned RAII Subscription;
+// none of them can sever the others (the failure mode of the old
+// single-consumer set_events() slot, which needed a fragile "events replaced"
+// re-chain hook to keep the invariant checker alive).
+//
+// Semantics:
+//  * Fan-out is in registration order: for each event, subscribers see it in
+//    the order their subscribe() calls ran. Tests rely on this.
+//  * Subscription is move-only; destroying (or reset()-ing) it removes the
+//    callbacks. The hub's state is shared, so a Subscription outliving its
+//    switch is safe -- reset() becomes a no-op.
+//  * Callbacks fire during the switch's eval phase, on the simulation thread
+//    that owns the switch. Do not subscribe or unsubscribe from inside a
+//    callback (the fan-out loop walks the subscriber list).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+enum class DropReason : std::uint8_t {
+  kNoAddress,    ///< Shared buffer full for the whole acceptance window.
+  kNoSlot,       ///< No stage-0 slot in the window (should not occur for
+                 ///< single-segment cells; counted, never silently ignored).
+  kOutputLimit,  ///< Destination's per-output occupancy cap reached (the
+                 ///< anti-hogging threshold, SwitchConfig::out_queue_limit).
+};
+
+/// One subscriber's callbacks. All are optional; they fire during eval of the
+/// cycle named in their arguments.
+struct SwitchEvents {
+  /// A cell's head word was latched (end of cycle a0), destined to `dest`.
+  std::function<void(unsigned input, Cycle a0, unsigned dest)> on_head;
+  /// The cell that arrived at (input, a0) was granted its write wave at t0.
+  std::function<void(unsigned input, Cycle a0, Cycle t0)> on_accept;
+  /// The cell that arrived at (input, a0) was dropped.
+  std::function<void(unsigned input, Cycle a0, DropReason why)> on_drop;
+  /// A read wave was granted at tr for the cell that arrived at (input,a0)
+  /// and was written from t0; `cut_through` = departure began before the
+  /// tail had arrived.
+  std::function<void(unsigned output, unsigned input, Cycle tr, Cycle t0, Cycle a0,
+                     bool cut_through)>
+      on_read_grant;
+};
+
+namespace detail {
+/// Shared between an EventHub and its outstanding Subscriptions so either
+/// side may die first.
+struct EventHubState {
+  struct Entry {
+    std::uint64_t id;
+    SwitchEvents ev;
+  };
+  std::vector<Entry> entries;  ///< Registration order.
+  std::uint64_t next_id = 1;
+};
+}  // namespace detail
+
+/// RAII handle for one subscriber slot. Default-constructed = inactive.
+class Subscription {
+ public:
+  Subscription() = default;
+  Subscription(Subscription&& o) noexcept : state_(std::move(o.state_)), id_(o.id_) {
+    o.state_.reset();
+    o.id_ = 0;
+  }
+  Subscription& operator=(Subscription&& o) noexcept {
+    if (this != &o) {
+      reset();
+      state_ = std::move(o.state_);
+      id_ = o.id_;
+      o.state_.reset();
+      o.id_ = 0;
+    }
+    return *this;
+  }
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+  ~Subscription() { reset(); }
+
+  /// Unsubscribe now (idempotent; no-op if the hub is already gone).
+  void reset();
+
+  /// True while this handle still holds a live subscriber slot.
+  bool active() const;
+
+ private:
+  friend class EventHub;
+  Subscription(std::weak_ptr<detail::EventHubState> s, std::uint64_t id)
+      : state_(std::move(s)), id_(id) {}
+
+  std::weak_ptr<detail::EventHubState> state_;
+  std::uint64_t id_ = 0;
+};
+
+/// The per-switch fan-out point. Owned by the switch; emit methods are called
+/// from the switch's eval phase and loop over subscribers in registration
+/// order. An empty hub costs one vector-empty test per event.
+class EventHub {
+ public:
+  EventHub() : state_(std::make_shared<detail::EventHubState>()) {}
+  EventHub(const EventHub&) = delete;
+  EventHub& operator=(const EventHub&) = delete;
+
+  /// Attach callbacks; they stay installed until the returned Subscription is
+  /// destroyed or reset().
+  Subscription subscribe(SwitchEvents ev);
+
+  std::size_t subscriber_count() const { return state_->entries.size(); }
+  bool empty() const { return state_->entries.empty(); }
+
+  // --- Emission (switch internals) -------------------------------------
+  void head(unsigned input, Cycle a0, unsigned dest) const {
+    for (const auto& e : state_->entries)
+      if (e.ev.on_head) e.ev.on_head(input, a0, dest);
+  }
+  void accept(unsigned input, Cycle a0, Cycle t0) const {
+    for (const auto& e : state_->entries)
+      if (e.ev.on_accept) e.ev.on_accept(input, a0, t0);
+  }
+  void drop(unsigned input, Cycle a0, DropReason why) const {
+    for (const auto& e : state_->entries)
+      if (e.ev.on_drop) e.ev.on_drop(input, a0, why);
+  }
+  void read_grant(unsigned output, unsigned input, Cycle tr, Cycle t0, Cycle a0,
+                  bool cut_through) const {
+    for (const auto& e : state_->entries)
+      if (e.ev.on_read_grant) e.ev.on_read_grant(output, input, tr, t0, a0, cut_through);
+  }
+
+ private:
+  std::shared_ptr<detail::EventHubState> state_;
+};
+
+}  // namespace pmsb

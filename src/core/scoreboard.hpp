@@ -31,8 +31,9 @@ class Scoreboard {
  public:
   Scoreboard(unsigned n_inputs, unsigned n_outputs, const CellFormat& fmt);
 
-  /// Hook everything up. Works for any switch exposing set_events(); the
-  /// switch's existing events are overwritten. Sources may be CellSource or
+  /// Hook everything up. Works for any switch exposing events() (an
+  /// EventHub); the scoreboard subscribes additively, so other observers on
+  /// the same switch keep working. Sources may be CellSource or
   /// BurstyCellSource (anything with set_on_inject).
   template <typename SwitchT, typename SourceT>
   void attach(SwitchT& sw, std::vector<std::unique_ptr<SourceT>>& sources,
@@ -44,7 +45,7 @@ class Scoreboard {
     SwitchEvents ev;
     ev.on_accept = [this](unsigned i, Cycle a0, Cycle t0) { on_accept(i, a0, t0); };
     ev.on_drop = [this](unsigned i, Cycle a0, DropReason why) { on_drop(i, a0, why); };
-    sw.set_events(std::move(ev));
+    events_sub_ = sw.events().subscribe(std::move(ev));
   }
 
   // Raw entry points (used directly by tests and by the dual switch).
@@ -99,6 +100,7 @@ class Scoreboard {
   LatencyStats latency_;
   std::vector<std::string> errors_;
   Cycle input_delay_ = 0;
+  Subscription events_sub_;  ///< Our slot on the DUT's EventHub.
 };
 
 }  // namespace pmsb

@@ -151,9 +151,8 @@ bool PipelinedSwitch::try_grant_read(Cycle t) {
       trace_push({t, obs::TraceEvent::kCutThrough, static_cast<std::uint16_t>(cell.input),
                   static_cast<std::uint16_t>(o), cell.seg_addrs.front(), 0});
   }
-  if (events_.on_read_grant)
-    events_.on_read_grant(static_cast<unsigned>(o), cell.input, t, cell.write_start,
-                          cell.head_arrival, cut);
+  events_.read_grant(static_cast<unsigned>(o), cell.input, t, cell.write_start,
+                     cell.head_arrival, cut);
   return true;
 }
 
@@ -177,7 +176,7 @@ bool PipelinedSwitch::try_grant_write(Cycle t) {
   if (tracing())
     trace_push({t, obs::TraceEvent::kWriteWave, static_cast<std::uint16_t>(i), 0,
                 addrs.front(), static_cast<std::uint32_t>(t - p.a0)});
-  if (events_.on_accept) events_.on_accept(static_cast<unsigned>(i), p.a0, t);
+  events_.accept(static_cast<unsigned>(i), p.a0, t);
 
   // Automatic cut-through (section 3.3): if the destination is idle and has
   // nothing queued ahead of this cell, co-initiate the snooping read on the
@@ -201,8 +200,7 @@ bool PipelinedSwitch::try_grant_write(Cycle t) {
         trace_push({t, obs::TraceEvent::kCutThrough, static_cast<std::uint16_t>(i),
                     static_cast<std::uint16_t>(dest), addrs.front(), 0});
     }
-    if (events_.on_read_grant)
-      events_.on_read_grant(dest, static_cast<unsigned>(i), t, t, p.a0, cut);
+    events_.read_grant(dest, static_cast<unsigned>(i), t, t, p.a0, cut);
   } else {
     oq_.push(BufferedCell{static_cast<unsigned>(i), dest, p.a0, t, addrs});
   }
@@ -227,7 +225,7 @@ void PipelinedSwitch::expire_pending(Cycle t) {
       ++stats_.dropped_no_addr;
     else
       ++stats_.dropped_no_slot;
-    if (events_.on_drop) events_.on_drop(i, p.a0, why);
+    events_.drop(i, p.a0, why);
     if (tracing())
       trace_push({t, obs::TraceEvent::kDrop, static_cast<std::uint16_t>(i), 0, 0,
                   static_cast<std::uint32_t>(why)});
@@ -251,7 +249,7 @@ void PipelinedSwitch::process_arrivals(Cycle t) {
       fsm.phase = 1;
       PMSB_CHECK(!pending_[i].valid, "new head while the previous cell is unresolved");
       ++stats_.heads_seen;
-      if (events_.on_head) events_.on_head(i, t, fsm.dest);
+      events_.head(i, t, fsm.dest);
       if (tracing())
         trace_push({t, obs::TraceEvent::kHead, static_cast<std::uint16_t>(i),
                     static_cast<std::uint16_t>(fsm.dest), 0, 0});
@@ -259,7 +257,7 @@ void PipelinedSwitch::process_arrivals(Cycle t) {
       // not allowed to absorb the whole shared pool.
       if (cfg_.out_queue_limit != 0 && oq_.size(fsm.dest) >= cfg_.out_queue_limit) {
         ++stats_.dropped_out_limit;
-        if (events_.on_drop) events_.on_drop(i, t, DropReason::kOutputLimit);
+        events_.drop(i, t, DropReason::kOutputLimit);
         if (tracing())
           trace_push({t, obs::TraceEvent::kDrop, static_cast<std::uint16_t>(i),
                       static_cast<std::uint16_t>(fsm.dest), 0,

@@ -36,6 +36,7 @@
 
 #include "core/arbiter.hpp"
 #include "core/config.hpp"
+#include "core/event_hub.hpp"
 #include "core/free_list.hpp"
 #include "core/input_latches.hpp"
 #include "core/out_queues.hpp"
@@ -50,13 +51,7 @@
 
 namespace pmsb {
 
-enum class DropReason : std::uint8_t {
-  kNoAddress,    ///< Shared buffer full for the whole acceptance window.
-  kNoSlot,       ///< No stage-0 slot in the window (should not occur for
-                 ///< single-segment cells; counted, never silently ignored).
-  kOutputLimit,  ///< Destination's per-output occupancy cap reached (the
-                 ///< anti-hogging threshold, SwitchConfig::out_queue_limit).
-};
+// DropReason and SwitchEvents moved to core/event_hub.hpp (re-exported here).
 
 /// Aggregate run statistics of one switch instance.
 struct SwitchStats {
@@ -78,23 +73,6 @@ struct SwitchStats {
   std::uint64_t dropped() const {
     return dropped_no_addr + dropped_no_slot + dropped_out_limit;
   }
-};
-
-/// Observer callbacks. All are optional; they fire during eval of the cycle
-/// named in their arguments.
-struct SwitchEvents {
-  /// A cell's head word was latched (end of cycle a0), destined to `dest`.
-  std::function<void(unsigned input, Cycle a0, unsigned dest)> on_head;
-  /// The cell that arrived at (input, a0) was granted its write wave at t0.
-  std::function<void(unsigned input, Cycle a0, Cycle t0)> on_accept;
-  /// The cell that arrived at (input, a0) was dropped.
-  std::function<void(unsigned input, Cycle a0, DropReason why)> on_drop;
-  /// A read wave was granted at tr for the cell that arrived at (input,a0)
-  /// and was written from t0; `cut_through` = departure began before the
-  /// tail had arrived.
-  std::function<void(unsigned output, unsigned input, Cycle tr, Cycle t0, Cycle a0,
-                     bool cut_through)>
-      on_read_grant;
 };
 
 /// Test-only fault injection (src/check/): deliberately mis-arbitrate so the
@@ -119,21 +97,17 @@ class PipelinedSwitch : public Component {
   WireLink& in_link(unsigned i) { return in_links_.at(i); }
   WireLink& out_link(unsigned o) { return out_links_.at(o); }
 
-  void set_events(SwitchEvents ev) {
-    events_ = std::move(ev);
-    if (on_events_replaced_) on_events_replaced_();
-  }
+  /// Multi-subscriber event fan-out: observers call
+  /// `events().subscribe(SwitchEvents{...})` and hold the returned
+  /// Subscription for as long as they want the callbacks.
+  EventHub& events() { return events_; }
+  const EventHub& events() const { return events_; }
 
-  /// Currently installed observer callbacks. The invariant checker chains
-  /// itself in front of these instead of overwriting them.
-  const SwitchEvents& events() const { return events_; }
-
-  /// Invoked after every set_events() call. The invariant checker installs a
-  /// re-chaining hook here so that callers replacing the observer callbacks
-  /// mid-run (tests, bench binaries) cannot silently sever the check chain.
-  void set_events_replaced_hook(std::function<void()> hook) {
-    on_events_replaced_ = std::move(hook);
-  }
+  /// DEPRECATED single-consumer shim (one release, see CHANGES.md): behaves
+  /// like the historical slot -- each call replaces the callbacks installed
+  /// by the previous set_events() call, without disturbing subscribers that
+  /// attached through events().subscribe(). New code should subscribe.
+  void set_events(SwitchEvents ev) { legacy_events_ = events_.subscribe(std::move(ev)); }
 
   /// Inject arbitration faults (verification demos only; see FaultPlan).
   void set_fault_plan(const FaultPlan& f) { fault_ = f; }
@@ -242,8 +216,8 @@ class PipelinedSwitch : public Component {
   std::vector<Pending> pending_;
   std::vector<Cycle> next_read_ok_;  ///< Earliest next read initiation per output.
 
-  SwitchEvents events_;
-  std::function<void()> on_events_replaced_;
+  EventHub events_;
+  Subscription legacy_events_;  ///< Slot held by the deprecated set_events().
   SwitchStats stats_;
   FaultPlan fault_;
   std::uint64_t fault_write_grants_ = 0;  ///< Eligible write grants seen (fault pacing).

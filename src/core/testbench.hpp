@@ -31,7 +31,7 @@ struct TrafficSpec {
   double mean_burst_cells = 8.0;
 };
 
-/// Harness around any switch type with in_link()/out_link()/set_events().
+/// Harness around any switch type with in_link()/out_link()/events().
 template <typename SwitchT, typename ConfigT>
 class Testbench {
  public:
@@ -79,7 +79,8 @@ class Testbench {
 
     // Invariant checking (src/check/) rides along on every harnessed run
     // when requested via PMSB_CHECK=1 (or the pmsb_check CMake option).
-    // Attached after the scoreboard so the checker chains its events.
+    // Scoreboard and checker each hold their own EventHub subscription,
+    // so attachment order no longer matters.
     if constexpr (std::is_same_v<SwitchT, PipelinedSwitch> ||
                   std::is_same_v<SwitchT, DualPipelinedSwitch>) {
       if (check::env_enabled()) {

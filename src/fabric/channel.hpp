@@ -1,0 +1,64 @@
+// One directed inter-node link of the fabric: a single-writer single-reader
+// flit ring that reproduces sim/link_pipeline.hpp's timing without sharing
+// any mutable simulation object between shards.
+//
+// A LinkPipeline with S register stages delivers the word on the upstream
+// out-wire at cycle t onto the downstream in-wire at cycle t + S + 1. The
+// fabric splits that wire at the register boundary: a TxTap in the
+// *producer's* shard records out_link.now() into slot (t mod size) during
+// its eval of cycle t, and the PortBridge in the *consumer's* shard reads
+// slot (t - S) during its eval of cycle t, then re-drives the node's in-wire
+// for t + 1 -- the same S + 1 total, with the bridge playing the role of the
+// last pipeline register.
+//
+// Race-freedom under the conservative round scheme (see src/fabric/): with
+// lookahead k <= S cycles between barriers, every slot the reader touches in
+// round r was written in round r-1 or earlier (t_read - S < r*k), and the
+// writer stays at least size - (k + S) > 0 slots away from the oldest
+// unread entry. Different threads therefore always address disjoint slots,
+// and the barrier provides the happens-before edge for visibility.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/cell.hpp"
+#include "common/util.hpp"
+
+namespace pmsb::fabric {
+
+class Channel {
+ public:
+  /// `delay` = the modelled LinkPipeline's register stages S (>= 1). Total
+  /// out-wire to in-wire latency is delay + 1 (see file comment).
+  explicit Channel(unsigned delay) : delay_(delay) {
+    PMSB_CHECK(delay >= 1, "fabric links need at least one register stage");
+    std::size_t cap = 1;
+    while (cap < 2 * static_cast<std::size_t>(delay) + 2) cap <<= 1;
+    ring_.assign(cap, Flit{});
+    mask_ = cap - 1;
+  }
+
+  unsigned delay() const { return delay_; }
+
+  /// Producer side (TxTap): record the upstream out-wire's value during
+  /// cycle t. Exactly one writer, exactly once per producer cycle.
+  void write(Cycle t, const Flit& f) { ring_[static_cast<std::size_t>(t) & mask_] = f; }
+
+  /// Consumer side (PortBridge): the word that entered the channel `delay`
+  /// cycles ago; idle while the pipe is still filling.
+  const Flit& read(Cycle t) const {
+    if (t < static_cast<Cycle>(delay_)) return kIdle;
+    return ring_[static_cast<std::size_t>(t - delay_) & mask_];
+  }
+
+ private:
+  inline static const Flit kIdle{};
+
+  unsigned delay_;
+  std::size_t mask_;
+  std::vector<Flit> ring_;
+};
+
+}  // namespace pmsb::fabric

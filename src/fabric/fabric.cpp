@@ -1,0 +1,267 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "exp/sweep.hpp"
+#include "sim/barrier.hpp"
+
+namespace pmsb::fabric {
+
+ConfigValidation FabricConfig::check() const {
+  ConfigValidation v = node.check();
+  auto issue = [&v](ConfigIssue::Code c, std::string msg) {
+    v.issues.push_back(ConfigIssue{c, std::move(msg)});
+  };
+  if (topo.nodes() < 2) issue(ConfigIssue::Code::kBadTopology, "fabric needs at least two nodes");
+  if (topo.kind == net::TopologyKind::kRing) {
+    if (topo.height != 1 || topo.width < 2)
+      issue(ConfigIssue::Code::kBadTopology, "a ring is width >= 2, height == 1");
+  } else if (topo.kind == net::TopologyKind::kTorus2D) {
+    // Width/height 1 would wrap a node onto itself.
+    if (topo.width < 2 || topo.height < 2)
+      issue(ConfigIssue::Code::kBadTopology, "a torus needs width and height >= 2");
+  }
+  if (node.n_ports < topo.required_ports())
+    issue(ConfigIssue::Code::kBadPorts,
+          "fabric nodes need at least " + std::to_string(topo.required_ports()) + " ports");
+  if (node.word_bits < 16)
+    issue(ConfigIssue::Code::kBadWordBits, "fabric wire format needs word_bits >= 16");
+  if (node.cell_words < 4)
+    issue(ConfigIssue::Code::kBadCellWords, "fabric wire format needs cells of >= 4 words");
+  else if (bits_for(topo.nodes()) > node.cell_format().tag_bits())
+    issue(ConfigIssue::Code::kHeadTooNarrow, "head tag too narrow for a node id");
+  if (link_pipe_stages < 1)
+    issue(ConfigIssue::Code::kBadLinkStages, "inter-node links need >= 1 register stage");
+  if (!(load >= 0.0) || load > 1.0)
+    issue(ConfigIssue::Code::kBadLoad, "offered load must be in [0, 1]");
+  return v;
+}
+
+void FabricConfig::validate() const {
+  const ConfigValidation v = check();
+  if (!v.ok()) throw std::invalid_argument(v.summary());
+}
+
+Fabric::Fabric(const FabricConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  codec_ = CellCodec{cfg_.node.cell_format(), bits_for(cfg_.topo.nodes())};
+  ports_ = cfg_.topo.required_ports();
+  build();
+}
+
+Fabric::~Fabric() = default;
+
+void Fabric::build() {
+  const net::Topology& topo = cfg_.topo;
+  const unsigned n = topo.nodes();
+
+  unsigned workers = cfg_.threads ? cfg_.threads : exp::thread_count();
+  workers = std::min(std::max(workers, 1u), n);
+
+  nodes_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    auto node = std::make_unique<Node>();
+    node->sw = std::make_unique<PipelinedSwitch>(cfg_.node);
+    node->injector.rng = Rng(mix64(cfg_.seed + 0x9e3779b97f4a7c15ULL * (i + 1)));
+    node->injector.cells_per_cycle = cfg_.load / cfg_.node.cell_words;
+    node->injector.self = i;
+    node->injector.n_nodes = n;
+    // The fabric's own accounting rides the multi-subscriber hub, leaving
+    // room for checkers, scoreboards, and user taps on the same switch.
+    SwitchEvents ev;
+    Node* np = node.get();
+    ev.on_drop = [np](unsigned, Cycle, DropReason why) {
+      switch (why) {
+        case DropReason::kNoAddress: ++np->drop_no_addr; break;
+        case DropReason::kNoSlot: ++np->drop_no_slot; break;
+        case DropReason::kOutputLimit: ++np->drop_out_limit; break;
+      }
+    };
+    node->drop_sub = node->sw->events().subscribe(std::move(ev));
+    nodes_.push_back(std::move(node));
+  }
+
+  // Identical wiring at every thread count: each directed link gets a
+  // channel even when both endpoints share a shard.
+  channels_.resize(static_cast<std::size_t>(n) * ports_);
+  for (unsigned u = 0; u < n; ++u) {
+    for (unsigned p = 0; p < ports_; ++p) {
+      if (topo.neighbor(u, static_cast<net::Port>(p)) >= 0)
+        channels_[u * ports_ + p] = std::make_unique<Channel>(cfg_.link_pipe_stages);
+    }
+  }
+
+  // Contiguous node blocks per shard (cache locality; any fixed partition
+  // yields identical results).
+  shards_.reserve(workers);
+  for (unsigned s = 0; s < workers; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const unsigned lo = s * n / workers;
+    const unsigned hi = (s + 1) * n / workers;
+    for (unsigned v = lo; v < hi; ++v) {
+      Node& node = *nodes_[v];
+      shard->node_ids.push_back(v);
+      shard->engine.add(node.sw.get());
+      // The first connected port doubles as the node's injection point.
+      bool designated = false;
+      for (unsigned q = 0; q < ports_; ++q) {
+        const net::Port port = static_cast<net::Port>(q);
+        const int u = topo.neighbor(v, port);
+        if (u < 0) continue;
+        Channel* rx = channels_[static_cast<unsigned>(u) * ports_ + net::opposite(port)].get();
+        PMSB_CHECK(rx != nullptr, "fabric link without a channel");
+        Injector* inj = designated ? nullptr : &node.injector;
+        designated = true;
+        shard->bridges.push_back(std::make_unique<PortBridge>(
+            &cfg_.topo, &codec_, v, port, rx, &node.sw->in_link(q), inj, &node.ejector));
+        shard->engine.add(shard->bridges.back().get());
+      }
+      PMSB_CHECK(designated, "fabric node with no links");
+      for (unsigned p = 0; p < ports_; ++p) {
+        Channel* ch = channels_[v * ports_ + p].get();
+        if (!ch) continue;
+        shard->taps.push_back(std::make_unique<TxTap>(&node.sw->out_link(p), ch));
+        shard->engine.add(shard->taps.back().get());
+      }
+      if (check::env_enabled()) {
+        node.checker = std::make_unique<check::InvariantChecker>();
+        node.checker->attach(*node.sw, shard->engine);
+      }
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void Fabric::register_metrics(obs::MetricsRegistry* m) {
+  metrics_ = m;
+  if (!m) return;
+  m->add_gauge("fabric.injected", [this] { return static_cast<double>(sum_injected()); });
+  m->add_gauge("fabric.delivered", [this] { return static_cast<double>(sum_delivered()); });
+  m->add_gauge("fabric.dropped", [this] { return static_cast<double>(sum_dropped()); });
+  m->add_gauge("fabric.backlog", [this] { return static_cast<double>(sum_backlog()); });
+  m->add_gauge("fabric.in_network", [this] {
+    return static_cast<double>(sum_injected() - sum_backlog() - sum_delivered() -
+                               sum_dropped());
+  });
+  m->add_gauge("fabric.latency.mean", [this] {
+    const std::uint64_t d = sum_delivered();
+    return d ? static_cast<double>(sum_lat()) / static_cast<double>(d) : 0.0;
+  });
+}
+
+void Fabric::run(Cycle cycles) {
+  if (cycles <= 0) return;
+  run_target_ = cycles_run_ + cycles;
+  const Cycle lookahead = cfg_.link_pipe_stages;
+
+  if (shards_.size() == 1) {
+    while (cycles_run_ < run_target_) {
+      shards_[0]->engine.run(std::min<Cycle>(lookahead, run_target_ - cycles_run_));
+      end_of_round();
+    }
+    return;
+  }
+
+  const unsigned workers = threads();
+  if (!pool_) pool_ = std::make_unique<exp::ThreadPool>(workers);
+  // The last arriver of each round advances the global clock and samples
+  // the gauges while every other shard is parked (see sim/barrier.hpp).
+  SpinBarrier barrier(workers, [this] { end_of_round(); });
+  const Cycle start = cycles_run_;
+  const Cycle target = run_target_;
+  for (auto& sp : shards_) {
+    Shard* shard = sp.get();
+    pool_->submit([shard, start, target, lookahead, &barrier] {
+      Cycle done = start;
+      while (done < target) {
+        const Cycle step = std::min<Cycle>(lookahead, target - done);
+        shard->engine.run(step);
+        done += step;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  pool_->wait_idle();
+  PMSB_CHECK(cycles_run_ == run_target_, "fabric rounds out of step");
+}
+
+void Fabric::end_of_round() {
+  cycles_run_ += std::min<Cycle>(cfg_.link_pipe_stages, run_target_ - cycles_run_);
+  if (metrics_) metrics_->sample(cycles_run_);
+}
+
+std::uint64_t Fabric::sum_injected() const {
+  std::uint64_t s = 0;
+  for (const auto& n : nodes_) s += n->injector.generated;
+  return s;
+}
+
+std::uint64_t Fabric::sum_delivered() const {
+  std::uint64_t s = 0;
+  for (const auto& n : nodes_) s += n->ejector.delivered;
+  return s;
+}
+
+std::uint64_t Fabric::sum_dropped() const {
+  std::uint64_t s = 0;
+  for (const auto& n : nodes_) s += n->drop_no_addr + n->drop_no_slot + n->drop_out_limit;
+  return s;
+}
+
+std::uint64_t Fabric::sum_backlog() const {
+  std::uint64_t s = 0;
+  for (const auto& n : nodes_) s += n->injector.backlog.size();
+  return s;
+}
+
+std::uint64_t Fabric::sum_lat() const {
+  std::uint64_t s = 0;
+  for (const auto& n : nodes_) s += n->ejector.lat_sum;
+  return s;
+}
+
+FabricStats Fabric::stats() const {
+  FabricStats st;
+  st.cycles = cycles_run_;
+  bool have_lat = false;
+  for (const auto& np : nodes_) {
+    const Node& n = *np;
+    st.injected += n.injector.generated;
+    st.backlog += n.injector.backlog.size();
+    st.delivered += n.ejector.delivered;
+    st.payload_errors += n.ejector.payload_errors;
+    st.dropped_no_addr += n.drop_no_addr;
+    st.dropped_no_slot += n.drop_no_slot;
+    st.dropped_out_limit += n.drop_out_limit;
+    st.uid_digest = mix64(st.uid_digest ^ n.ejector.digest);
+    if (n.ejector.delivered) {
+      if (!have_lat || n.ejector.lat_min < st.min_latency) st.min_latency = n.ejector.lat_min;
+      if (!have_lat || n.ejector.lat_max > st.max_latency) st.max_latency = n.ejector.lat_max;
+      have_lat = true;
+    }
+    if (st.by_hops.size() < n.ejector.by_hops.size())
+      st.by_hops.resize(n.ejector.by_hops.size(), FabricStats::HopRow{0, 0, 0});
+    for (std::size_t h = 0; h < n.ejector.by_hops.size(); ++h) {
+      st.by_hops[h].cells += n.ejector.by_hops[h].cells;
+      // mean_latency temporarily accumulates the sum; divided below.
+      st.by_hops[h].mean_latency += static_cast<double>(n.ejector.by_hops[h].lat_sum);
+    }
+  }
+  const std::uint64_t lat_sum = sum_lat();
+  st.mean_latency =
+      st.delivered ? static_cast<double>(lat_sum) / static_cast<double>(st.delivered) : 0.0;
+  for (std::size_t h = 0; h < st.by_hops.size(); ++h) {
+    st.by_hops[h].hops = static_cast<unsigned>(h);
+    if (st.by_hops[h].cells)
+      st.by_hops[h].mean_latency /= static_cast<double>(st.by_hops[h].cells);
+  }
+  const auto accounted = st.backlog + st.delivered + st.dropped();
+  PMSB_CHECK(st.injected >= accounted, "fabric conservation violated");
+  st.in_network = st.injected - accounted;
+  return st;
+}
+
+}  // namespace pmsb::fabric

@@ -1,0 +1,157 @@
+// Sharded multi-switch fabric engine: a whole net::Topology of
+// cycle-accurate PipelinedSwitch nodes, partitioned across worker threads,
+// with a hard determinism contract -- delivered cells, drops, latencies and
+// every published metric are bit-identical at any thread count.
+//
+// Structure per node: one PipelinedSwitch, one PortBridge per incoming link
+// (ejection, next-hop head rewrite, transit/injection mux -- see
+// src/fabric/bridge.hpp), one TxTap per outgoing link, and per-node
+// Injector/Ejector endpoints. ALL inter-node links -- including those whose
+// endpoints land in the same shard -- go through the same Channel rings, so
+// the simulated wiring does not depend on the partition.
+//
+// Conservative synchronization: inter-node links have `link_pipe_stages`
+// (D >= 1) register stages, i.e. a word leaving a node cannot be observed
+// anywhere else for at least D + 1 cycles. Each shard therefore runs its
+// nodes locally for a round of up to D cycles, then all shards meet at a
+// barrier; every channel slot a shard reads during round r was written in
+// round r-1 or earlier, so no cross-shard event can ever be missed. The
+// barrier's last arriver samples the metrics gauges, giving the same
+// sampling cadence (and values) at every thread count.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "core/config.hpp"
+#include "core/event_hub.hpp"
+#include "core/switch.hpp"
+#include "exp/thread_pool.hpp"
+#include "fabric/bridge.hpp"
+#include "fabric/channel.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace pmsb::fabric {
+
+struct FabricConfig {
+  net::Topology topo;
+  /// Per-node switch geometry. Needs n_ports >= topo.required_ports(),
+  /// word_bits >= 16 and cell_words >= 4 (fabric wire format), and a head
+  /// tag wide enough for a node id. SwitchConfig::for_ports() qualifies.
+  SwitchConfig node = SwitchConfig::for_ports(4);
+  /// D: register stages on every inter-node link (latency D + 1 cycles).
+  /// Doubles as the shards' synchronization lookahead.
+  unsigned link_pipe_stages = 4;
+  /// Offered load per node as a fraction of one link's cell rate.
+  double load = 0.5;
+  std::uint64_t seed = 1;
+  /// Worker threads; 0 resolves via exp::thread_count() (PMSB_THREADS).
+  /// Clamped to the node count.
+  unsigned threads = 0;
+
+  ConfigValidation check() const;
+  void validate() const;
+};
+
+/// Aggregated end-of-run accounting, merged over nodes in index order.
+struct FabricStats {
+  Cycle cycles = 0;
+  std::uint64_t injected = 0;   ///< Cells generated (incl. still queued).
+  std::uint64_t delivered = 0;
+  std::uint64_t payload_errors = 0;
+  std::uint64_t dropped_no_addr = 0;
+  std::uint64_t dropped_no_slot = 0;
+  std::uint64_t dropped_out_limit = 0;
+  std::uint64_t backlog = 0;     ///< Generated but not yet on the wire.
+  std::uint64_t in_network = 0;  ///< On the wire or buffered in a switch/bridge.
+  std::uint64_t uid_digest = 0;  ///< Node-order mix of per-node delivery digests.
+  double mean_latency = 0;       ///< Injection -> ejection, delivered cells.
+  Cycle min_latency = 0;
+  Cycle max_latency = 0;
+
+  struct HopRow {
+    unsigned hops;
+    std::uint64_t cells;
+    double mean_latency;
+  };
+  std::vector<HopRow> by_hops;
+
+  std::uint64_t dropped() const {
+    return dropped_no_addr + dropped_no_slot + dropped_out_limit;
+  }
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const FabricConfig& cfg);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  unsigned nodes() const { return cfg_.topo.nodes(); }
+  unsigned threads() const { return static_cast<unsigned>(shards_.size()); }
+  Cycle now() const { return cycles_run_; }
+  const FabricConfig& config() const { return cfg_; }
+  const PipelinedSwitch& node_switch(unsigned i) const { return *nodes_[i]->sw; }
+
+  /// Register live gauges (fabric.injected/delivered/dropped/backlog/
+  /// in_network/latency.mean) on `m` and sample them at every round
+  /// boundary of subsequent run() calls. Call before run(); `m` must
+  /// outlive the fabric's runs.
+  void register_metrics(obs::MetricsRegistry* m);
+
+  /// Advance the whole fabric by `cycles`. Callable repeatedly.
+  void run(Cycle cycles);
+
+  /// Deterministic aggregate accounting (identical at any thread count).
+  FabricStats stats() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<PipelinedSwitch> sw;
+    Injector injector;
+    Ejector ejector;
+    std::uint64_t drop_no_addr = 0;
+    std::uint64_t drop_no_slot = 0;
+    std::uint64_t drop_out_limit = 0;
+    Subscription drop_sub;  ///< Fabric's own EventHub subscription.
+    /// Structural checking per node under PMSB_CHECK (coexists with the
+    /// drop subscription on the same hub).
+    std::unique_ptr<check::InvariantChecker> checker;
+  };
+
+  struct Shard {
+    Engine engine;
+    std::vector<unsigned> node_ids;
+    std::vector<std::unique_ptr<PortBridge>> bridges;
+    std::vector<std::unique_ptr<TxTap>> taps;
+  };
+
+  void build();
+  void end_of_round();
+  std::uint64_t sum_injected() const;
+  std::uint64_t sum_delivered() const;
+  std::uint64_t sum_dropped() const;
+  std::uint64_t sum_backlog() const;
+  std::uint64_t sum_lat() const;
+
+  FabricConfig cfg_;
+  CellCodec codec_;
+  unsigned ports_ = 0;  ///< Router ports in use (topology degree).
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Channel>> channels_;  ///< [node * ports_ + out_port]
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<exp::ThreadPool> pool_;  ///< Lazily built for threads() > 1.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Cycle cycles_run_ = 0;
+  Cycle run_target_ = 0;
+};
+
+}  // namespace pmsb::fabric

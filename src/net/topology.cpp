@@ -2,6 +2,16 @@
 
 namespace pmsb::net {
 
+Port opposite(Port port) {
+  switch (port) {
+    case kEast: return kWest;
+    case kWest: return kEast;
+    case kNorth: return kSouth;
+    case kSouth: return kNorth;
+    default: return kLocal;
+  }
+}
+
 int Topology::neighbor(unsigned node, Port port) const {
   const unsigned x = x_of(node);
   const unsigned y = y_of(node);
@@ -40,6 +50,23 @@ Port Topology::route_xy(unsigned node, unsigned dest) const {
     return fwd <= height - fwd ? kSouth : kNorth;
   }
   return kLocal;
+}
+
+unsigned Topology::hops(unsigned a, unsigned b) const {
+  PMSB_CHECK(a < nodes() && b < nodes(), "node out of range");
+  const auto axis = [this](unsigned from, unsigned to, unsigned size) -> unsigned {
+    const unsigned d = from > to ? from - to : to - from;
+    if (kind == TopologyKind::kMesh2D) return d;
+    return d <= size - d ? d : size - d;  // shorter way around the wrap
+  };
+  return axis(x_of(a), x_of(b), width) + axis(y_of(a), y_of(b), height);
+}
+
+std::string Topology::describe() const {
+  const char* k = kind == TopologyKind::kMesh2D  ? "mesh2d"
+                  : kind == TopologyKind::kTorus2D ? "torus2d"
+                                                   : "ring";
+  return std::string(k) + " " + std::to_string(width) + "x" + std::to_string(height);
 }
 
 }  // namespace pmsb::net

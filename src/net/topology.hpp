@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/util.hpp"
 
@@ -13,6 +14,10 @@ enum class TopologyKind { kMesh2D, kTorus2D, kRing };
 
 /// Router port roles for a 2D network (plus the terminal port).
 enum Port : unsigned { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3, kLocal = 4, kNumPorts = 5 };
+
+/// The port on the receiving router that faces a transmission through
+/// `port` (east <-> west, north <-> south).
+Port opposite(Port port);
 
 struct Topology {
   TopologyKind kind = TopologyKind::kMesh2D;
@@ -31,6 +36,16 @@ struct Topology {
   /// `node` destined to `dest` must take. kLocal when node == dest.
   /// For tori, routes take the shorter direction (ties go positive).
   Port route_xy(unsigned node, unsigned dest) const;
+
+  /// Router ports a node of this topology needs: 2 for a ring (east/west),
+  /// 4 for the 2D fabrics.
+  unsigned required_ports() const { return kind == TopologyKind::kRing ? 2u : 4u; }
+
+  /// Length of the route_xy path from `a` to `b` in links. 0 when a == b.
+  unsigned hops(unsigned a, unsigned b) const;
+
+  /// Human-readable form for banners and tables, e.g. "torus2d 8x8".
+  std::string describe() const;
 };
 
 }  // namespace pmsb::net

@@ -2,17 +2,7 @@
 
 namespace pmsb::net {
 
-namespace {
-Port opposite(Port p) {
-  switch (p) {
-    case kEast: return kWest;
-    case kWest: return kEast;
-    case kNorth: return kSouth;
-    case kSouth: return kNorth;
-    default: return kLocal;
-  }
-}
-}  // namespace
+// opposite(Port) now comes from net/topology.hpp.
 
 WormholeNetwork::WormholeNetwork(const WormholeConfig& cfg)
     : cfg_(cfg), rng_(cfg.seed), latency_(0, 1 << 16) {

@@ -1,0 +1,69 @@
+// Sense-reversing spin barrier for lockstep shard execution.
+//
+// The fabric engine (src/fabric/) partitions a multi-switch network across
+// worker threads that advance in rounds of `lookahead` cycles. Rounds are
+// short (a handful of switch evals per node), so a parked-thread barrier
+// built on a mutex/condvar would spend more time in the kernel than in the
+// simulation. This barrier spins briefly and then yields, which behaves well
+// both when workers are truly parallel and when they are oversubscribed on
+// few cores (CI runners).
+//
+// Memory ordering contract: everything written by a thread before its
+// arrive_and_wait() happens-before everything read by any thread after the
+// same barrier episode. The last arriver optionally runs a completion
+// callback *inside* the barrier -- all other participants are guaranteed to
+// be parked, so the callback may read shard-owned state race-free (the
+// fabric uses this to pull metrics gauges at round boundaries).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/util.hpp"
+
+namespace pmsb {
+
+class SpinBarrier {
+ public:
+  /// `parties` threads must call arrive_and_wait() per episode. The optional
+  /// `completion` runs once per episode, on the last arriver, before anyone
+  /// is released.
+  explicit SpinBarrier(unsigned parties, std::function<void()> completion = {})
+      : parties_(parties), completion_(std::move(completion)) {
+    PMSB_CHECK(parties >= 1, "barrier needs at least one participant");
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      // Reset before the release bump: a released thread can only re-arrive
+      // after observing the new generation, so the counter is quiescent here.
+      arrived_.store(0, std::memory_order_relaxed);
+      if (completion_) completion_();
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      unsigned spins = 0;
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        if (++spins > kSpinsBeforeYield) std::this_thread::yield();
+      }
+    }
+  }
+
+  unsigned parties() const { return parties_; }
+
+ private:
+  static constexpr unsigned kSpinsBeforeYield = 128;
+
+  const unsigned parties_;
+  std::function<void()> completion_;
+  std::atomic<unsigned> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace pmsb

@@ -1,0 +1,366 @@
+// Tests of the sharded fabric engine (src/fabric/) and of the
+// multi-subscriber event API it rides on (core/event_hub.hpp).
+//
+// The load-bearing property is the determinism contract: a fabric run must
+// produce bit-identical delivered-cell digests, drop counts, latencies and
+// metric samples at ANY thread count. The conservative round scheme
+// (lookahead = link_pipe_stages) is what makes that hold; these tests pin
+// it with 1-vs-2-vs-4-thread comparisons on real topologies.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "core/switch.hpp"
+#include "core/testbench.hpp"
+#include "fabric/channel.hpp"
+#include "fabric/fabric.hpp"
+#include "obs/metrics.hpp"
+
+namespace pmsb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventHub: ordering, RAII, and the deprecated shim.
+
+TEST(EventHub, FanOutInSubscriptionOrder) {
+  EventHub hub;
+  std::vector<int> order;
+  SwitchEvents a, b, c;
+  a.on_head = [&order](unsigned, Cycle, unsigned) { order.push_back(1); };
+  b.on_head = [&order](unsigned, Cycle, unsigned) { order.push_back(2); };
+  c.on_head = [&order](unsigned, Cycle, unsigned) { order.push_back(3); };
+  const Subscription sa = hub.subscribe(std::move(a));
+  const Subscription sb = hub.subscribe(std::move(b));
+  const Subscription sc = hub.subscribe(std::move(c));
+  hub.head(0, 0, 0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventHub, SubscriptionRaiiUnsubscribes) {
+  EventHub hub;
+  int hits = 0;
+  {
+    SwitchEvents ev;
+    ev.on_accept = [&hits](unsigned, Cycle, Cycle) { ++hits; };
+    const Subscription s = hub.subscribe(std::move(ev));
+    EXPECT_EQ(hub.subscriber_count(), 1u);
+    hub.accept(0, 0, 0);
+    EXPECT_EQ(hits, 1);
+  }
+  EXPECT_EQ(hub.subscriber_count(), 0u);
+  hub.accept(0, 0, 0);
+  EXPECT_EQ(hits, 1);  // Dead subscription no longer fires.
+}
+
+TEST(EventHub, MiddleUnsubscribePreservesOrder) {
+  EventHub hub;
+  std::vector<int> order;
+  SwitchEvents a, b, c;
+  a.on_drop = [&order](unsigned, Cycle, DropReason) { order.push_back(1); };
+  b.on_drop = [&order](unsigned, Cycle, DropReason) { order.push_back(2); };
+  c.on_drop = [&order](unsigned, Cycle, DropReason) { order.push_back(3); };
+  const Subscription sa = hub.subscribe(std::move(a));
+  Subscription sb = hub.subscribe(std::move(b));
+  const Subscription sc = hub.subscribe(std::move(c));
+  sb.reset();
+  hub.drop(0, 0, DropReason::kNoSlot);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventHub, SubscriptionOutlivingHubIsSafe) {
+  Subscription s;
+  {
+    EventHub hub;
+    SwitchEvents ev;
+    ev.on_head = [](unsigned, Cycle, unsigned) {};
+    s = hub.subscribe(std::move(ev));
+    EXPECT_TRUE(s.active());
+  }
+  EXPECT_FALSE(s.active());
+  s.reset();  // Must not touch the dead hub.
+}
+
+TEST(EventHub, DeprecatedShimReplacesOnlyItsOwnSlot) {
+  SwitchConfig cfg = SwitchConfig::for_ports(2);
+  PipelinedSwitch sw(cfg);
+  int subscriber_hits = 0, shim_hits = 0;
+  SwitchEvents keep;
+  keep.on_head = [&subscriber_hits](unsigned, Cycle, unsigned) { ++subscriber_hits; };
+  const Subscription s = sw.events().subscribe(std::move(keep));
+
+  SwitchEvents first;
+  first.on_head = [&shim_hits](unsigned, Cycle, unsigned) { shim_hits += 100; };
+  sw.set_events(std::move(first));
+  SwitchEvents second;
+  second.on_head = [&shim_hits](unsigned, Cycle, unsigned) { ++shim_hits; };
+  sw.set_events(std::move(second));  // Replaces `first`, not the subscriber.
+
+  EXPECT_EQ(sw.events().subscriber_count(), 2u);
+  sw.events().head(0, 0, 1);
+  EXPECT_EQ(subscriber_hits, 1);
+  EXPECT_EQ(shim_hits, 1);
+}
+
+// The shim must behave exactly like a subscription for a real run: the same
+// traffic through the same switch yields identical event streams either way.
+TEST(EventHub, ShimEquivalentToSubscription) {
+  struct Recorder {
+    std::vector<std::string> log;
+    SwitchEvents events() {
+      SwitchEvents ev;
+      ev.on_head = [this](unsigned i, Cycle a0, unsigned d) {
+        log.push_back("h" + std::to_string(i) + "," + std::to_string(a0) + "," +
+                      std::to_string(d));
+      };
+      ev.on_accept = [this](unsigned i, Cycle a0, Cycle t0) {
+        log.push_back("a" + std::to_string(i) + "," + std::to_string(a0) + "," +
+                      std::to_string(t0));
+      };
+      ev.on_drop = [this](unsigned i, Cycle a0, DropReason w) {
+        log.push_back("d" + std::to_string(i) + "," + std::to_string(a0) + "," +
+                      std::to_string(static_cast<int>(w)));
+      };
+      ev.on_read_grant = [this](unsigned o, unsigned i, Cycle tr, Cycle, Cycle, bool) {
+        log.push_back("r" + std::to_string(o) + "," + std::to_string(i) + "," +
+                      std::to_string(tr));
+      };
+      return ev;
+    }
+  };
+
+  const SwitchConfig cfg = SwitchConfig::for_ports(4);
+  TrafficSpec spec;
+  spec.load = 0.9;
+  spec.seed = 7;
+
+  Recorder via_shim;
+  {
+    PipelinedTestbench tb(cfg, cfg.n_ports, cfg.cell_format(), spec, false);
+    tb.dut().set_events(via_shim.events());
+    tb.run(600);
+  }
+  Recorder via_sub;
+  {
+    PipelinedTestbench tb(cfg, cfg.n_ports, cfg.cell_format(), spec, false);
+    const Subscription s = tb.dut().events().subscribe(via_sub.events());
+    tb.run(600);
+  }
+  ASSERT_FALSE(via_shim.log.empty());
+  EXPECT_EQ(via_shim.log, via_sub.log);
+}
+
+// Scoreboard + InvariantChecker + an extra user subscriber on one switch:
+// the redesign's whole point. All three observe the same run without
+// displacing each other.
+TEST(EventHub, ScoreboardCheckerAndUserTapCoexist) {
+  const SwitchConfig cfg = SwitchConfig::for_ports(4);
+  TrafficSpec spec;
+  spec.load = 0.8;
+  spec.seed = 11;
+  PipelinedTestbench tb(cfg, cfg.n_ports, cfg.cell_format(), spec, /*scoreboard=*/true);
+
+  check::InvariantChecker checker;
+  checker.attach(tb.dut(), tb.engine());
+
+  std::uint64_t taps = 0;
+  SwitchEvents ev;
+  ev.on_accept = [&taps](unsigned, Cycle, Cycle) { ++taps; };
+  const Subscription s = tb.dut().events().subscribe(std::move(ev));
+  EXPECT_GE(tb.dut().events().subscriber_count(), 3u);
+
+  tb.run(800);
+  EXPECT_TRUE(checker.ok()) << checker.total_violations();
+  EXPECT_EQ(taps, tb.dut().stats().accepted);  // Tap saw every accept...
+  EXPECT_TRUE(tb.scoreboard().ok());           // ...and the scoreboard still verifies.
+  EXPECT_GT(tb.scoreboard().delivered(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Channel timing.
+
+TEST(FabricChannel, ReproducesLinkPipelineDelay) {
+  fabric::Channel ch(3);  // S = 3 -> total wire delay S + 1 (bridge re-drive).
+  for (Cycle t = 0; t < 20; ++t) {
+    ch.write(t, Flit{true, false, static_cast<Word>(100 + t)});
+    const Flit& f = ch.read(t);
+    if (t < 3) {
+      EXPECT_FALSE(f.valid) << t;
+    } else {
+      EXPECT_EQ(f.data, static_cast<Word>(100 + t - 3)) << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fabric: validation, conservation, determinism.
+
+fabric::FabricConfig small_torus(unsigned threads) {
+  fabric::FabricConfig cfg;
+  cfg.topo = net::Topology{net::TopologyKind::kTorus2D, 4, 4};
+  cfg.node = SwitchConfig::for_ports(4);
+  cfg.link_pipe_stages = 3;
+  cfg.load = 0.6;
+  cfg.seed = 42;
+  cfg.threads = threads;
+  return cfg;
+}
+
+TEST(FabricConfigCheck, RejectsBadGeometry) {
+  fabric::FabricConfig cfg = small_torus(1);
+  cfg.node.n_ports = 2;  // Too few ports for a 2D torus.
+  cfg.node.cell_words = 4;
+  cfg.node.capacity_segments = 4 * 32;
+  EXPECT_TRUE(cfg.check().has(ConfigIssue::Code::kBadPorts));
+
+  cfg = small_torus(1);
+  cfg.link_pipe_stages = 0;
+  EXPECT_TRUE(cfg.check().has(ConfigIssue::Code::kBadLinkStages));
+
+  cfg = small_torus(1);
+  cfg.load = 1.5;
+  EXPECT_TRUE(cfg.check().has(ConfigIssue::Code::kBadLoad));
+
+  cfg = small_torus(1);
+  cfg.topo = net::Topology{net::TopologyKind::kRing, 8, 2};
+  EXPECT_TRUE(cfg.check().has(ConfigIssue::Code::kBadTopology));
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Fabric, DeliversAndConserves) {
+  fabric::Fabric fab(small_torus(1));
+  fab.run(2000);
+  const fabric::FabricStats st = fab.stats();
+  EXPECT_EQ(st.cycles, 2000);
+  EXPECT_GT(st.injected, 0u);
+  EXPECT_GT(st.delivered, 0u);
+  EXPECT_EQ(st.payload_errors, 0u);  // End-to-end payload integrity.
+  EXPECT_EQ(st.injected, st.delivered + st.dropped() + st.backlog + st.in_network);
+  // Minimum possible latency: one hop over a D+1-cycle link, plus cell
+  // serialization and switch transit.
+  EXPECT_GE(st.min_latency, static_cast<Cycle>(fab.config().link_pipe_stages + 1));
+  EXPECT_GT(st.mean_latency, 0.0);
+  // Every delivered cell took at least one link.
+  ASSERT_GE(st.by_hops.size(), 2u);
+  EXPECT_EQ(st.by_hops[0].cells, 0u);
+}
+
+TEST(Fabric, HopAccountingMatchesTopology) {
+  fabric::Fabric fab(small_torus(1));
+  fab.run(1500);
+  const fabric::FabricStats st = fab.stats();
+  // 4x4 torus diameter is 4: no route is longer.
+  EXPECT_LE(st.by_hops.size(), 5u);
+  std::uint64_t sum = 0;
+  for (const auto& row : st.by_hops) sum += row.cells;
+  EXPECT_EQ(sum, st.delivered);
+}
+
+// The headline contract: bit-identical results at any thread count.
+TEST(Fabric, DeterministicAcrossThreadCounts) {
+  fabric::Fabric f1(small_torus(1));
+  fabric::Fabric f2(small_torus(2));
+  fabric::Fabric f4(small_torus(4));
+  ASSERT_EQ(f1.threads(), 1u);
+  ASSERT_EQ(f2.threads(), 2u);
+  ASSERT_EQ(f4.threads(), 4u);
+  f1.run(2000);
+  f2.run(2000);
+  f4.run(2000);
+  const fabric::FabricStats a = f1.stats();
+  const fabric::FabricStats b = f2.stats();
+  const fabric::FabricStats c = f4.stats();
+
+  EXPECT_EQ(a.uid_digest, b.uid_digest);
+  EXPECT_EQ(a.uid_digest, c.uid_digest);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.delivered, c.delivered);
+  EXPECT_EQ(a.dropped_no_addr, b.dropped_no_addr);
+  EXPECT_EQ(a.dropped_no_slot, b.dropped_no_slot);
+  EXPECT_EQ(a.dropped_out_limit, b.dropped_out_limit);
+  EXPECT_EQ(a.backlog, c.backlog);
+  EXPECT_EQ(a.in_network, c.in_network);
+  EXPECT_DOUBLE_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_DOUBLE_EQ(a.mean_latency, c.mean_latency);
+  EXPECT_EQ(a.min_latency, c.min_latency);
+  EXPECT_EQ(a.max_latency, c.max_latency);
+  ASSERT_EQ(a.by_hops.size(), c.by_hops.size());
+  for (std::size_t h = 0; h < a.by_hops.size(); ++h) {
+    EXPECT_EQ(a.by_hops[h].cells, b.by_hops[h].cells) << h;
+    EXPECT_EQ(a.by_hops[h].cells, c.by_hops[h].cells) << h;
+    EXPECT_DOUBLE_EQ(a.by_hops[h].mean_latency, c.by_hops[h].mean_latency) << h;
+  }
+
+  // Per-node switch statistics agree too (the partition is invisible).
+  for (unsigned i = 0; i < f1.nodes(); ++i) {
+    EXPECT_EQ(f1.node_switch(i).stats().accepted, f4.node_switch(i).stats().accepted) << i;
+    EXPECT_EQ(f1.node_switch(i).stats().read_grants, f4.node_switch(i).stats().read_grants)
+        << i;
+  }
+}
+
+TEST(Fabric, DeterministicOnRing) {
+  fabric::FabricConfig cfg;
+  cfg.topo = net::Topology{net::TopologyKind::kRing, 8, 1};
+  cfg.node = SwitchConfig::for_ports(2);
+  cfg.link_pipe_stages = 2;
+  cfg.load = 0.4;
+  cfg.seed = 5;
+  cfg.threads = 1;
+  fabric::Fabric f1(cfg);
+  cfg.threads = 3;  // Uneven shard sizes on purpose.
+  fabric::Fabric f3(cfg);
+  f1.run(1600);
+  f3.run(1600);
+  EXPECT_EQ(f1.stats().uid_digest, f3.stats().uid_digest);
+  EXPECT_EQ(f1.stats().delivered, f3.stats().delivered);
+  EXPECT_EQ(f1.stats().payload_errors, 0u);
+  EXPECT_GT(f1.stats().delivered, 0u);
+}
+
+// Metric samples (taken at round barriers) follow the same contract: same
+// cadence, same values, any thread count.
+TEST(Fabric, MetricsSamplingIsThreadCountInvariant) {
+  obs::MetricsRegistry m1, m4;
+  fabric::Fabric f1(small_torus(1));
+  fabric::Fabric f4(small_torus(4));
+  f1.register_metrics(&m1);
+  f4.register_metrics(&m4);
+  f1.run(1200);
+  f4.run(1200);
+  for (const char* g : {"fabric.injected", "fabric.delivered", "fabric.dropped",
+                        "fabric.backlog", "fabric.in_network", "fabric.latency.mean"}) {
+    const obs::GaugeStats* a = m1.find_gauge(g);
+    const obs::GaugeStats* b = m4.find_gauge(g);
+    ASSERT_NE(a, nullptr) << g;
+    ASSERT_NE(b, nullptr) << g;
+    EXPECT_EQ(a->samples, b->samples) << g;
+    EXPECT_DOUBLE_EQ(a->last, b->last) << g;
+    EXPECT_DOUBLE_EQ(a->min, b->min) << g;
+    EXPECT_DOUBLE_EQ(a->max, b->max) << g;
+    EXPECT_DOUBLE_EQ(a->sum, b->sum) << g;
+  }
+  const obs::GaugeStats* delivered = m1.find_gauge("fabric.delivered");
+  EXPECT_EQ(delivered->samples,
+            (1200 + f1.config().link_pipe_stages - 1) / f1.config().link_pipe_stages);
+  EXPECT_DOUBLE_EQ(delivered->last, static_cast<double>(f1.stats().delivered));
+}
+
+// Multiple run() calls continue the same simulation (rounds restart cleanly
+// at the boundary).
+TEST(Fabric, SplitRunMatchesSingleRun) {
+  fabric::Fabric whole(small_torus(2));
+  fabric::Fabric split(small_torus(2));
+  whole.run(1400);
+  split.run(500);
+  split.run(137);  // Deliberately not a multiple of the lookahead.
+  split.run(763);
+  EXPECT_EQ(whole.stats().uid_digest, split.stats().uid_digest);
+  EXPECT_EQ(whole.stats().delivered, split.stats().delivered);
+  EXPECT_EQ(whole.now(), split.now());
+}
+
+}  // namespace
+}  // namespace pmsb

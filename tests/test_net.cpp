@@ -46,6 +46,78 @@ TEST(Topology, TorusRoutesShortestWay) {
   EXPECT_EQ(t.route_xy(0, 7), kWest);  // One hop west beats 7 east.
 }
 
+TEST(Topology, TorusTieBreaksGoEastAndSouth) {
+  // Even-sized torus: the two ways around are equidistant; the route must
+  // deterministically take the positive direction (east, then south).
+  Topology t{TopologyKind::kTorus2D, 8, 8};
+  EXPECT_EQ(t.route_xy(t.node_at(0, 0), t.node_at(4, 0)), kEast);   // 4 == 8 - 4.
+  EXPECT_EQ(t.route_xy(t.node_at(0, 0), t.node_at(0, 4)), kSouth);  // Y tie too.
+  EXPECT_EQ(t.route_xy(t.node_at(6, 3), t.node_at(2, 3)), kEast);   // Tie from x=6.
+  // One short of the tie still goes the short way.
+  EXPECT_EQ(t.route_xy(t.node_at(0, 0), t.node_at(5, 0)), kWest);
+}
+
+TEST(Topology, MeshEdgeNeighborsAreAbsent) {
+  Topology t{TopologyKind::kMesh2D, 4, 4};
+  for (unsigned x = 0; x < 4; ++x) {
+    EXPECT_EQ(t.neighbor(t.node_at(x, 0), kNorth), -1) << x;
+    EXPECT_EQ(t.neighbor(t.node_at(x, 3), kSouth), -1) << x;
+  }
+  for (unsigned y = 0; y < 4; ++y) {
+    EXPECT_EQ(t.neighbor(t.node_at(0, y), kWest), -1) << y;
+    EXPECT_EQ(t.neighbor(t.node_at(3, y), kEast), -1) << y;
+  }
+  // Interior nodes have all four.
+  for (Port p : {kEast, kWest, kNorth, kSouth})
+    EXPECT_GE(t.neighbor(t.node_at(1, 1), p), 0);
+}
+
+TEST(Topology, OppositePortsPair) {
+  EXPECT_EQ(opposite(kEast), kWest);
+  EXPECT_EQ(opposite(kWest), kEast);
+  EXPECT_EQ(opposite(kNorth), kSouth);
+  EXPECT_EQ(opposite(kSouth), kNorth);
+  // Links are symmetric: neighbor through p sees us through opposite(p).
+  Topology t{TopologyKind::kTorus2D, 4, 4};
+  for (unsigned n = 0; n < t.nodes(); ++n) {
+    for (Port p : {kEast, kWest, kNorth, kSouth}) {
+      const int m = t.neighbor(n, p);
+      ASSERT_GE(m, 0);
+      EXPECT_EQ(t.neighbor(static_cast<unsigned>(m), opposite(p)), static_cast<int>(n));
+    }
+  }
+}
+
+TEST(Topology, HopsMatchesRouteXyPathLength) {
+  for (Topology t : {Topology{TopologyKind::kMesh2D, 4, 3},
+                     Topology{TopologyKind::kTorus2D, 4, 4},
+                     Topology{TopologyKind::kRing, 6, 1}}) {
+    for (unsigned a = 0; a < t.nodes(); ++a) {
+      for (unsigned b = 0; b < t.nodes(); ++b) {
+        // Walk the route_xy path and count links.
+        unsigned cur = a, steps = 0;
+        while (cur != b) {
+          const Port p = t.route_xy(cur, b);
+          ASSERT_NE(p, kLocal);
+          const int next = t.neighbor(cur, p);
+          ASSERT_GE(next, 0);
+          cur = static_cast<unsigned>(next);
+          ASSERT_LE(++steps, t.nodes());  // No routing loops.
+        }
+        EXPECT_EQ(t.hops(a, b), steps) << a << "->" << b;
+      }
+    }
+    EXPECT_EQ(t.hops(0, 0), 0u);
+  }
+}
+
+TEST(Topology, DescribeAndRequiredPorts) {
+  EXPECT_EQ((Topology{TopologyKind::kTorus2D, 8, 8}.describe()), "torus2d 8x8");
+  EXPECT_EQ((Topology{TopologyKind::kRing, 6, 1}.describe()), "ring 6x1");
+  EXPECT_EQ((Topology{TopologyKind::kMesh2D, 4, 3}.required_ports()), 4u);
+  EXPECT_EQ((Topology{TopologyKind::kRing, 6, 1}.required_ports()), 2u);
+}
+
 TEST(Router, OwnershipHoldsUntilTail) {
   Topology t{TopologyKind::kMesh2D, 2, 1};
   WormholeRouter r(0, t, 4);
@@ -245,6 +317,7 @@ struct TwoSwitchChain {
   std::unique_ptr<pmsb::CellSink> sink;
   std::uint64_t delivered = 0;
   bool b_output_open = true;
+  pmsb::Subscription evb_sub;
 
   explicit TwoSwitchChain(unsigned credits, bool gated) {
     cfg_a.n_ports = 4;
@@ -266,7 +339,7 @@ struct TwoSwitchChain {
                                pmsb::Cycle, bool) {
       if (input == 0) bridge->on_downstream_released();
     };
-    b->set_events(std::move(evb));
+    evb_sub = b->events().subscribe(std::move(evb));
 
     dests = std::make_unique<pmsb::HotspotDest>(4, 0, 1.0);  // Everything to 0.
     pmsb::Rng seeder(321);

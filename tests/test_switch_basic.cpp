@@ -45,7 +45,7 @@ TEST(SwitchBasic, SingleCellCutThroughHeadLatencyIsTwo) {
     was_cut = cut;
   };
   ev.on_accept = [&](unsigned, Cycle, Cycle t0) { accept_t0 = t0; };
-  sw.set_events(std::move(ev));
+  const pmsb::Subscription ev_sub = sw.events().subscribe(std::move(ev));
 
   std::vector<Flit> out_trace;
   const Cycle a0 = eng.now() + 1;
@@ -106,7 +106,7 @@ TEST(SwitchBasic, SimultaneousHeadsAreStaggeredByOneCycle) {
   ev.on_read_grant = [&](unsigned, unsigned, Cycle tr, Cycle, Cycle, bool) {
     grants.push_back(tr);
   };
-  sw.set_events(std::move(ev));
+  const pmsb::Subscription ev_sub = sw.events().subscribe(std::move(ev));
 
   const CellFormat fmt = cfg.cell_format();
   const Cycle a0 = eng.now() + 1;
@@ -133,7 +133,7 @@ TEST(SwitchBasic, SecondCellToSameOutputWaitsForTheFirst) {
   ev.on_read_grant = [&](unsigned, unsigned, Cycle tr, Cycle, Cycle, bool) {
     grants.push_back(tr);
   };
-  sw.set_events(std::move(ev));
+  const pmsb::Subscription ev_sub = sw.events().subscribe(std::move(ev));
 
   const CellFormat fmt = cfg.cell_format();
   const Cycle a0 = eng.now() + 1;
@@ -179,7 +179,7 @@ TEST(SwitchBasic, CutThroughDisabledStillDelivers) {
     tr = tr_;
     t0 = t0_;
   };
-  sw.set_events(std::move(ev));
+  const pmsb::Subscription ev_sub = sw.events().subscribe(std::move(ev));
   feed_cell(eng, sw, 0, 5, 1);
   for (int k = 0; k < 16; ++k) eng.step();
   EXPECT_EQ(sw.stats().snoop_initiations, 0u);

@@ -330,7 +330,7 @@ TEST(SwitchProperties, StaggerPenaltyMatchesSection34Formula) {
       k_now = 1;
     }
   };
-  tb.dut().set_events(std::move(ev));
+  const Subscription ev_sub = tb.dut().events().subscribe(std::move(ev));
   tb.run(300000);
   const double measured = static_cast<double>(collisions) / (2.0 * static_cast<double>(heads));
   const double analytic = (p / 4.0) * (n - 1.0) / n;
