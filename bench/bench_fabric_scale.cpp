@@ -156,6 +156,97 @@ int main(int argc, char** argv) {
         ctx.json.add_table("fabric delivery", delivery);
         ctx.json.add_table("latency by hops", hops);
 
+        // --- Low-load idle skipping -------------------------------------
+        // A sparse 8x8 torus (arrivals minutes apart in simulated time) run
+        // twice: skipping forced off, then on. Every stat must be
+        // bit-identical -- the wall-clock ratio is the quiescence payoff
+        // and goes into the runtime object only.
+        {
+          const net::Topology topo{net::TopologyKind::kTorus2D, 8, 8};
+          const Cycle low_cycles = 300000;
+          auto low_cfg = [&](int idle_skip) {
+            fabric::FabricConfig cfg = make_config(topo, ctx.seed, 1);
+            cfg.load = 3e-5;
+            cfg.idle_skip = idle_skip;
+            return cfg;
+          };
+          fabric::Fabric stepped(low_cfg(0));
+          const exp::WallTimer t_off;
+          stepped.run(low_cycles);
+          const double wall_off = t_off.seconds();
+          fabric::Fabric skipping(low_cfg(1));
+          const exp::WallTimer t_on;
+          skipping.run(low_cycles);
+          const double wall_on = t_on.seconds();
+          add_simulated_units(2 * static_cast<std::uint64_t>(low_cycles) * topo.nodes());
+
+          const fabric::FabricStats a = stepped.stats();
+          const fabric::FabricStats b = skipping.stats();
+          if (a.uid_digest != b.uid_digest || a.injected != b.injected ||
+              a.delivered != b.delivered || a.dropped() != b.dropped() ||
+              a.backlog != b.backlog || a.in_network != b.in_network ||
+              a.mean_latency != b.mean_latency || a.min_latency != b.min_latency ||
+              a.max_latency != b.max_latency) {
+            std::fprintf(stderr,
+                         "FAIL: idle skipping changed low-load results "
+                         "(digest %016llx vs %016llx, delivered %llu vs %llu)\n",
+                         static_cast<unsigned long long>(a.uid_digest),
+                         static_cast<unsigned long long>(b.uid_digest),
+                         static_cast<unsigned long long>(a.delivered),
+                         static_cast<unsigned long long>(b.delivered));
+            deterministic = false;
+          }
+          const double speedup = wall_on > 0 ? wall_off / wall_on : 0.0;
+          std::printf("\nLow-load idle skipping (%s, load %.0e, %lld cycles): "
+                      "stepped %.3fs, skipping %.3fs -> %.1fx; results identical: %s\n",
+                      topo.describe().c_str(), 3e-5, static_cast<long long>(low_cycles),
+                      wall_off, wall_on, speedup,
+                      a.uid_digest == b.uid_digest ? "yes" : "NO");
+          ctx.json.metric("low-load delivered", static_cast<double>(a.delivered));
+          ctx.json.metric("low-load injected", static_cast<double>(a.injected));
+          ctx.json.metric("low-load mean latency", a.mean_latency);
+          ctx.json.runtime_metric("low_load_skip_off_wall_s", wall_off);
+          ctx.json.runtime_metric("low_load_skip_on_wall_s", wall_on);
+          ctx.json.runtime_metric("low_load_idle_skip_speedup", speedup);
+        }
+
+        // --- Mixed cycle-accurate / fast-model fabric -------------------
+        // Checkerboard model selection on the 4x4 torus: the determinism
+        // contract must hold for heterogeneous fabrics too.
+        {
+          const net::Topology topo{net::TopologyKind::kTorus2D, 4, 4};
+          auto mixed_cfg = [&](unsigned threads) {
+            fabric::FabricConfig cfg = make_config(topo, ctx.seed, threads);
+            cfg.fast_node = [](unsigned node) { return node % 2 == 1; };
+            return cfg;
+          };
+          fabric::Fabric m1(mixed_cfg(1));
+          fabric::Fabric m4(mixed_cfg(4));
+          m1.run(kCycles);
+          m4.run(kCycles);
+          add_simulated_units(2 * static_cast<std::uint64_t>(kCycles) * topo.nodes());
+          const fabric::FabricStats a = m1.stats();
+          const fabric::FabricStats b = m4.stats();
+          if (a.uid_digest != b.uid_digest || a.delivered != b.delivered ||
+              a.dropped() != b.dropped() || a.mean_latency != b.mean_latency) {
+            std::fprintf(stderr,
+                         "FAIL: mixed fast-node fabric diverged across threads "
+                         "(digest %016llx vs %016llx)\n",
+                         static_cast<unsigned long long>(a.uid_digest),
+                         static_cast<unsigned long long>(b.uid_digest));
+            deterministic = false;
+          }
+          std::printf("\nMixed fast/cycle-accurate fabric (%s, odd nodes fast): "
+                      "delivered %llu, digest %016llx, t1 == t4: %s\n",
+                      topo.describe().c_str(),
+                      static_cast<unsigned long long>(a.delivered),
+                      static_cast<unsigned long long>(a.uid_digest),
+                      a.uid_digest == b.uid_digest ? "yes" : "NO");
+          ctx.json.metric("mixed delivered", static_cast<double>(a.delivered));
+          ctx.json.metric("mixed dropped", static_cast<double>(a.dropped()));
+          ctx.json.metric("mixed mean latency", a.mean_latency);
+        }
+
         if (!deterministic) return 1;
         std::printf("\nDeterminism: delivered-cell digests identical across "
                     "{1, 2, 4} threads on every topology.\n");

@@ -18,6 +18,7 @@
 
 #include "arch/shared_buffer.hpp"
 #include "core/dual_switch.hpp"
+#include "core/fast_switch.hpp"
 #include "core/testbench.hpp"
 
 namespace pmsb {
@@ -53,6 +54,49 @@ void BM_PipelinedWithScoreboard(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_PipelinedWithScoreboard);
+
+/// Low-load runs are where the quiescence-aware kernel earns its keep: the
+/// arguments are {load percent, idle skipping on/off}, so the 2%-load pair
+/// measures the skip speedup directly (main() publishes the ratio into the
+/// artifact's runtime block).
+void BM_PipelinedLowLoad(benchmark::State& state) {
+  SwitchConfig cfg;
+  cfg.n_ports = 4;
+  cfg.word_bits = 16;
+  cfg.cell_words = 2 * cfg.n_ports;
+  cfg.capacity_segments = 32 * cfg.n_ports;
+  TrafficSpec spec;
+  spec.load = static_cast<double>(state.range(0)) / 100.0;
+  spec.seed = 9;
+  PipelinedTestbench tb(cfg, cfg.n_ports, cfg.cell_format(), spec, /*scoreboard=*/false);
+  tb.engine().set_idle_skip(state.range(1) != 0);
+  for (auto _ : state) tb.run(20000);
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_PipelinedLowLoad)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({10, 0})
+    ->Args({10, 1});
+
+/// The behavioural fast model under saturation: its cycle cost is what a
+/// cold fabric node pays instead of the full pipelined datapath.
+void BM_FastSwitchCycles(benchmark::State& state) {
+  SwitchConfig cfg;
+  cfg.n_ports = static_cast<unsigned>(state.range(0));
+  cfg.word_bits = 16;
+  cfg.cell_words = 2 * cfg.n_ports;
+  cfg.capacity_segments = 32 * cfg.n_ports;
+  TrafficSpec spec;
+  spec.arrivals = ArrivalKind::kSaturated;
+  spec.load = 1.0;
+  spec.seed = 1;
+  Testbench<FastSwitch, SwitchConfig> tb(cfg, cfg.n_ports, cfg.cell_format(), spec,
+                                         /*scoreboard=*/false);
+  for (auto _ : state) tb.run(1000);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FastSwitchCycles)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_DualSwitchCycles(benchmark::State& state) {
   DualSwitchConfig cfg;
@@ -129,6 +173,23 @@ int main(int argc, char** argv) {
         // The fixed-schema keys: "throughput" aggregates the per-benchmark
         // rates so a single number is diffable at a glance.
         ctx.json.metric("throughput", total);
+        // Idle-skip speedup at 2% load (timing-dependent, so it belongs in
+        // the runtime block, not metrics). CI asserts the low-load target on
+        // this value.
+        const auto rate_of = [&reporter](const std::string& name) {
+          for (const auto& [n, ips] : reporter.rates()) {
+            if (n == name) return ips;
+          }
+          return 0.0;
+        };
+        const double off = rate_of("BM_PipelinedLowLoad/2/0");
+        const double on = rate_of("BM_PipelinedLowLoad/2/1");
+        if (off > 0 && on > 0)
+          ctx.json.runtime_metric("low_load_idle_skip_speedup", on / off);
+        const double off10 = rate_of("BM_PipelinedLowLoad/10/0");
+        const double on10 = rate_of("BM_PipelinedLowLoad/10/1");
+        if (off10 > 0 && on10 > 0)
+          ctx.json.runtime_metric("ten_pct_load_idle_skip_speedup", on10 / off10);
         return 0;
       });
 }

@@ -51,10 +51,6 @@ class WideMemorySwitch : public Component {
   EventHub& events() { return events_; }
   const EventHub& events() const { return events_; }
 
-  /// DEPRECATED single-consumer shim; each call replaces the previous
-  /// set_events() callbacks only. New code should events().subscribe().
-  void set_events(SwitchEvents ev) { legacy_events_ = events_.subscribe(std::move(ev)); }
-
   void eval(Cycle t) override;
   void commit(Cycle t) override;
   std::string name() const override { return "wide_memory_switch"; }
@@ -124,7 +120,6 @@ class WideMemorySwitch : public Component {
   std::vector<OutPort> out_;
 
   EventHub events_;
-  Subscription legacy_events_;  ///< Slot held by the deprecated set_events().
   SwitchStats stats_;
 };
 

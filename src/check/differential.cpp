@@ -4,11 +4,13 @@
 #include <exception>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <type_traits>
 
 #include "arch/shared_buffer.hpp"
 #include "check/invariants.hpp"
 #include "common/rng.hpp"
+#include "core/fast_switch.hpp"
 #include "core/scoreboard.hpp"
 #include "core/switch.hpp"
 #include "sim/engine.hpp"
@@ -244,6 +246,72 @@ CycleRunResult run_cycle_model(const ConfigT& cfg, const CellFormat& fmt, const 
   return res;
 }
 
+/// The behavioural FastSwitch over the same schedule, with the same wire
+/// protocol, scoreboard, and fixed run length as the cycle-accurate runs --
+/// but no invariant checker or occupancy probe (the fast model has none of
+/// the checked structures; its occupancy is slot-shaped by design).
+CycleRunResult run_fast_model(const SwitchConfig& cfg, const CellFormat& fmt,
+                              const FuzzSpec& spec, const std::vector<ScheduledCell>& cells) {
+  const std::string label = "fast";
+  CycleRunResult res;
+  res.per_output.resize(spec.n);
+
+  FastSwitch sw(cfg);
+  Engine engine;
+  Scoreboard sb(spec.n, spec.n, fmt);
+
+  const Cycle L = static_cast<Cycle>(fmt.length_words);
+  std::vector<std::unique_ptr<ReplaySource>> sources;
+  std::vector<std::unique_ptr<CellSink>> sinks;
+  for (unsigned i = 0; i < spec.n; ++i) {
+    sources.push_back(std::make_unique<ReplaySource>(i, &sw.in_link(i), fmt));
+    sources.back()->set_on_inject(
+        [&sb](const CellSource::Injection& inj) { sb.on_inject(inj); });
+  }
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    const ScheduledCell& c = cells[k];
+    sources.at(c.input)->add(static_cast<std::uint64_t>(k), c.dest,
+                             static_cast<Cycle>(c.slot) * L);
+  }
+  for (unsigned o = 0; o < spec.n; ++o) {
+    sinks.push_back(std::make_unique<CellSink>(o, &sw.out_link(o), fmt));
+    sinks.back()->set_on_deliver([&res, &sb, &fmt](const CellSink::Delivery& d) {
+      sb.on_deliver(d);
+      res.per_output.at(d.output).push_back(decode_tag(d.words[0], fmt));
+    });
+  }
+  SwitchEvents ev;
+  ev.on_accept = [&sb](unsigned i, Cycle a0, Cycle t0) { sb.on_accept(i, a0, t0); };
+  ev.on_drop = [&sb](unsigned i, Cycle a0, DropReason why) { sb.on_drop(i, a0, why); };
+  const Subscription sb_sub = sw.events().subscribe(std::move(ev));
+
+  for (auto& s : sources) engine.add(s.get());
+  engine.add(&sw);
+  for (auto& s : sinks) engine.add(s.get());
+
+  const Cycle total = static_cast<Cycle>(spec.slots) * L +
+                      static_cast<Cycle>(spec.capacity_cells + 2) * L + 4 * spec.n + 32;
+  engine.run(total);
+
+  res.stats = sw.stats();
+  res.injected = sb.injected();
+  res.delivered = sb.delivered();
+  for (const std::string& e : sb.errors()) {
+    res.issues.push_back("scoreboard: [" + label + "] " + e);
+  }
+  if (!sw.drained() || !sb.fully_drained()) {
+    res.issues.push_back("harness: [" + label + "] not drained after " +
+                         std::to_string(total) + " cycles");
+  }
+  for (const auto& s : sources) {
+    if (!s->done()) {
+      res.issues.push_back("harness: [" + label + "] source did not finish its schedule");
+      break;
+    }
+  }
+  return res;
+}
+
 void diff_exact_pair(const CycleRunResult& a, const CycleRunResult& b, unsigned n,
                      std::vector<std::string>& issues) {
   for (unsigned o = 0; o < n; ++o) {
@@ -286,14 +354,29 @@ void diff_exact_pair(const CycleRunResult& a, const CycleRunResult& b, unsigned 
   }
 }
 
-/// Per-(input,output) FIFO sequences from per-output delivery order; the
-/// schedule maps uid -> input.
+/// Per-(input,output) FIFO sequences from per-output delivery order.
+///
+/// What a sink decodes from a delivered head word is not the schedule index
+/// itself but its 16-bit avalanche tag (cell_word mixes the id before
+/// packing). Bug fix: this used to look the tag up as if it WERE the index,
+/// which always missed and silently bucketed every delivery under input 0 --
+/// turning the documented per-(input,output) check into a per-output
+/// total-order check. Inverting the mix over the schedule restores the
+/// intended bucketing. (Tag collisions would merge two cells' buckets; both
+/// compared runs use the same mapping, so the check stays deterministic.)
 std::vector<std::vector<std::uint64_t>> pair_sequences(
-    const CycleRunResult& r, const std::vector<ScheduledCell>& cells, unsigned n) {
+    const CycleRunResult& r, const std::vector<ScheduledCell>& cells, const CellFormat& fmt,
+    unsigned n) {
+  std::unordered_map<std::uint64_t, unsigned> input_of_tag;
+  input_of_tag.reserve(cells.size());
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    input_of_tag[mix64(k) & low_mask(fmt.tag_bits())] = cells[k].input;
+  }
   std::vector<std::vector<std::uint64_t>> pairs(static_cast<std::size_t>(n) * n);
   for (unsigned o = 0; o < n; ++o) {
     for (std::uint64_t uid : r.per_output[o]) {
-      const unsigned input = uid < cells.size() ? cells[static_cast<std::size_t>(uid)].input : 0;
+      const auto it = input_of_tag.find(uid);
+      const unsigned input = it != input_of_tag.end() ? it->second : 0;
       pairs[static_cast<std::size_t>(input) * n + o].push_back(uid);
     }
   }
@@ -332,8 +415,9 @@ RunOutcome run(const FuzzSpec& spec, const std::vector<ScheduledCell>& cells) {
   CycleRunResult d = run_cycle_model<DualPipelinedSwitch>(dual_cfg, dual_fmt, spec, cells,
                                                           AddrPathMode::kDecodedPipeline,
                                                           FaultPlan{}, "dual");
+  CycleRunResult f = run_fast_model(cfg, fmt, spec, cells);
 
-  for (auto* r : {&a, &b, &d}) {
+  for (auto* r : {&a, &b, &d, &f}) {
     for (std::string& s : r->issues) out.issues.push_back(std::move(s));
   }
 
@@ -344,14 +428,50 @@ RunOutcome run(const FuzzSpec& spec, const std::vector<ScheduledCell>& cells) {
   // runs (drop timing is organization-specific, so droppy runs are covered
   // per model by their own scoreboard + invariant checks).
   if (fault.none() && a.stats.dropped() == 0 && d.stats.dropped() == 0) {
-    const auto pa = pair_sequences(a, cells, spec.n);
-    const auto pd = pair_sequences(d, cells, spec.n);
+    const auto pa = pair_sequences(a, cells, fmt, spec.n);
+    const auto pd = pair_sequences(d, cells, fmt, spec.n);
     for (std::size_t p = 0; p < pa.size(); ++p) {
       if (pa[p] != pd[p]) {
         out.issues.push_back(
             "diff: [pipelined-vs-dual] (input " + std::to_string(p / spec.n) + ", output " +
             std::to_string(p % spec.n) + ") FIFO sequences differ on a drop-free run");
       }
+    }
+  }
+
+  // Pipelined vs fast model: same pinning discipline as the dual switch --
+  // exact per-(input,output) FIFO equality whenever neither dropped (both
+  // preserve each pair's arrival order; drop *timing* is model-specific).
+  if (fault.none() && a.stats.dropped() == 0 && f.stats.dropped() == 0) {
+    const auto pa = pair_sequences(a, cells, fmt, spec.n);
+    const auto pf = pair_sequences(f, cells, fmt, spec.n);
+    for (std::size_t p = 0; p < pa.size(); ++p) {
+      if (pa[p] != pf[p]) {
+        out.issues.push_back(
+            "diff: [pipelined-vs-fast] (input " + std::to_string(p / spec.n) + ", output " +
+            std::to_string(p % spec.n) + ") FIFO sequences differ on a drop-free run");
+      }
+    }
+  }
+  // The fast model admits at head arrival: the kNoSlot class (a latch-window
+  // artifact of the pipelined datapath) must never appear.
+  if (f.stats.dropped_no_slot != 0) {
+    out.issues.push_back("diff: [fast] behavioural model produced " +
+                         std::to_string(f.stats.dropped_no_slot) + " kNoSlot drops");
+  }
+  // Droppy runs: statistical comparison under the same regime guard as the
+  // slot model below (the fast model's buffer occupancy has no wave-level
+  // address recycling, so the same two regimes are excluded).
+  if (fault.none() && spec.out_queue_limit == 0 && spec.capacity_cells >= spec.n) {
+    const std::uint64_t tol =
+        std::max<std::uint64_t>(16, static_cast<std::uint64_t>(0.25 * cells.size()));
+    const std::uint64_t cyc = a.stats.dropped();
+    const std::uint64_t fst = f.stats.dropped();
+    const std::uint64_t delta = cyc > fst ? cyc - fst : fst - cyc;
+    if (delta > tol) {
+      out.issues.push_back("diff: [fast] drop counts diverge beyond tolerance: cycle " +
+                           std::to_string(cyc) + " vs fast " + std::to_string(fst) +
+                           " (tol " + std::to_string(tol) + ")");
     }
   }
 
@@ -421,6 +541,7 @@ RunOutcome run(const FuzzSpec& spec, const std::vector<ScheduledCell>& cells) {
                                        b.stats.dropped(), b.violations});
   out.summaries.push_back(ModelSummary{"dual", d.injected, d.delivered, d.stats.dropped(),
                                        d.violations});
+  out.summaries.push_back(ModelSummary{"fast", f.injected, f.delivered, f.stats.dropped(), 0});
   out.summaries.push_back(ModelSummary{"slot", sc.injected, sc.delivered, sc.dropped, 0});
   out.ok = out.issues.empty();
   return out;

@@ -15,6 +15,10 @@
 //     quantum; per-(input,output) FIFO delivery sequences must match exactly
 //     whenever no model dropped anything (drops depend on timing, so droppy
 //     runs are compared per model by their own scoreboard + invariants).
+//   * PipelinedSwitch vs FastSwitch (core/fast_switch.hpp) -- the behavioural
+//     model used for cold fabric nodes; per-(input,output) FIFO sequences
+//     match exactly on drop-free runs, drop counts statistically, and kNoSlot
+//     (a latch-window artifact) must never occur.
 //   * Cycle-accurate vs SharedBufferModel (slot-level) -- conservation is
 //     exact, delivery counts exact on drop-free runs, drop counts compared
 //     statistically (the slot abstraction rounds all timing to cell slots).

@@ -68,10 +68,6 @@ class DualPipelinedSwitch : public Component {
   EventHub& events() { return events_; }
   const EventHub& events() const { return events_; }
 
-  /// DEPRECATED single-consumer shim; each call replaces the previous
-  /// set_events() callbacks only. New code should events().subscribe().
-  void set_events(SwitchEvents ev) { legacy_events_ = events_.subscribe(std::move(ev)); }
-
   void eval(Cycle t) override;
   void commit(Cycle t) override;
   std::string name() const override { return "dual_pipelined_switch"; }
@@ -146,7 +142,6 @@ class DualPipelinedSwitch : public Component {
   std::vector<Cycle> next_read_ok_;
 
   EventHub events_;
-  Subscription legacy_events_;  ///< Slot held by the deprecated set_events().
   SwitchStats stats_;
   std::uint64_t dual_cycles_ = 0;
 };

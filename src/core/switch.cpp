@@ -295,4 +295,27 @@ bool PipelinedSwitch::drained() const {
   return true;
 }
 
+bool PipelinedSwitch::is_quiescent(Cycle) const {
+  // Fully drained AND the link wires carry nothing: a drained switch may
+  // still be shifting a departed cell's tail words onto an output link, and
+  // an arriving head on an input link would be consumed by the next eval.
+  // In this state eval() takes the empty-slot early exit (touching only the
+  // cycles/idle_cycles counters, compensated by skip()) and commit() ticks
+  // empty structures and idle wires.
+  if (!drained()) return false;
+  for (const auto& l : in_links_) {
+    if (!l.idle()) return false;
+  }
+  for (const auto& l : out_links_) {
+    if (!l.idle()) return false;
+  }
+  return true;
+}
+
+void PipelinedSwitch::skip(Cycle, Cycle n) {
+  // Each skipped cycle would have taken the idle path of eval().
+  stats_.cycles += static_cast<std::uint64_t>(n);
+  stats_.idle_cycles += static_cast<std::uint64_t>(n);
+}
+
 }  // namespace pmsb

@@ -103,12 +103,6 @@ class PipelinedSwitch : public Component {
   EventHub& events() { return events_; }
   const EventHub& events() const { return events_; }
 
-  /// DEPRECATED single-consumer shim (one release, see CHANGES.md): behaves
-  /// like the historical slot -- each call replaces the callbacks installed
-  /// by the previous set_events() call, without disturbing subscribers that
-  /// attached through events().subscribe(). New code should subscribe.
-  void set_events(SwitchEvents ev) { legacy_events_ = events_.subscribe(std::move(ev)); }
-
   /// Inject arbitration faults (verification demos only; see FaultPlan).
   void set_fault_plan(const FaultPlan& f) { fault_ = f; }
   const FaultPlan& fault_plan() const { return fault_; }
@@ -142,6 +136,8 @@ class PipelinedSwitch : public Component {
   // Component interface.
   void eval(Cycle t) override;
   void commit(Cycle t) override;
+  bool is_quiescent(Cycle t) const override;
+  void skip(Cycle t, Cycle n) override;
   std::string name() const override { return "pipelined_switch"; }
 
   const SwitchStats& stats() const { return stats_; }
@@ -217,7 +213,6 @@ class PipelinedSwitch : public Component {
   std::vector<Cycle> next_read_ok_;  ///< Earliest next read initiation per output.
 
   EventHub events_;
-  Subscription legacy_events_;  ///< Slot held by the deprecated set_events().
   SwitchStats stats_;
   FaultPlan fault_;
   std::uint64_t fault_write_grants_ = 0;  ///< Eligible write grants seen (fault pacing).

@@ -93,14 +93,40 @@ struct Injector {
   std::uint64_t generated = 0;  ///< Cells created (delivered + dropped + queued + in flight).
   std::deque<Pending> backlog;
 
-  /// One Bernoulli draw per fabric cycle; destination uniform over the
-  /// other nodes.
-  void step(Cycle t) {
-    if (cells_per_cycle <= 0 || !rng.next_bool(cells_per_cycle)) return;
+  /// Next arrival, computed ahead of time so idle cycles between arrivals
+  /// are skippable: the per-cycle Bernoulli draws are made in a batch when
+  /// the previous arrival fires, consuming the RNG stream in exactly the
+  /// order the historical one-draw-per-step() loop did. kNeverWake when
+  /// cells_per_cycle <= 0 (the old code drew nothing in that case either).
+  Cycle next_arrival = 0;
+  unsigned next_dest = 0;
+  bool primed = false;
+
+  /// Replay the per-cycle draws from `from` until one succeeds, then draw
+  /// the destination (uniform over the other nodes), exactly as the stepped
+  /// formulation would have.
+  void prime(Cycle from) {
+    primed = true;
+    if (cells_per_cycle <= 0) {
+      next_arrival = kNeverWake;
+      return;
+    }
+    Cycle a = from;
+    while (!rng.next_bool(cells_per_cycle)) ++a;
     unsigned dest = static_cast<unsigned>(rng.next_below(n_nodes - 1));
     if (dest >= self) ++dest;
-    backlog.push_back(Pending{dest, next_seq++, t});
+    next_arrival = a;
+    next_dest = dest;
+  }
+
+  /// Called once per fabric cycle by the node's designated bridge; enqueues
+  /// the precomputed arrival when its cycle comes up.
+  void step(Cycle t) {
+    if (!primed) prime(t);
+    if (t != next_arrival) return;
+    backlog.push_back(Pending{next_dest, next_seq++, t});
     ++generated;
+    prime(t + 1);
   }
 };
 
@@ -133,6 +159,9 @@ class TxTap : public Component {
   void eval(Cycle t) override { ch_->write(t, from_->now()); }
   void commit(Cycle) override {}
   bool has_commit() const override { return false; }
+  /// Skipping suppresses the per-cycle write of an invalid flit; the fabric
+  /// compensates by clearing the ring after a skip (Channel::clear_for_skip).
+  bool is_quiescent(Cycle) const override { return !from_->now().valid; }
   std::string name() const override { return "fabric_tx_tap"; }
 
  private:
@@ -149,6 +178,18 @@ class PortBridge : public Component {
 
   void eval(Cycle t) override;
   void commit(Cycle t) override;
+  /// Quiescent when no cell is being reassembled, staged, queued, or
+  /// transmitted and no injection is pending. The rx channel is NOT checked
+  /// here -- the fabric's round planner verifies every Channel::idle_at()
+  /// globally before skipping (engine-local skipping stays disabled inside
+  /// shards, so these hooks are only consulted by that planner).
+  bool is_quiescent(Cycle) const override {
+    return !rx_active_ && !tx_active_ && !staged_valid_ && fifo_.empty() &&
+           (injector_ == nullptr || injector_->backlog.empty());
+  }
+  Cycle next_wake(Cycle) const override {
+    return injector_ != nullptr ? injector_->next_arrival : kNeverWake;
+  }
   std::string name() const override;
 
   /// Transit cells accepted but not yet re-transmitted (store-and-forward

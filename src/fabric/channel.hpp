@@ -44,7 +44,10 @@ class Channel {
 
   /// Producer side (TxTap): record the upstream out-wire's value during
   /// cycle t. Exactly one writer, exactly once per producer cycle.
-  void write(Cycle t, const Flit& f) { ring_[static_cast<std::size_t>(t) & mask_] = f; }
+  void write(Cycle t, const Flit& f) {
+    ring_[static_cast<std::size_t>(t) & mask_] = f;
+    if (f.valid) last_valid_ = t;
+  }
 
   /// Consumer side (PortBridge): the word that entered the channel `delay`
   /// cycles ago; idle while the pipe is still filling.
@@ -53,12 +56,28 @@ class Channel {
     return ring_[static_cast<std::size_t>(t - delay_) & mask_];
   }
 
+  /// True when nothing is in flight at cycle T: every valid flit ever
+  /// written was already delivered (read cycle last_valid_ + delay < T).
+  /// Part of the fabric's global quiescence predicate.
+  bool idle_at(Cycle t) const { return last_valid_ + static_cast<Cycle>(delay_) < t; }
+
+  /// Invalidate all ring slots after the fabric skipped idle rounds. While
+  /// skipping, the producer's per-cycle write(t, invalid) calls do not
+  /// happen, so old entries at (t mod size) would otherwise resurface once
+  /// the skip distance exceeds the ring size. Only called while every shard
+  /// is parked (inside the barrier completion) and the channel is idle_at()
+  /// the skip origin, so no live flit is destroyed.
+  void clear_for_skip() {
+    for (Flit& f : ring_) f = Flit{};
+  }
+
  private:
   inline static const Flit kIdle{};
 
   unsigned delay_;
   std::size_t mask_;
   std::vector<Flit> ring_;
+  Cycle last_valid_ = -1;  ///< Cycle of the newest valid flit written.
 };
 
 }  // namespace pmsb::fabric

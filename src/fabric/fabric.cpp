@@ -61,10 +61,16 @@ void Fabric::build() {
   unsigned workers = cfg_.threads ? cfg_.threads : exp::thread_count();
   workers = std::min(std::max(workers, 1u), n);
 
+  idle_skip_on_ = cfg_.idle_skip < 0 ? Engine::idle_skip_env_default() : cfg_.idle_skip != 0;
+
   nodes_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     auto node = std::make_unique<Node>();
-    node->sw = std::make_unique<PipelinedSwitch>(cfg_.node);
+    if (cfg_.fast_node && cfg_.fast_node(i)) {
+      node->fast = std::make_unique<FastSwitch>(cfg_.node);
+    } else {
+      node->sw = std::make_unique<PipelinedSwitch>(cfg_.node);
+    }
     node->injector.rng = Rng(mix64(cfg_.seed + 0x9e3779b97f4a7c15ULL * (i + 1)));
     node->injector.cells_per_cycle = cfg_.load / cfg_.node.cell_words;
     node->injector.self = i;
@@ -80,7 +86,8 @@ void Fabric::build() {
         case DropReason::kOutputLimit: ++np->drop_out_limit; break;
       }
     };
-    node->drop_sub = node->sw->events().subscribe(std::move(ev));
+    EventHub& hub = node->sw ? node->sw->events() : node->fast->events();
+    node->drop_sub = hub.subscribe(std::move(ev));
     nodes_.push_back(std::move(node));
   }
 
@@ -101,10 +108,21 @@ void Fabric::build() {
     auto shard = std::make_unique<Shard>();
     const unsigned lo = s * n / workers;
     const unsigned hi = (s + 1) * n / workers;
+    // Engine-local skipping stays off inside shards: a shard cannot see
+    // other shards' in-flight flits or its own channels' contents, so only
+    // the fabric-level planner (maybe_skip) may skip, at round granularity.
+    shard->engine.set_idle_skip(false);
     for (unsigned v = lo; v < hi; ++v) {
       Node& node = *nodes_[v];
       shard->node_ids.push_back(v);
-      shard->engine.add(node.sw.get());
+      shard->engine.add(node.sw ? static_cast<Component*>(node.sw.get())
+                                : static_cast<Component*>(node.fast.get()));
+      auto in_link = [&node](unsigned q) -> WireLink* {
+        return node.sw ? &node.sw->in_link(q) : &node.fast->in_link(q);
+      };
+      auto out_link = [&node](unsigned p) -> WireLink* {
+        return node.sw ? &node.sw->out_link(p) : &node.fast->out_link(p);
+      };
       // The first connected port doubles as the node's injection point.
       bool designated = false;
       for (unsigned q = 0; q < ports_; ++q) {
@@ -116,17 +134,19 @@ void Fabric::build() {
         Injector* inj = designated ? nullptr : &node.injector;
         designated = true;
         shard->bridges.push_back(std::make_unique<PortBridge>(
-            &cfg_.topo, &codec_, v, port, rx, &node.sw->in_link(q), inj, &node.ejector));
+            &cfg_.topo, &codec_, v, port, rx, in_link(q), inj, &node.ejector));
         shard->engine.add(shard->bridges.back().get());
       }
       PMSB_CHECK(designated, "fabric node with no links");
       for (unsigned p = 0; p < ports_; ++p) {
         Channel* ch = channels_[v * ports_ + p].get();
         if (!ch) continue;
-        shard->taps.push_back(std::make_unique<TxTap>(&node.sw->out_link(p), ch));
+        shard->taps.push_back(std::make_unique<TxTap>(out_link(p), ch));
         shard->engine.add(shard->taps.back().get());
       }
-      if (check::env_enabled()) {
+      // Structural invariant checking only exists for the cycle-accurate
+      // switch; fast nodes are covered by the differential harness instead.
+      if (check::env_enabled() && node.sw) {
         node.checker = std::make_unique<check::InvariantChecker>();
         node.checker->attach(*node.sw, shard->engine);
       }
@@ -158,9 +178,11 @@ void Fabric::run(Cycle cycles) {
   const Cycle lookahead = cfg_.link_pipe_stages;
 
   if (shards_.size() == 1) {
+    Shard& s = *shards_[0];
     while (cycles_run_ < run_target_) {
-      shards_[0]->engine.run(std::min<Cycle>(lookahead, run_target_ - cycles_run_));
+      s.engine.run(std::min<Cycle>(lookahead, run_target_ - cycles_run_));
       end_of_round();
+      if (s.engine.now() < cycles_run_) s.engine.skip_to(cycles_run_);
     }
     return;
   }
@@ -174,13 +196,21 @@ void Fabric::run(Cycle cycles) {
   const Cycle target = run_target_;
   for (auto& sp : shards_) {
     Shard* shard = sp.get();
-    pool_->submit([shard, start, target, lookahead, &barrier] {
+    pool_->submit([this, shard, start, target, lookahead, &barrier] {
       Cycle done = start;
       while (done < target) {
         const Cycle step = std::min<Cycle>(lookahead, target - done);
         shard->engine.run(step);
         done += step;
         barrier.arrive_and_wait();
+        // The planner may have skipped whole rounds inside the barrier
+        // (maybe_skip); every worker observes the same jump -- the barrier
+        // orders the cycles_run_ write before this read -- so all shards
+        // take identical trajectories.
+        if (done < cycles_run_ && cycles_run_ <= target) {
+          shard->engine.skip_to(cycles_run_);
+          done = cycles_run_;
+        }
       }
     });
   }
@@ -191,6 +221,45 @@ void Fabric::run(Cycle cycles) {
 void Fabric::end_of_round() {
   cycles_run_ += std::min<Cycle>(cfg_.link_pipe_stages, run_target_ - cycles_run_);
   if (metrics_) metrics_->sample(cycles_run_);
+  if (idle_skip_on_) maybe_skip();
+}
+
+void Fabric::maybe_skip() {
+  if (cycles_run_ >= run_target_) return;
+  // Global quiescence: every component of every shard idle (observers --
+  // the per-node invariant checkers -- pin a shard to stepping), and every
+  // channel ring drained. Any failure means at least one cell is somewhere
+  // in flight, and the next round must be stepped.
+  Cycle wake = kNeverWake;
+  for (const auto& sp : shards_) {
+    if (!sp->engine.can_skip()) return;
+    Cycle w = kNeverWake;
+    if (!sp->engine.quiescent_at(cycles_run_, &w)) return;
+    if (w < wake) wake = w;
+  }
+  for (const auto& ch : channels_) {
+    if (ch && !ch->idle_at(cycles_run_)) return;
+  }
+  // Advance whole rounds while they end at or before the earliest wake
+  // (components must execute the wake cycle itself), keeping the metrics
+  // cadence of stepped rounds.
+  bool skipped = false;
+  while (cycles_run_ < run_target_) {
+    const Cycle nb =
+        cycles_run_ + std::min<Cycle>(cfg_.link_pipe_stages, run_target_ - cycles_run_);
+    if (nb > wake) break;
+    cycles_run_ = nb;
+    if (metrics_) metrics_->sample(cycles_run_);
+    skipped = true;
+  }
+  // Skipping suppressed the TxTaps' per-cycle ring writes; drop the stale
+  // entries so they cannot resurface after a jump past the ring size. All
+  // channels are empty here, so nothing live is lost.
+  if (skipped) {
+    for (const auto& ch : channels_) {
+      if (ch) ch->clear_for_skip();
+    }
+  }
 }
 
 std::uint64_t Fabric::sum_injected() const {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "check/invariants.hpp"
 #include "core/config.hpp"
 #include "core/event_hub.hpp"
+#include "core/fast_switch.hpp"
 #include "core/switch.hpp"
 #include "exp/thread_pool.hpp"
 #include "fabric/bridge.hpp"
@@ -54,6 +56,18 @@ struct FabricConfig {
   /// Worker threads; 0 resolves via exp::thread_count() (PMSB_THREADS).
   /// Clamped to the node count.
   unsigned threads = 0;
+  /// Idle-cycle skipping at round granularity: when every component of
+  /// every shard is quiescent and every channel is empty, the fabric jumps
+  /// whole rounds to the next scheduled injection. Results are bit-identical
+  /// either way (CI-enforced). -1 = environment default (PMSB_IDLE_SKIP),
+  /// 0 = off, 1 = on.
+  int idle_skip = -1;
+  /// Per-node model selection: nodes for which this returns true run the
+  /// behavioural FastSwitch (core/fast_switch.hpp) instead of the
+  /// cycle-accurate PipelinedSwitch -- cold nodes fast, hot nodes exact.
+  /// Null (default) = all nodes cycle-accurate. Must be a pure function of
+  /// the node index (determinism).
+  std::function<bool(unsigned node)> fast_node;
 
   ConfigValidation check() const;
   void validate() const;
@@ -99,7 +113,15 @@ class Fabric {
   unsigned threads() const { return static_cast<unsigned>(shards_.size()); }
   Cycle now() const { return cycles_run_; }
   const FabricConfig& config() const { return cfg_; }
-  const PipelinedSwitch& node_switch(unsigned i) const { return *nodes_[i]->sw; }
+  bool node_is_fast(unsigned i) const { return nodes_[i]->fast != nullptr; }
+  const PipelinedSwitch& node_switch(unsigned i) const {
+    PMSB_CHECK(nodes_[i]->sw != nullptr, "node runs the fast model (see node_is_fast)");
+    return *nodes_[i]->sw;
+  }
+  const FastSwitch& node_fast_switch(unsigned i) const {
+    PMSB_CHECK(nodes_[i]->fast != nullptr, "node runs the cycle-accurate switch");
+    return *nodes_[i]->fast;
+  }
 
   /// Register live gauges (fabric.injected/delivered/dropped/backlog/
   /// in_network/latency.mean) on `m` and sample them at every round
@@ -115,7 +137,8 @@ class Fabric {
 
  private:
   struct Node {
-    std::unique_ptr<PipelinedSwitch> sw;
+    std::unique_ptr<PipelinedSwitch> sw;  ///< Exactly one of sw / fast is set.
+    std::unique_ptr<FastSwitch> fast;
     Injector injector;
     Ejector ejector;
     std::uint64_t drop_no_addr = 0;
@@ -136,6 +159,13 @@ class Fabric {
 
   void build();
   void end_of_round();
+  /// Round-granularity idle skip, run inside the barrier completion while
+  /// every worker is parked: if all shards are quiescent and all channels
+  /// empty, advance cycles_run_ by whole rounds (sampling metrics at each
+  /// boundary exactly as stepped rounds would) up to the earliest scheduled
+  /// injection, then clear the channel rings. Workers notice the jump after
+  /// the barrier and skip_to() their shard engines.
+  void maybe_skip();
   std::uint64_t sum_injected() const;
   std::uint64_t sum_delivered() const;
   std::uint64_t sum_dropped() const;
@@ -152,6 +182,7 @@ class Fabric {
   obs::MetricsRegistry* metrics_ = nullptr;
   Cycle cycles_run_ = 0;
   Cycle run_target_ = 0;
+  bool idle_skip_on_ = true;  ///< Resolved from FabricConfig::idle_skip.
 };
 
 }  // namespace pmsb::fabric

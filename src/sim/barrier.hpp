@@ -4,9 +4,10 @@
 // worker threads that advance in rounds of `lookahead` cycles. Rounds are
 // short (a handful of switch evals per node), so a parked-thread barrier
 // built on a mutex/condvar would spend more time in the kernel than in the
-// simulation. This barrier spins briefly and then yields, which behaves well
-// both when workers are truly parallel and when they are oversubscribed on
-// few cores (CI runners).
+// simulation. This barrier spins briefly, then yields, then sleeps, which
+// behaves well when workers are truly parallel AND when they are
+// oversubscribed on few cores (CI runners, PMSB_THREADS > hardware threads)
+// -- pure spin-or-yield waiting starves the straggler in that regime.
 //
 // Memory ordering contract: everything written by a thread before its
 // arrive_and_wait() happens-before everything read by any thread after the
@@ -18,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -48,9 +50,22 @@ class SpinBarrier {
       if (completion_) completion_();
       generation_.fetch_add(1, std::memory_order_release);
     } else {
+      // Escalating backoff: spin hot briefly (the common case -- rounds are
+      // short and workers arrive together), then yield the timeslice, then
+      // sleep. The sleep tier is what keeps oversubscribed runs (threads >
+      // cores, e.g. PMSB_THREADS above the CI runner's core count) from
+      // livelocking the scheduler: yield() is a no-op when every runnable
+      // thread is a spinner, but a sleeping spinner lets the straggler that
+      // everyone is waiting for actually run.
       unsigned spins = 0;
       while (generation_.load(std::memory_order_acquire) == gen) {
-        if (++spins > kSpinsBeforeYield) std::this_thread::yield();
+        ++spins;
+        if (spins <= kSpinsBeforeYield) continue;
+        if (spins <= kSpinsBeforeSleep) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
       }
     }
   }
@@ -59,6 +74,7 @@ class SpinBarrier {
 
  private:
   static constexpr unsigned kSpinsBeforeYield = 128;
+  static constexpr unsigned kSpinsBeforeSleep = 4096;
 
   const unsigned parties_;
   std::function<void()> completion_;

@@ -1,6 +1,49 @@
 #include "sim/engine.hpp"
 
+#include <cstdlib>
+
 namespace pmsb {
+
+bool Engine::idle_skip_env_default() {
+  static const bool on = [] {
+    const char* v = std::getenv("PMSB_IDLE_SKIP");
+    return v == nullptr || !(v[0] == '0' && v[1] == '\0');
+  }();
+  return on;
+}
+
+bool Engine::quiescent_at(Cycle t, Cycle* wake) const {
+  Cycle w = kNeverWake;
+  for (const Component* c : components_) {
+    if (!c->is_quiescent(t)) return false;
+    const Cycle cw = c->next_wake(t);
+    if (cw < w) w = cw;
+  }
+  if (wake != nullptr) *wake = w;
+  return true;
+}
+
+void Engine::skip_to(Cycle target) {
+  PMSB_CHECK(observers_.empty(), "cannot skip cycles past a cycle observer");
+  PMSB_CHECK(target > now_, "skip_to target must be ahead of now()");
+  Cycle n = target - now_;
+  for (Component* c : components_) c->skip(now_, n);
+  if (metrics_ == nullptr) {
+    now_ = target;
+    return;
+  }
+  // Replay every sample boundary the stepped loop would have hit: step()
+  // samples at the end of cycle t when the countdown reaches zero, with
+  // sample(t) receiving the just-finished cycle.
+  while (n >= sample_countdown_) {
+    now_ += sample_countdown_;
+    n -= sample_countdown_;
+    sample_countdown_ = sample_period_;
+    metrics_->sample(now_ - 1);
+  }
+  now_ += n;
+  sample_countdown_ -= n;
+}
 
 void Engine::add(Component* c) {
   PMSB_CHECK(c != nullptr, "null component");

@@ -24,6 +24,7 @@
 
 #pragma once
 
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +33,10 @@
 #include "obs/metrics.hpp"
 
 namespace pmsb {
+
+/// next_wake() value meaning "never wakes on its own" (purely reactive
+/// components: switches, sinks, taps).
+inline constexpr Cycle kNeverWake = std::numeric_limits<Cycle>::max();
 
 /// A clocked hardware block (or testbench element).
 class Component {
@@ -47,6 +52,40 @@ class Component {
   /// Override to return false when commit() is a no-op; the engine then
   /// leaves this component out of the commit sweep entirely.
   virtual bool has_commit() const { return true; }
+
+  // --- Quiescence (semantics-preserving idle-cycle skipping) --------------
+  //
+  // A component is *quiescent at cycle t* when executing eval(t)/commit(t)
+  // in its current state would change nothing observable: no staged state,
+  // no driven wires, no events, no RNG draws -- at most internal per-cycle
+  // counters, which skip() must compensate. When EVERY component of an
+  // engine is quiescent, the engine may advance the clock directly to the
+  // earliest next_wake() instead of stepping, with bit-identical results.
+  // The default (never quiescent) is always safe.
+
+  /// True when eval(t)+commit(t) would be a no-op (see above). Must stay
+  /// true for every cycle in [t, next_wake(t)) if no input changes -- and
+  /// none can change while all components are quiescent.
+  virtual bool is_quiescent(Cycle t) const {
+    (void)t;
+    return false;
+  }
+
+  /// Earliest cycle at which this component must execute again (its next
+  /// scheduled arrival / slot boundary). Only consulted while quiescent.
+  virtual Cycle next_wake(Cycle t) const {
+    (void)t;
+    return kNeverWake;
+  }
+
+  /// The clock jumped from t to t + n without stepping (all n cycles were
+  /// quiescent). Compensate per-cycle counters (e.g. stats.cycles) and
+  /// countdowns here so a skipped run is indistinguishable from a stepped
+  /// one.
+  virtual void skip(Cycle t, Cycle n) {
+    (void)t;
+    (void)n;
+  }
 
   /// For diagnostics.
   virtual std::string name() const { return "component"; }
@@ -90,8 +129,32 @@ class Engine {
   }
 
   /// Run `cycles` more cycles. Returns the cycle count after running.
+  ///
+  /// When idle skipping is enabled and no cycle observers are attached
+  /// (observers inspect every cycle, so skipping would starve them), the
+  /// loop polls all-component quiescence and jumps straight to the earliest
+  /// next_wake(). Results are bit-identical to the stepped run by the
+  /// Component quiescence contract; the poll cadence (every cycle while
+  /// skipping is productive, every kSkipPollPeriod cycles after a failed
+  /// poll) only affects wall-clock, never outcomes.
   Cycle run(Cycle cycles) {
-    for (Cycle i = 0; i < cycles; ++i) step();
+    const Cycle target = now_ + cycles;
+    if (!idle_skip_ || !observers_.empty()) {
+      while (now_ < target) step();
+      return now_;
+    }
+    Cycle next_poll = now_;
+    while (now_ < target) {
+      if (now_ >= next_poll) {
+        Cycle wake = kNeverWake;
+        if (quiescent_at(now_, &wake) && wake > now_) {
+          skip_to(wake < target ? wake : target);
+          continue;
+        }
+        next_poll = now_ + kSkipPollPeriod;
+      }
+      step();
+    }
     return now_;
   }
 
@@ -117,7 +180,36 @@ class Engine {
   obs::MetricsRegistry* metrics() const { return metrics_; }
   Cycle sample_period() const { return sample_period_; }
 
+  // --- Idle-cycle skipping ------------------------------------------------
+
+  /// Enable/disable quiescence-based skipping for this engine. The initial
+  /// value comes from PMSB_IDLE_SKIP ("0" disables; default on). Skipping
+  /// never changes results -- this switch exists for A/B validation and for
+  /// embedded engines (fabric shards) whose skipping is coordinated
+  /// externally at round granularity.
+  void set_idle_skip(bool on) { idle_skip_ = on; }
+  bool idle_skip() const { return idle_skip_; }
+
+  /// Process-wide default for idle skipping (PMSB_IDLE_SKIP, read once).
+  static bool idle_skip_env_default();
+
+  /// True when skipping is structurally permitted: cycle observers see
+  /// every cycle, so any attached observer pins the engine to stepping.
+  bool can_skip() const { return observers_.empty(); }
+
+  /// True when every component is quiescent at cycle t; on success *wake is
+  /// the minimum next_wake() over all components (kNeverWake if none wakes).
+  bool quiescent_at(Cycle t, Cycle* wake) const;
+
+  /// Jump the clock to `target` (> now()) without stepping. The caller
+  /// guarantees every cycle in [now(), target) is quiescent for every
+  /// component. Calls each component's skip() hook, then advances now_ and
+  /// replays metrics sample boundaries exactly as stepping would have.
+  void skip_to(Cycle target);
+
  private:
+  static constexpr Cycle kSkipPollPeriod = 16;
+
   std::vector<Component*> components_;
   std::vector<Component*> committers_;  ///< components_ minus empty clock edges.
   std::vector<CycleObserver*> observers_;
@@ -125,6 +217,7 @@ class Engine {
   obs::MetricsRegistry* metrics_ = nullptr;
   Cycle sample_period_ = 1024;
   Cycle sample_countdown_ = 0;  ///< Cycles until the next sample() call.
+  bool idle_skip_ = idle_skip_env_default();
 };
 
 }  // namespace pmsb

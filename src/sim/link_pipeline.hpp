@@ -44,6 +44,18 @@ class LinkPipeline : public Component {
     regs_[0] = sampled_;
   }
 
+  bool is_quiescent(Cycle) const override {
+    // Empty pipe and nothing arriving: eval would drive nothing and commit
+    // would shift invalid flits into invalid slots. (sampled_ cannot hold a
+    // stale valid flit here -- any valid sample was committed into regs_[0]
+    // and would fail the register scan.)
+    if (from_->now().valid) return false;
+    for (const Flit& f : regs_) {
+      if (f.valid) return false;
+    }
+    return true;
+  }
+
   std::string name() const override { return "link_pipeline"; }
 
  private:

@@ -33,6 +33,10 @@ class WireLink {
     driven_ = false;
   }
 
+  /// True when the wire carries nothing now and nothing is staged for the
+  /// next cycle -- ticking it would change nothing (quiescence predicate).
+  bool idle() const { return !now_.valid && !driven_; }
+
  private:
   Flit now_;
   Flit next_;
@@ -47,6 +51,12 @@ class WireTicker : public Component {
   void eval(Cycle) override {}
   void commit(Cycle) override {
     for (WireLink* w : wires_) w->tick();
+  }
+  bool is_quiescent(Cycle) const override {
+    for (const WireLink* w : wires_) {
+      if (!w->idle()) return false;
+    }
+    return true;
   }
   std::string name() const override { return "wire_ticker"; }
 

@@ -77,6 +77,50 @@ void CellSource::eval(Cycle t) {
 
 void CellSource::commit(Cycle) {}
 
+// Quiescence: a source is idle exactly when eval() would neither drive the
+// link nor consume RNG draws. kGeometric spends its pre-drawn gap with no
+// draws, so the whole gap is skippable; kSlotted draws at every slot
+// boundary while enabled, so its wake is the next boundary (never beyond);
+// kSaturated never idles while enabled. A disabled source of any kind only
+// burns its gap counter down, which skip() compensates.
+
+bool CellSource::is_quiescent(Cycle t) const {
+  if (sending_) return false;
+  if (!enabled_) return true;
+  switch (kind_) {
+    case ArrivalKind::kGeometric:
+      return gap_left_ > 0;
+    case ArrivalKind::kSlotted:
+      return (t + 1) % fmt_.length_words != 0;
+    case ArrivalKind::kSaturated:
+      return false;
+  }
+  return false;
+}
+
+Cycle CellSource::next_wake(Cycle t) const {
+  if (!enabled_) return kNeverWake;
+  switch (kind_) {
+    case ArrivalKind::kGeometric:
+      return t + gap_left_;
+    case ArrivalKind::kSlotted: {
+      // Earliest t' >= t with (t' + 1) % L == 0 and t' > t when t is itself
+      // a boundary (is_quiescent already returned false there).
+      const Cycle l = static_cast<Cycle>(fmt_.length_words);
+      return t + (l - 1 - (t % l) + l) % l;
+    }
+    case ArrivalKind::kSaturated:
+      return t;
+  }
+  return kNeverWake;
+}
+
+void CellSource::skip(Cycle, Cycle n) {
+  // Stepping n idle cycles decrements the gap counter once per cycle,
+  // saturating at zero (it keeps decrementing while disabled).
+  if (!sending_ && gap_left_ > 0) gap_left_ = gap_left_ > n ? gap_left_ - n : 0;
+}
+
 // ---------------------------------------------------------------------------
 // CellSink
 // ---------------------------------------------------------------------------

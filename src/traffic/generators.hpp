@@ -111,6 +111,9 @@ class CellSource : public Component {
   void eval(Cycle t) override;
   void commit(Cycle t) override;
   bool has_commit() const override { return false; }
+  bool is_quiescent(Cycle t) const override;
+  Cycle next_wake(Cycle t) const override;
+  void skip(Cycle t, Cycle n) override;
   std::string name() const override { return "cell_source"; }
 
  private:
@@ -157,6 +160,7 @@ class CellSink : public Component {
   void eval(Cycle t) override;
   void commit(Cycle t) override;
   bool has_commit() const override { return false; }
+  bool is_quiescent(Cycle) const override { return !receiving_ && !link_->now().valid; }
   std::string name() const override { return "cell_sink"; }
 
  private:

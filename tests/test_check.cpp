@@ -162,11 +162,35 @@ TEST(Differential, CleanSpecPasses) {
   spec.seed = 42;
   const check::RunOutcome out = check::run(spec);
   EXPECT_TRUE(out.ok) << out.issues.front();
-  ASSERT_EQ(out.summaries.size(), 4u);
+  ASSERT_EQ(out.summaries.size(), 5u);
   EXPECT_GT(out.summaries[0].injected, 0u);
   // All models saw the identical schedule.
   for (const auto& s : out.summaries) {
     EXPECT_EQ(s.injected, out.summaries[0].injected) << s.model;
+  }
+  // The behavioural fast model rides in every differential run.
+  bool has_fast = false;
+  for (const auto& s : out.summaries) has_fast |= s.model == "fast";
+  EXPECT_TRUE(has_fast);
+}
+
+// The fast model's delivery semantics are pinned against the cycle-accurate
+// switch by the harness itself; this spot-checks that a drop-free clean run
+// delivers everything through the fast model too.
+TEST(Differential, FastModelMatchesOnDropFreeRun) {
+  check::FuzzSpec spec;
+  spec.n = 4;
+  spec.capacity_cells = 64;  // Ample: no drops anywhere.
+  spec.load = 0.4;
+  spec.slots = 100;
+  spec.seed = 5;
+  const check::RunOutcome out = check::run(spec);
+  EXPECT_TRUE(out.ok) << out.issues.front();
+  for (const auto& s : out.summaries) {
+    if (s.model != "fast") continue;
+    EXPECT_GT(s.injected, 0u);
+    EXPECT_EQ(s.delivered, s.injected);
+    EXPECT_EQ(s.dropped, 0u);
   }
 }
 

@@ -5,12 +5,22 @@ The determinism contract (DESIGN.md "Parallel sweeps & simulator
 performance") says every bench's "metrics" and "tables" must be
 byte-identical at ANY thread count; only the "runtime" object (wall time,
 slots/second, thread count) may differ. CI runs the suite at PMSB_THREADS=1
-and PMSB_THREADS=4 and feeds both output directories to this script.
+and PMSB_THREADS=4 and feeds both output directories to this script. The
+same contract covers idle skipping: the quiescence-equivalence job runs the
+suite with PMSB_IDLE_SKIP=0 and =1 and diffs the artifacts the same way.
 
 Each artifact must also carry exactly the schema's top-level keys
-(REQUIRED_KEYS). Without this check a bench that silently stopped emitting
-"metrics" (or grew an unreviewed key) on BOTH sides would still diff clean,
-because both directories run the same binary.
+(REQUIRED_KEYS), and "runtime" must be an object. Without this check a
+bench that silently stopped emitting "metrics" (or grew an unreviewed key)
+on BOTH sides would still diff clean, because both directories run the same
+binary.
+
+"runtime" keys are stripped at ANY nesting depth, not just the top level:
+a bench that tucks timing data inside a table-like sub-object would
+otherwise make every thread-count (or skip on/off) diff fail spuriously.
+
+Run `diff_bench_json.py --self-test` to exercise the tool against built-in
+pass/fail fixtures (CI does this before trusting its verdicts).
 
 Exit status: 0 when every artifact pair matches, 1 on any difference, on
 artifacts present on one side only, or on a malformed artifact.
@@ -18,12 +28,16 @@ artifacts present on one side only, or on a malformed artifact.
 
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 REQUIRED_KEYS = {"bench", "schema_version", "metrics", "runtime", "tables"}
 
 
-def check_schema(path: Path, doc: dict) -> bool:
+def check_schema(path: Path, doc) -> bool:
+    if not isinstance(doc, dict):
+        print(f"MALFORMED {path.name}: top level is not an object")
+        return False
     keys = set(doc)
     ok = True
     for missing in sorted(REQUIRED_KEYS - keys):
@@ -32,20 +46,26 @@ def check_schema(path: Path, doc: dict) -> bool:
     for extra in sorted(keys - REQUIRED_KEYS):
         print(f"MALFORMED {path.name}: unexpected top-level key {extra!r}")
         ok = False
+    if "runtime" in doc and not isinstance(doc["runtime"], dict):
+        print(f"MALFORMED {path.name}: 'runtime' is not an object")
+        ok = False
     return ok
 
 
+def strip_runtime(node):
+    """Drop every key named "runtime" from `node`, at any nesting depth."""
+    if isinstance(node, dict):
+        return {k: strip_runtime(v) for k, v in node.items() if k != "runtime"}
+    if isinstance(node, list):
+        return [strip_runtime(v) for v in node]
+    return node
+
+
 def canonical(path: Path) -> str:
-    doc = json.loads(path.read_text())
-    doc.pop("runtime", None)
-    return json.dumps(doc, sort_keys=True)
+    return json.dumps(strip_runtime(json.loads(path.read_text())), sort_keys=True)
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} DIR_A DIR_B", file=sys.stderr)
-        return 2
-    a, b = Path(sys.argv[1]), Path(sys.argv[2])
+def diff_dirs(a: Path, b: Path) -> int:
     names_a = {p.name for p in a.glob("BENCH_*.json")}
     names_b = {p.name for p in b.glob("BENCH_*.json")}
     if not names_a:
@@ -70,6 +90,75 @@ def main() -> int:
         else:
             print(f"ok       {name}")
     return 1 if failed else 0
+
+
+def self_test() -> int:
+    """Fixture-driven check that the tool itself works: each case writes a
+    pair of artifact directories and asserts the expected verdict."""
+    base = {
+        "bench": "t",
+        "schema_version": 1,
+        "metrics": {"throughput": 1.0},
+        "runtime": {"wall_seconds": 0.5},
+        "tables": [],
+    }
+
+    def variant(**overrides):
+        doc = json.loads(json.dumps(base))
+        doc.update(overrides)
+        return doc
+
+    nested_a = variant(tables=[{"title": "x", "runtime": {"wall": 1}, "rows": []}])
+    nested_b = variant(tables=[{"title": "x", "runtime": {"wall": 2}, "rows": []}])
+    no_runtime = {k: v for k, v in base.items() if k != "runtime"}
+
+    cases = [
+        # (name, doc_a, doc_b, expected exit status)
+        ("identical", base, base, 0),
+        ("runtime-only difference", base, variant(runtime={"wall_seconds": 9.0}), 0),
+        ("nested runtime difference", nested_a, nested_b, 0),
+        ("metrics difference", base, variant(metrics={"throughput": 2.0}), 1),
+        ("missing runtime block", no_runtime, no_runtime, 1),
+        ("non-object runtime block", variant(runtime=3.0), variant(runtime=3.0), 1),
+        ("unexpected extra key", variant(extra=1), variant(extra=1), 1),
+    ]
+
+    failures = 0
+    for name, doc_a, doc_b, expected in cases:
+        with tempfile.TemporaryDirectory() as tmp:
+            da, db = Path(tmp) / "a", Path(tmp) / "b"
+            da.mkdir()
+            db.mkdir()
+            (da / "BENCH_t.json").write_text(json.dumps(doc_a))
+            (db / "BENCH_t.json").write_text(json.dumps(doc_b))
+            got = diff_dirs(da, db)
+        verdict = "PASS" if got == expected else "FAIL"
+        if got != expected:
+            failures += 1
+        print(f"self-test {verdict}: {name} (exit {got}, expected {expected})")
+    # One-sided artifact case (needs asymmetric directories).
+    with tempfile.TemporaryDirectory() as tmp:
+        da, db = Path(tmp) / "a", Path(tmp) / "b"
+        da.mkdir()
+        db.mkdir()
+        (da / "BENCH_t.json").write_text(json.dumps(base))
+        got = diff_dirs(da, db)
+    verdict = "PASS" if got == 1 else "FAIL"
+    if got != 1:
+        failures += 1
+    print(f"self-test {verdict}: one-sided artifact (exit {got}, expected 1)")
+
+    print(f"self-test: {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return self_test()
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} DIR_A DIR_B | --self-test", file=sys.stderr)
+        return 2
+    return diff_dirs(Path(sys.argv[1]), Path(sys.argv[2]))
 
 
 if __name__ == "__main__":
