@@ -5,6 +5,7 @@
 // Regenerates the latency-vs-load series for output queueing, shared
 // buffering, VOQ+PIM, and (until it saturates) FIFO input queueing.
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -14,6 +15,9 @@
 #include "arch/shared_buffer.hpp"
 #include "arch/voq_pim.hpp"
 #include "bench_util.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/timeseries.hpp"
 
 using namespace pmsb;
 using namespace pmsb::bench;
@@ -73,7 +77,6 @@ int main(int argc, char** argv) {
 
     bj.metric("throughput", shared_last.throughput);
     bj.metric("mean_latency", shared_last.mean_latency);
-    bj.metric("p99_latency", static_cast<double>(shared_last.p99_latency));
     bj.metric("voq_over_output_ratio", ratio_last);
     bj.add_table("mean queueing latency vs load", t);
 
@@ -81,6 +84,73 @@ int main(int argc, char** argv) {
         "\nShape check vs paper: output queueing == shared buffering (identical\n"
         "service), VOQ+PIM runs roughly 1.5-3x slower across 0.6-0.9 (paper: ~2x),\n"
         "and FIFO input queueing has no stable latency past ~0.586.\n");
+
+    // ---- Flight-recorder breakdown on the cycle-accurate switch ----------
+    // Where do the cycles actually go? The flight recorder splits each
+    // delivered cell's latency into grant wait / buffer residency /
+    // serialization (additive by construction), with HDR-exact tails.
+    std::printf(
+        "\nCycle-accurate 16x16 pipelined switch, per-stage latency breakdown\n"
+        "(cycles; wait_grant + buffer + serialize == total, per cell):\n\n");
+    const Cycle fr_cycles = 30000;
+    const Cycle fr_warmup = 3000;
+    Table ft({"load", "stage", "samples", "mean", "p50", "p90", "p99", "p99.9"});
+    for (const double load : {0.6, 0.9}) {
+      SwitchConfig cfg = SwitchConfig::for_ports(n);
+      TrafficSpec spec;
+      spec.load = load;
+      spec.seed = 401;
+      PipelinedTestbench tb(cfg, cfg.n_ports, cfg.cell_format(), spec,
+                            /*scoreboard=*/false);
+      obs::MetricsRegistry metrics;  // Declared before the sampler (lifetime).
+      tb.dut().register_metrics(metrics);
+      obs::TimeSeriesSampler sampler(&metrics, /*capacity=*/256);
+      tb.engine().set_metrics(&metrics, /*period=*/128);
+      obs::FlightRecorderConfig fc;
+      fc.warmup = fr_warmup;
+      fc.per_pair = true;
+      obs::FlightRecorder flight(cfg.n_ports, cfg.cell_words, fc);
+      flight.attach(tb.dut().events());
+      flight.register_metrics(metrics);
+      tb.run(fr_cycles);
+      add_simulated_units(static_cast<std::uint64_t>(fr_cycles));
+
+      for (unsigned s = 0; s < obs::kFlightStageCount; ++s) {
+        const auto stage = static_cast<obs::FlightStage>(s);
+        const HdrHistogram& h = flight.stage(stage);
+        ft.add_row({Table::num(load, 2), obs::to_string(stage),
+                    std::to_string(h.samples()), Table::num(h.mean(), 2),
+                    std::to_string(h.p50()), std::to_string(h.p90()),
+                    std::to_string(h.p99()), std::to_string(h.p999())});
+      }
+
+      if (load == 0.9) {
+        // Schema percentile keys + per-stage metrics from the hot run.
+        bj.latency_percentiles(flight.stage(obs::FlightStage::kTotal));
+        for (unsigned s = 0; s < obs::kFlightStageCount; ++s) {
+          const auto stage = static_cast<obs::FlightStage>(s);
+          bj.percentile_metrics(std::string("stage ") + obs::to_string(stage),
+                                flight.stage(stage));
+        }
+        // Hottest (input, output) pair by p99 -- the per-pair aggregation
+        // BShare-style policies would key on.
+        std::uint64_t worst = 0;
+        for (unsigned in = 0; in < n; ++in)
+          for (unsigned out = 0; out < n; ++out)
+            worst = std::max(worst, flight.pair_total(in, out).p99());
+        bj.metric("hottest pair total p99", static_cast<double>(worst));
+        bj.set_timeseries(sampler.series());
+        const std::string trace = bj.trace_path();
+        if (!trace.empty()) {
+          obs::PerfettoTrace tr;
+          sampler.to_perfetto(tr);
+          tr.write(trace);
+          std::printf("[trace] wrote %s\n", trace.c_str());
+        }
+      }
+    }
+    ft.print();
+    bj.add_table("per-stage latency breakdown (cycle-accurate)", ft);
     return 0;
       });
 }

@@ -37,7 +37,7 @@ DualRun run_dual(unsigned n, PatternKind pat, double load, Cycle cycles, std::ui
   spec.seed = seed;
   Testbench<DualPipelinedSwitch, DualSwitchConfig> tb(cfg, n, cfg.cell_format(), spec,
                                                       /*scoreboard=*/false);
-  LatencyStats lat(0, 1 << 14);
+  LatencyStats lat(0);
   SwitchEvents ev;
   ev.on_read_grant = [&](unsigned, unsigned, Cycle tr, Cycle, Cycle a0, bool) {
     lat.record(a0, tr + 1);

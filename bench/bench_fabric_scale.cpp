@@ -12,6 +12,7 @@
 //    and speedups are timing-dependent, so they are published only inside
 //    the "runtime" object (excluded from determinism diffs).
 
+#include <array>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -20,21 +21,30 @@
 
 #include "fabric/fabric.hpp"
 #include "net/topology.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/timeseries.hpp"
 
 using namespace pmsb;
 using namespace pmsb::bench;
 
 namespace {
 
+// Per-stage p99 of the merged flight recorders: part of the determinism
+// surface, so it is compared across thread counts alongside the digests.
+using FlightP99 = std::array<std::uint64_t, obs::kFlightStageCount>;
+
 struct Run {
   unsigned threads;
   double wall_seconds;
   fabric::FabricStats stats;
+  FlightP99 flight_p99{};
 };
 
 constexpr Cycle kCycles = 6000;
 constexpr unsigned kLinkStages = 8;  // D: lookahead and per-link latency - 1.
+constexpr Cycle kFlightWarmup = 500;
 
 fabric::FabricConfig make_config(const net::Topology& topo, std::uint64_t seed,
                                  unsigned threads) {
@@ -45,7 +55,16 @@ fabric::FabricConfig make_config(const net::Topology& topo, std::uint64_t seed,
   cfg.load = 0.6;
   cfg.seed = seed;
   cfg.threads = threads;
+  cfg.flight_recorder = true;
+  cfg.flight_warmup = kFlightWarmup;
   return cfg;
+}
+
+FlightP99 flight_p99_of(const obs::FlightRecorder& fr) {
+  FlightP99 out{};
+  for (unsigned s = 0; s < obs::kFlightStageCount; ++s)
+    out[s] = fr.stage(static_cast<obs::FlightStage>(s)).p99();
+  return out;
 }
 
 }  // namespace
@@ -72,15 +91,23 @@ int main(int argc, char** argv) {
             fabric::Fabric fab(make_config(topo, ctx.seed, threads));
             const exp::WallTimer timer;
             fab.run(kCycles);
-            runs.push_back(Run{fab.threads(), timer.seconds(), fab.stats()});
+            runs.push_back(Run{fab.threads(), timer.seconds(), fab.stats(),
+                               flight_p99_of(fab.merged_flight())});
             add_simulated_units(static_cast<std::uint64_t>(kCycles) * topo.nodes());
           }
 
           const fabric::FabricStats& ref = runs.front().stats;
           for (const Run& r : runs) {
+            if (r.flight_p99 != runs.front().flight_p99) {
+              std::fprintf(stderr,
+                           "FAIL: %s merged flight-stage p99s diverged at %u threads\n",
+                           topo.describe().c_str(), r.threads);
+              deterministic = false;
+            }
             if (r.stats.uid_digest != ref.uid_digest || r.stats.delivered != ref.delivered ||
                 r.stats.dropped() != ref.dropped() ||
-                r.stats.mean_latency != ref.mean_latency) {
+                r.stats.mean_latency != ref.mean_latency ||
+                r.stats.latency.p999() != ref.latency.p999()) {
               std::fprintf(stderr,
                            "FAIL: %s diverged at %u threads "
                            "(digest %016llx vs %016llx, delivered %llu vs %llu)\n",
@@ -130,8 +157,15 @@ int main(int argc, char** argv) {
         delivery.print();
 
         // The big fabric's latency-by-distance profile: per-hop cost is the
-        // D+1-cycle link plus store-and-forward and switch transit.
-        fabric::Fabric big(make_config(topos.back(), ctx.seed, 1));
+        // D+1-cycle link plus store-and-forward and switch transit. This run
+        // also carries the observability rig -- registry + time-series
+        // sampler + flight recorders -- and is the bench's Perfetto source.
+        // 4 workers so the trace has real per-shard tracks; every published
+        // stat is thread-count-invariant.
+        fabric::Fabric big(make_config(topos.back(), ctx.seed, 4));
+        obs::MetricsRegistry metrics;  // Declared before the sampler (lifetime).
+        big.register_metrics(&metrics);
+        obs::TimeSeriesSampler sampler(&metrics, /*capacity=*/256);
         big.run(kCycles);
         const fabric::FabricStats st = big.stats();
         Table hops({"hops", "cells", "mean latency"});
@@ -155,6 +189,63 @@ int main(int argc, char** argv) {
                         static_cast<double>(st.in_network) / topos.back().nodes());
         ctx.json.add_table("fabric delivery", delivery);
         ctx.json.add_table("latency by hops", hops);
+
+        // Per-stage breakdown of the big fabric's node transit latency
+        // (merged HDR histograms over all 64 switches, node order).
+        const obs::FlightRecorder big_flight = big.merged_flight();
+        Table stages({"stage", "samples", "mean", "p50", "p90", "p99", "p99.9"});
+        for (unsigned s = 0; s < obs::kFlightStageCount; ++s) {
+          const auto stage = static_cast<obs::FlightStage>(s);
+          const HdrHistogram& h = big_flight.stage(stage);
+          stages.add_row({obs::to_string(stage), std::to_string(h.samples()),
+                          Table::num(h.mean(), 2), std::to_string(h.p50()),
+                          std::to_string(h.p90()), std::to_string(h.p99()),
+                          std::to_string(h.p999())});
+          ctx.json.percentile_metrics(std::string("stage ") + obs::to_string(stage), h);
+        }
+        std::printf("\nPer-stage switch-transit latency, %s (cycles, merged over "
+                    "all nodes):\n\n", topos.back().describe().c_str());
+        stages.print();
+        ctx.json.add_table("per-stage transit latency (big fabric)", stages);
+        // End-to-end (injection -> ejection) percentiles from the merged
+        // per-node delivery histograms.
+        ctx.json.latency_percentiles(st.latency);
+        ctx.json.set_timeseries(sampler.series());
+
+        // Shard telemetry: wall-clock split per worker, and the transit-relay
+        // share each shard carried. Timing-derived -> runtime object only.
+        Table shard_t({"shard", "nodes", "active ms", "barrier ms", "rounds", "relayed"});
+        for (const fabric::ShardTelemetry& sh : big.shard_telemetry()) {
+          shard_t.add_row({Table::integer(sh.shard), Table::integer(sh.nodes),
+                           Table::num(static_cast<double>(sh.active_ns) / 1e6, 2),
+                           Table::num(static_cast<double>(sh.barrier_wait_ns) / 1e6, 2),
+                           Table::integer(static_cast<long long>(sh.rounds)),
+                           Table::integer(static_cast<long long>(sh.cells_relayed))});
+          const std::string tag = "shard" + std::to_string(sh.shard);
+          ctx.json.runtime_metric(tag + " active_ms",
+                                  static_cast<double>(sh.active_ns) / 1e6);
+          ctx.json.runtime_metric(tag + " barrier_ms",
+                                  static_cast<double>(sh.barrier_wait_ns) / 1e6);
+          ctx.json.runtime_metric(tag + " rounds", static_cast<double>(sh.rounds));
+          ctx.json.runtime_metric(tag + " relayed",
+                                  static_cast<double>(sh.cells_relayed));
+        }
+        ctx.json.runtime_metric("rounds_skipped",
+                                static_cast<double>(big.rounds_skipped()));
+        std::printf("\nShard telemetry for the instrumented %s run (wall clock; "
+                    "runtime object only):\n\n", topos.back().describe().c_str());
+        shard_t.print();
+
+        {
+          const std::string trace = ctx.json.trace_path();
+          if (!trace.empty()) {
+            obs::PerfettoTrace tr;
+            sampler.to_perfetto(tr);       // Component counter tracks.
+            big.telemetry_to_perfetto(tr); // Worker tracks (tid >= 1000).
+            tr.write(trace);
+            std::printf("\n[trace] wrote %s\n", trace.c_str());
+          }
+        }
 
         // --- Low-load idle skipping -------------------------------------
         // A sparse 8x8 torus (arrivals minutes apart in simulated time) run

@@ -23,8 +23,11 @@
 #include "core/switch.hpp"
 #include "core/testbench.hpp"
 #include "exp/sweep.hpp"
+#include "obs/build_info.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "stats/hdr_histogram.hpp"
 #include "stats/table.hpp"
 
 namespace pmsb::bench {
@@ -53,7 +56,10 @@ struct SlotRun {
   double throughput = 0;
   double loss = 0;
   double mean_latency = 0;
+  std::uint64_t p50_latency = 0;
+  std::uint64_t p90_latency = 0;
   std::uint64_t p99_latency = 0;
+  std::uint64_t p999_latency = 0;
   Cycle warmup_slots = 0;
   Cycle measured_slots = 0;
 };
@@ -90,7 +96,10 @@ SlotRun run_uniform(MakeModel&& make_model, unsigned n, double load, Cycle slots
                ? 0.0
                : static_cast<double>(dropped) / static_cast<double>(injected);
   r.mean_latency = model->latency().mean();
+  r.p50_latency = model->latency().p50();
+  r.p90_latency = model->latency().p90();
   r.p99_latency = model->latency().p99();
+  r.p999_latency = model->latency().p999();
   add_simulated_units(static_cast<std::uint64_t>(slots));
   return r;
 }
@@ -116,7 +125,7 @@ std::size_t min_capacity_for_loss(LossFn&& loss_at, std::size_t lo, std::size_t 
 /// the run attaches a MetricsRegistry and samples every 64 cycles.
 struct CycleRun {
   SwitchStats stats;
-  LatencyStats head_latency{0, 1 << 14};
+  LatencyStats head_latency{0};
   /// Mean of (tr - a0 - 1): delay beyond the minimum-possible initiation.
   double mean_extra_initiation_delay = 0;
   double output_utilization = 0;
@@ -175,15 +184,24 @@ inline CycleRun run_pipelined(const SwitchConfig& cfg, const TrafficSpec& spec, 
 /// BENCH_<name>.json (into $PMSB_BENCH_JSON_DIR if set, else the cwd).
 ///
 /// The "metrics" object always carries the keys `throughput`,
-/// `mean_latency`, and `occupancy` (0 when an experiment has no meaningful
-/// value for one of them, e.g. the pure area models) so downstream tooling
-/// can diff a fixed schema; benches add any further named metrics on top.
+/// `mean_latency`, `occupancy`, and the latency percentile keys
+/// `p50_latency` / `p90_latency` / `p99_latency` / `p999_latency` (0 when an
+/// experiment has no meaningful value for one of them, e.g. the pure area
+/// models) so downstream tooling can diff a fixed schema; benches add any
+/// further named metrics on top. Schema version 2 (v1 lacked the percentile
+/// keys, build provenance, and the optional "timeseries" section).
 class BenchJson {
  public:
+  static constexpr int kSchemaVersion = 2;
+
   explicit BenchJson(std::string name) : name_(std::move(name)) {
     metric("throughput", 0.0);
     metric("mean_latency", 0.0);
     metric("occupancy", 0.0);
+    metric("p50_latency", 0.0);
+    metric("p90_latency", 0.0);
+    metric("p99_latency", 0.0);
+    metric("p999_latency", 0.0);
   }
 
   /// Set (or overwrite) one scalar metric.
@@ -197,9 +215,34 @@ class BenchJson {
     metrics_.emplace_back(key, v);
   }
 
+  /// Fill the schema's latency percentile keys from an HDR histogram.
+  void latency_percentiles(const HdrHistogram& h) {
+    metric("p50_latency", static_cast<double>(h.p50()));
+    metric("p90_latency", static_cast<double>(h.p90()));
+    metric("p99_latency", static_cast<double>(h.p99()));
+    metric("p999_latency", static_cast<double>(h.p999()));
+  }
+
+  /// Named percentile metrics "<prefix> p50/p99/p999" (e.g. per flight
+  /// stage) on top of the fixed schema keys.
+  void percentile_metrics(const std::string& prefix, const HdrHistogram& h) {
+    metric(prefix + " p50", static_cast<double>(h.p50()));
+    metric(prefix + " p99", static_cast<double>(h.p99()));
+    metric(prefix + " p999", static_cast<double>(h.p999()));
+  }
+
   /// Capture a printed table verbatim (headers + string cells).
   void add_table(const std::string& title, const Table& t) {
     tables_.emplace_back(title, t);
+  }
+
+  /// Attach a sampled registry time series, emitted as the artifact's
+  /// optional "timeseries" section. Sampling happens on the engine's metric
+  /// grid (replayed exactly under idle skipping, identical at any thread
+  /// count), so the section stays inside the determinism-diffed surface.
+  void set_timeseries(obs::TimeSeriesSampler::Series s) {
+    timeseries_ = std::move(s);
+    have_timeseries_ = true;
   }
 
   /// Record how the bench ran: wall time, simulated time units (slots or
@@ -236,7 +279,7 @@ class BenchJson {
     obs::JsonWriter w;
     w.begin_object();
     w.field("bench", name_);
-    w.field("schema_version", 1);
+    w.field("schema_version", kSchemaVersion);
     w.key("metrics").begin_object();
     for (const auto& m : metrics_) w.field(m.first, m.second);
     w.end_object();
@@ -246,6 +289,11 @@ class BenchJson {
     w.field("slots_per_second",
             wall_seconds_ > 0.0 ? static_cast<double>(units_) / wall_seconds_ : 0.0);
     w.field("threads", threads_);
+    // Build provenance: which toolchain/commit produced this artifact.
+    // Runtime-only by design (varies between checkouts; diffs strip it).
+    w.field("compiler", obs::build_compiler());
+    w.field("flags", obs::build_flags());
+    w.field("git_sha", obs::build_git_sha());
     for (const auto& m : runtime_extra_) w.field(m.first, m.second);
     w.end_object();
     w.key("tables").begin_array();
@@ -265,6 +313,27 @@ class BenchJson {
       w.end_object();
     }
     w.end_array();
+    if (have_timeseries_) {
+      w.key("timeseries").begin_object();
+      w.key("counter_columns").begin_array();
+      for (const auto& c : timeseries_.counter_columns) w.value(c);
+      w.end_array();
+      w.key("gauge_columns").begin_array();
+      for (const auto& g : timeseries_.gauge_columns) w.value(g);
+      w.end_array();
+      w.field("dropped", timeseries_.dropped);
+      // Rows: [t, counter deltas..., gauge values...] in column order.
+      w.key("rows").begin_array();
+      for (const auto& row : timeseries_.rows) {
+        w.begin_array();
+        w.value(std::int64_t{row.t});
+        for (const std::uint64_t d : row.counter_deltas) w.value(d);
+        for (const double g : row.gauges) w.value(g);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
     w.end_object();
     return w.str();
   }
@@ -274,6 +343,24 @@ class BenchJson {
   static std::string& out_dir_override() {
     static std::string dir;
     return dir;
+  }
+
+  /// Directory for Chrome/Perfetto trace files: Main's --trace-out flag
+  /// wins, then $PMSB_TRACE_OUT. Empty = tracing off (benches skip the
+  /// export entirely).
+  static std::string& trace_dir_override() {
+    static std::string dir;
+    return dir;
+  }
+
+  /// "<trace dir>/TRACE_<name>.json", or "" when tracing is off.
+  std::string trace_path() const {
+    std::string dir = trace_dir_override();
+    if (dir.empty()) {
+      if (const char* env = std::getenv("PMSB_TRACE_OUT")) dir = env;
+    }
+    if (dir.empty()) return "";
+    return dir + "/TRACE_" + name_ + ".json";
   }
 
   /// Write BENCH_<name>.json; returns false (with a message) on I/O errors.
@@ -311,6 +398,8 @@ class BenchJson {
   std::uint64_t units_ = 0;
   unsigned threads_ = 1;
   std::vector<std::pair<std::string, double>> runtime_extra_;
+  obs::TimeSeriesSampler::Series timeseries_;
+  bool have_timeseries_ = false;
 };
 
 /// Everything a bench body gets from Main: the artifact under construction,
@@ -332,7 +421,8 @@ struct BenchSpec {
 
 /// Shared entry point for every bench binary: parses the common flags
 /// (--threads N for the sweep width, --json-out DIR for the artifact
-/// directory, --seed N), prints the banner, runs `body`, then stamps the
+/// directory, --trace-out DIR for Chrome/Perfetto trace files, --seed N),
+/// prints the banner, runs `body`, then stamps the
 /// runtime block and writes the artifact. Flags are consumed; the remainder
 /// is handed to the body as ctx.argc/ctx.argv (bench_sim_speed forwards it
 /// to google-benchmark). A non-zero return from the body skips the artifact.
@@ -375,6 +465,8 @@ inline int Main(int argc, char** argv, const BenchSpec& spec,
       }
     } else if (match("--json-out")) {
       if (val != nullptr) BenchJson::out_dir_override() = val;
+    } else if (match("--trace-out")) {
+      if (val != nullptr) BenchJson::trace_dir_override() = val;
     } else if (match("--seed")) {
       if (val != nullptr) {
         char* end = nullptr;

@@ -74,7 +74,7 @@ SweepPoint run_load(double load, Cycle cycles, std::uint64_t seed) {
   const CellFormat fmt = net.cell_format();
 
   Rng rng(seed);
-  LatencyStats lat(cycles / 5, 1 << 14);
+  LatencyStats lat(cycles / 5);
   std::uint64_t injected = 0, delivered = 0;
 
   // Per-input word-level injection state; per-output reassembly state.

@@ -33,7 +33,7 @@ struct SlotCell {
 
 class SlotModel {
  public:
-  explicit SlotModel(unsigned n) : n_(n), latency_(0, 1 << 16) {
+  explicit SlotModel(unsigned n) : n_(n), latency_(0) {
     PMSB_CHECK(n > 0, "model needs at least one port");
   }
   virtual ~SlotModel() = default;

@@ -20,6 +20,7 @@ void Ejector::deliver(std::uint64_t uid, Cycle latency, unsigned hops, bool payl
   if (latency > lat_max) lat_max = latency;
   ++delivered;
   lat_sum += static_cast<std::uint64_t>(latency);
+  lat_hist.add(static_cast<std::uint64_t>(latency));
   digest = mix64(digest ^ (uid * 0x2545f4914f6cdd1dULL));
   if (!payload_ok) ++payload_errors;
   if (by_hops.size() <= hops) by_hops.resize(hops + 1);
@@ -115,6 +116,7 @@ void PortBridge::finish_cell(Cycle t) {
   PMSB_CHECK(!staged_valid_, "two cells completed in one cycle on one bridge");
   staged_ = std::move(rx_words_);
   staged_valid_ = true;
+  ++relayed_;
   rx_words_.clear();
   rx_words_.reserve(length_);
 }

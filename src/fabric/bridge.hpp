@@ -42,6 +42,7 @@
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/wire.hpp"
+#include "stats/hdr_histogram.hpp"
 
 namespace pmsb::fabric {
 
@@ -140,6 +141,9 @@ struct Ejector {
   std::uint64_t lat_sum = 0;
   Cycle lat_min = 0;
   Cycle lat_max = 0;
+  /// End-to-end latency distribution; merged across nodes (node order) into
+  /// FabricStats::latency for fabric-wide percentiles.
+  HdrHistogram lat_hist;
 
   struct HopBucket {
     std::uint64_t cells = 0;
@@ -196,6 +200,9 @@ class PortBridge : public Component {
   /// queue; bounded by the output stagger of the upstream switch).
   std::size_t transit_depth() const { return fifo_.size() + (staged_valid_ ? 1 : 0); }
 
+  /// Transit cells this bridge relayed toward their next hop (total).
+  std::uint64_t relayed() const { return relayed_; }
+
  private:
   void finish_cell(Cycle t);
 
@@ -224,6 +231,8 @@ class PortBridge : public Component {
   bool tx_active_ = false;
   unsigned tx_phase_ = 0;
   std::vector<Word> tx_words_;
+
+  std::uint64_t relayed_ = 0;  ///< Transit cells accepted for relay.
 };
 
 }  // namespace pmsb::fabric

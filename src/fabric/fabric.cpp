@@ -1,11 +1,13 @@
 #include "fabric/fabric.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "common/rng.hpp"
 #include "exp/sweep.hpp"
+#include "obs/perfetto.hpp"
 #include "sim/barrier.hpp"
 
 namespace pmsb::fabric {
@@ -88,6 +90,13 @@ void Fabric::build() {
     };
     EventHub& hub = node->sw ? node->sw->events() : node->fast->events();
     node->drop_sub = hub.subscribe(std::move(ev));
+    if (cfg_.flight_recorder) {
+      obs::FlightRecorderConfig fr;
+      fr.warmup = cfg_.flight_warmup;
+      node->flight = std::make_unique<obs::FlightRecorder>(cfg_.node.n_ports,
+                                                           cfg_.node.cell_words, fr);
+      node->flight->attach(hub);
+    }
     nodes_.push_back(std::move(node));
   }
 
@@ -177,11 +186,23 @@ void Fabric::run(Cycle cycles) {
   run_target_ = cycles_run_ + cycles;
   const Cycle lookahead = cfg_.link_pipe_stages;
 
+  using SteadyClock = std::chrono::steady_clock;
+  auto ns_between = [](SteadyClock::time_point a, SteadyClock::time_point b) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+
   if (shards_.size() == 1) {
     Shard& s = *shards_[0];
     while (cycles_run_ < run_target_) {
+      const auto t0 = SteadyClock::now();
       s.engine.run(std::min<Cycle>(lookahead, run_target_ - cycles_run_));
+      const auto t1 = SteadyClock::now();
       end_of_round();
+      // With one shard the "barrier" cost is the round bookkeeping itself.
+      s.active_ns += ns_between(t0, t1);
+      s.barrier_wait_ns += ns_between(t1, SteadyClock::now());
+      ++s.rounds;
       if (s.engine.now() < cycles_run_) s.engine.skip_to(cycles_run_);
     }
     return;
@@ -196,13 +217,18 @@ void Fabric::run(Cycle cycles) {
   const Cycle target = run_target_;
   for (auto& sp : shards_) {
     Shard* shard = sp.get();
-    pool_->submit([this, shard, start, target, lookahead, &barrier] {
+    pool_->submit([this, shard, start, target, lookahead, &barrier, ns_between] {
       Cycle done = start;
       while (done < target) {
         const Cycle step = std::min<Cycle>(lookahead, target - done);
+        const auto t0 = SteadyClock::now();
         shard->engine.run(step);
+        const auto t1 = SteadyClock::now();
         done += step;
         barrier.arrive_and_wait();
+        shard->active_ns += ns_between(t0, t1);
+        shard->barrier_wait_ns += ns_between(t1, SteadyClock::now());
+        ++shard->rounds;
         // The planner may have skipped whole rounds inside the barrier
         // (maybe_skip); every worker observes the same jump -- the barrier
         // orders the cycles_run_ write before this read -- so all shards
@@ -251,6 +277,7 @@ void Fabric::maybe_skip() {
     cycles_run_ = nb;
     if (metrics_) metrics_->sample(cycles_run_);
     skipped = true;
+    ++rounds_skipped_;
   }
   // Skipping suppressed the TxTaps' per-cycle ring writes; drop the stale
   // entries so they cannot resurface after a jump past the ring size. All
@@ -306,6 +333,7 @@ FabricStats Fabric::stats() const {
     st.dropped_no_slot += n.drop_no_slot;
     st.dropped_out_limit += n.drop_out_limit;
     st.uid_digest = mix64(st.uid_digest ^ n.ejector.digest);
+    st.latency.merge(n.ejector.lat_hist);
     if (n.ejector.delivered) {
       if (!have_lat || n.ejector.lat_min < st.min_latency) st.min_latency = n.ejector.lat_min;
       if (!have_lat || n.ejector.lat_max > st.max_latency) st.max_latency = n.ejector.lat_max;
@@ -331,6 +359,50 @@ FabricStats Fabric::stats() const {
   PMSB_CHECK(st.injected >= accounted, "fabric conservation violated");
   st.in_network = st.injected - accounted;
   return st;
+}
+
+obs::FlightRecorder Fabric::merged_flight() const {
+  PMSB_CHECK(cfg_.flight_recorder, "fabric built without FabricConfig::flight_recorder");
+  obs::FlightRecorderConfig fr;
+  fr.warmup = cfg_.flight_warmup;
+  obs::FlightRecorder merged(cfg_.node.n_ports, cfg_.node.cell_words, fr);
+  for (const auto& n : nodes_) merged.merge(*n->flight);
+  return merged;
+}
+
+std::vector<ShardTelemetry> Fabric::shard_telemetry() const {
+  std::vector<ShardTelemetry> out;
+  out.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = *shards_[s];
+    ShardTelemetry t;
+    t.shard = static_cast<unsigned>(s);
+    t.nodes = static_cast<unsigned>(sh.node_ids.size());
+    t.active_ns = sh.active_ns;
+    t.barrier_wait_ns = sh.barrier_wait_ns;
+    t.rounds = sh.rounds;
+    for (const auto& b : sh.bridges) t.cells_relayed += b->relayed();
+    out.push_back(t);
+  }
+  return out;
+}
+
+void Fabric::telemetry_to_perfetto(obs::PerfettoTrace& out) const {
+  // Worker tracks start at tid 1000 so they never collide with the
+  // component counter tracks of a TimeSeriesSampler sharing the trace.
+  constexpr unsigned kWorkerTidBase = 1000;
+  for (const ShardTelemetry& t : shard_telemetry()) {
+    const unsigned tid = kWorkerTidBase + t.shard;
+    out.set_track_name(tid, "fabric worker " + std::to_string(t.shard) + " (wall clock)");
+    const std::int64_t active_us = static_cast<std::int64_t>(t.active_ns / 1000);
+    const std::int64_t wait_us = static_cast<std::int64_t>(t.barrier_wait_ns / 1000);
+    out.complete(0, active_us, tid, "active",
+                 {{"nodes", static_cast<double>(t.nodes)},
+                  {"rounds", static_cast<double>(t.rounds)},
+                  {"cells_relayed", static_cast<double>(t.cells_relayed)}});
+    out.complete(active_us, wait_us, tid, "barrier_wait",
+                 {{"rounds_skipped", static_cast<double>(rounds_skipped_)}});
+  }
 }
 
 }  // namespace pmsb::fabric

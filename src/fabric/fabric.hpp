@@ -36,8 +36,14 @@
 #include "fabric/bridge.hpp"
 #include "fabric/channel.hpp"
 #include "net/topology.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
+#include "stats/hdr_histogram.hpp"
+
+namespace pmsb::obs {
+class PerfettoTrace;
+}
 
 namespace pmsb::fabric {
 
@@ -68,9 +74,30 @@ struct FabricConfig {
   /// Null (default) = all nodes cycle-accurate. Must be a pure function of
   /// the node index (determinism).
   std::function<bool(unsigned node)> fast_node;
+  /// Attach a per-node obs::FlightRecorder (per-stage latency breakdown;
+  /// merged across nodes via Fabric::merged_flight()). Event counting is the
+  /// only added per-cell cost; off by default.
+  bool flight_recorder = false;
+  /// Cells whose head arrived before this cycle are excluded from the
+  /// flight recorders.
+  Cycle flight_warmup = 0;
 
   ConfigValidation check() const;
   void validate() const;
+};
+
+/// Wall-clock accounting for one worker/shard of the last run()s. Telemetry
+/// is timing-derived, so it belongs in the BENCH JSON "runtime" block only
+/// (the determinism diffs strip it); rounds and cells_relayed are
+/// deterministic per shard *given* a thread count, but the shard partition
+/// itself changes with PMSB_THREADS.
+struct ShardTelemetry {
+  unsigned shard = 0;
+  unsigned nodes = 0;                 ///< Nodes owned by this shard.
+  std::uint64_t active_ns = 0;        ///< Wall time inside Engine::run.
+  std::uint64_t barrier_wait_ns = 0;  ///< Wall time parked at the round barrier.
+  std::uint64_t rounds = 0;           ///< Rounds stepped (skipped rounds excluded).
+  std::uint64_t cells_relayed = 0;    ///< Transit cells relayed by this shard's bridges.
 };
 
 /// Aggregated end-of-run accounting, merged over nodes in index order.
@@ -88,6 +115,9 @@ struct FabricStats {
   double mean_latency = 0;       ///< Injection -> ejection, delivered cells.
   Cycle min_latency = 0;
   Cycle max_latency = 0;
+  /// Full latency distribution (merged per-node HDR histograms, node order):
+  /// exact p50/p90/p99/p99.9 at any thread count.
+  HdrHistogram latency;
 
   struct HopRow {
     unsigned hops;
@@ -135,6 +165,22 @@ class Fabric {
   /// Deterministic aggregate accounting (identical at any thread count).
   FabricStats stats() const;
 
+  /// Per-node flight recorder (null unless FabricConfig::flight_recorder).
+  const obs::FlightRecorder* node_flight(unsigned i) const {
+    return nodes_[i]->flight.get();
+  }
+  /// All nodes' recorders folded in node order -- deterministic at any
+  /// thread count. Requires FabricConfig::flight_recorder.
+  obs::FlightRecorder merged_flight() const;
+
+  /// Wall-clock telemetry of the run so far, one entry per shard.
+  std::vector<ShardTelemetry> shard_telemetry() const;
+  /// Rounds the quiescence planner jumped over (0 with idle skipping off).
+  std::uint64_t rounds_skipped() const { return rounds_skipped_; }
+  /// Render shard telemetry as Perfetto worker tracks (one track per shard,
+  /// active / barrier-wait slices in wall-clock microseconds).
+  void telemetry_to_perfetto(obs::PerfettoTrace& out) const;
+
  private:
   struct Node {
     std::unique_ptr<PipelinedSwitch> sw;  ///< Exactly one of sw / fast is set.
@@ -148,6 +194,8 @@ class Fabric {
     /// Structural checking per node under PMSB_CHECK (coexists with the
     /// drop subscription on the same hub).
     std::unique_ptr<check::InvariantChecker> checker;
+    /// Per-stage latency breakdown (FabricConfig::flight_recorder).
+    std::unique_ptr<obs::FlightRecorder> flight;
   };
 
   struct Shard {
@@ -155,6 +203,11 @@ class Fabric {
     std::vector<unsigned> node_ids;
     std::vector<std::unique_ptr<PortBridge>> bridges;
     std::vector<std::unique_ptr<TxTap>> taps;
+    // Telemetry, written only by the thread running this shard (the pool's
+    // wait_idle orders the writes before the main thread reads them).
+    std::uint64_t active_ns = 0;
+    std::uint64_t barrier_wait_ns = 0;
+    std::uint64_t rounds = 0;
   };
 
   void build();
@@ -183,6 +236,7 @@ class Fabric {
   Cycle cycles_run_ = 0;
   Cycle run_target_ = 0;
   bool idle_skip_on_ = true;  ///< Resolved from FabricConfig::idle_skip.
+  std::uint64_t rounds_skipped_ = 0;  ///< Written inside the barrier completion.
 };
 
 }  // namespace pmsb::fabric

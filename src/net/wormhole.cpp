@@ -5,7 +5,7 @@ namespace pmsb::net {
 // opposite(Port) now comes from net/topology.hpp.
 
 WormholeNetwork::WormholeNetwork(const WormholeConfig& cfg)
-    : cfg_(cfg), rng_(cfg.seed), latency_(0, 1 << 16) {
+    : cfg_(cfg), rng_(cfg.seed), latency_(0) {
   PMSB_CHECK(cfg.message_flits >= 1, "messages need at least one flit");
   PMSB_CHECK(cfg.injection_rate > 0.0 && cfg.injection_rate <= 1.0,
              "injection rate must be in (0, 1]");

@@ -1,0 +1,34 @@
+#include "obs/build_info.hpp"
+
+// PMSB_GIT_SHA and PMSB_CXX_FLAGS are per-file compile definitions set in
+// src/CMakeLists.txt (only this translation unit rebuilds when they change).
+
+namespace pmsb::obs {
+
+const char* build_compiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_flags() {
+#ifdef PMSB_CXX_FLAGS
+  return PMSB_CXX_FLAGS;
+#else
+  return "";
+#endif
+}
+
+const char* build_git_sha() {
+#ifdef PMSB_GIT_SHA
+  return PMSB_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace pmsb::obs

@@ -1,0 +1,22 @@
+// Build provenance baked in at compile time, emitted under the BENCH JSON
+// "runtime" block so every artifact records which toolchain, flags, and
+// commit produced it. Runtime-only by design: provenance varies between
+// checkouts and build trees, and the determinism diffs
+// (tools/diff_bench_json.py) strip "runtime".
+
+#pragma once
+
+namespace pmsb::obs {
+
+/// Compiler family and version, e.g. "gcc 13.2.0".
+const char* build_compiler();
+
+/// The CMAKE_CXX_FLAGS (+ build-type flags) this library was compiled with;
+/// empty if CMake did not pass them through.
+const char* build_flags();
+
+/// Short git commit hash of the source tree at configure time, or "unknown"
+/// outside a git checkout.
+const char* build_git_sha();
+
+}  // namespace pmsb::obs

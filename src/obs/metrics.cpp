@@ -20,10 +20,28 @@ void MetricsRegistry::add_gauge(const std::string& name, std::function<double()>
 Histogram* MetricsRegistry::histogram(const std::string& name, std::size_t max_value) {
   if (!enabled_) return nullptr;
   for (auto& e : hists_) {
-    if (e.name == name) return e.hist.get();
+    if (e.name == name) {
+      PMSB_CHECK(e.max_value == max_value,
+                 "histogram re-requested with a different max_value");
+      return e.hist.get();
+    }
   }
-  hists_.push_back(HistEntry{name, std::make_unique<Histogram>(max_value)});
+  hists_.push_back(HistEntry{name, max_value, std::make_unique<Histogram>(max_value)});
   return hists_.back().hist.get();
+}
+
+HdrHistogram* MetricsRegistry::hdr_histogram(const std::string& name,
+                                             unsigned precision_bits) {
+  if (!enabled_) return nullptr;
+  for (auto& e : hdr_hists_) {
+    if (e.name == name) {
+      PMSB_CHECK(e.hist->precision_bits() == precision_bits,
+                 "hdr_histogram re-requested with a different precision");
+      return e.hist.get();
+    }
+  }
+  hdr_hists_.push_back(HdrEntry{name, std::make_unique<HdrHistogram>(precision_bits)});
+  return hdr_hists_.back().hist.get();
 }
 
 void MetricsRegistry::sample(Cycle t) {
@@ -43,12 +61,32 @@ void MetricsRegistry::sample(Cycle t) {
   }
   last_sample_ = t;
   ++samples_taken_;
+  for (auto& h : hooks_) h.fn(t);
+}
+
+std::uint64_t MetricsRegistry::add_sample_hook(std::function<void(Cycle)> fn) {
+  if (!enabled_) return 0;
+  PMSB_CHECK(fn != nullptr, "sample hook needs a callback");
+  const std::uint64_t id = next_hook_id_++;
+  hooks_.push_back(HookEntry{id, std::move(fn)});
+  return id;
+}
+
+void MetricsRegistry::remove_sample_hook(std::uint64_t id) {
+  if (id == 0) return;
+  for (std::size_t i = 0; i < hooks_.size(); ++i) {
+    if (hooks_[i].id == id) {
+      hooks_.erase(hooks_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
 }
 
 void MetricsRegistry::reset() {
   for (auto& e : counters_) e.counter->reset();
   for (auto& g : gauges_) g.stats = GaugeStats{};
   for (auto& e : hists_) e.hist->clear();
+  for (auto& e : hdr_hists_) e.hist->clear();
   samples_taken_ = 0;
   last_sample_ = 0;
 }
@@ -74,6 +112,13 @@ const Histogram* MetricsRegistry::find_histogram(const std::string& name) const 
   return nullptr;
 }
 
+const HdrHistogram* MetricsRegistry::find_hdr_histogram(const std::string& name) const {
+  for (const auto& e : hdr_hists_) {
+    if (e.name == name) return e.hist.get();
+  }
+  return nullptr;
+}
+
 std::vector<MetricsRegistry::CounterView> MetricsRegistry::counters() const {
   std::vector<CounterView> out;
   out.reserve(counters_.size());
@@ -92,6 +137,13 @@ std::vector<MetricsRegistry::HistogramView> MetricsRegistry::histograms() const 
   std::vector<HistogramView> out;
   out.reserve(hists_.size());
   for (const auto& e : hists_) out.push_back({e.name, e.hist.get()});
+  return out;
+}
+
+std::vector<MetricsRegistry::HdrHistogramView> MetricsRegistry::hdr_histograms() const {
+  std::vector<HdrHistogramView> out;
+  out.reserve(hdr_hists_.size());
+  for (const auto& e : hdr_hists_) out.push_back({e.name, e.hist.get()});
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/util.hpp"
+#include "stats/hdr_histogram.hpp"
 #include "stats/histogram.hpp"
 
 namespace pmsb::obs {
@@ -69,11 +70,26 @@ class MetricsRegistry {
   void add_gauge(const std::string& name, std::function<double()> fn);
 
   /// Create-or-get a histogram (values clamped to [0, max_value]).
-  /// Returns nullptr when disabled.
+  /// Returns nullptr when disabled. Re-requesting an existing name with a
+  /// different max_value is a PMSB_CHECK failure -- the caller would get a
+  /// histogram with a different clamp than it asked for.
   Histogram* histogram(const std::string& name, std::size_t max_value);
 
+  /// Create-or-get a constant-memory log-bucketed histogram for unbounded
+  /// (latency-like) values. Returns nullptr when disabled. Re-requesting an
+  /// existing name with a different precision is a PMSB_CHECK failure.
+  HdrHistogram* hdr_histogram(const std::string& name,
+                              unsigned precision_bits = HdrHistogram::kDefaultPrecisionBits);
+
   /// Pull every gauge once. The Engine calls this on its sampling period.
+  /// Sample hooks (e.g. the TimeSeriesSampler) fire after gauges update, so
+  /// a hook observes the freshly pulled values.
   void sample(Cycle t);
+
+  /// Register a callback invoked at the end of every sample(). Returns an
+  /// id for remove_sample_hook(); returns 0 (no-op) when disabled.
+  std::uint64_t add_sample_hook(std::function<void(Cycle)> fn);
+  void remove_sample_hook(std::uint64_t id);
 
   Cycle last_sample_cycle() const { return last_sample_; }
   std::uint64_t samples_taken() const { return samples_taken_; }
@@ -87,6 +103,17 @@ class MetricsRegistry {
   const Counter* find_counter(const std::string& name) const;
   const GaugeStats* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+  const HdrHistogram* find_hdr_histogram(const std::string& name) const;
+
+  // Index-based access in registration order: lets per-sample consumers
+  // (TimeSeriesSampler) read values without building name-copying views.
+  std::size_t counter_count() const { return counters_.size(); }
+  const std::string& counter_name(std::size_t i) const { return counters_[i].name; }
+  std::uint64_t counter_value(std::size_t i) const { return counters_[i].counter->value(); }
+  std::size_t gauge_count() const { return gauges_.size(); }
+  const std::string& gauge_name(std::size_t i) const { return gauges_[i].name; }
+  /// Value pulled by the most recent sample() (0.0 before the first).
+  double gauge_last(std::size_t i) const { return gauges_[i].stats.last; }
 
   struct CounterView {
     std::string name;
@@ -100,10 +127,15 @@ class MetricsRegistry {
     std::string name;
     const Histogram* hist;
   };
+  struct HdrHistogramView {
+    std::string name;
+    const HdrHistogram* hist;
+  };
 
   std::vector<CounterView> counters() const;
   std::vector<GaugeView> gauges() const;
   std::vector<HistogramView> histograms() const;
+  std::vector<HdrHistogramView> hdr_histograms() const;
 
  private:
   struct GaugeEntry {
@@ -117,13 +149,25 @@ class MetricsRegistry {
   };
   struct HistEntry {
     std::string name;
+    std::size_t max_value;  ///< Remembered to reject mismatched re-requests.
     std::unique_ptr<Histogram> hist;
+  };
+  struct HdrEntry {
+    std::string name;
+    std::unique_ptr<HdrHistogram> hist;
+  };
+  struct HookEntry {
+    std::uint64_t id;
+    std::function<void(Cycle)> fn;
   };
 
   bool enabled_;
   std::vector<CounterEntry> counters_;
   std::vector<GaugeEntry> gauges_;
   std::vector<HistEntry> hists_;
+  std::vector<HdrEntry> hdr_hists_;
+  std::vector<HookEntry> hooks_;
+  std::uint64_t next_hook_id_ = 1;
   Cycle last_sample_ = 0;
   std::uint64_t samples_taken_ = 0;
 };

@@ -1,0 +1,98 @@
+#include "obs/perfetto.hpp"
+
+#include <cstdio>
+
+#include "obs/json_writer.hpp"
+
+namespace pmsb::obs {
+
+void PerfettoTrace::set_track_name(unsigned tid, const std::string& name, unsigned pid) {
+  Event e;
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = "thread_name";
+  e.string_arg = name;
+  events_.push_back(std::move(e));
+}
+
+void PerfettoTrace::counter(std::int64_t ts, unsigned tid, const std::string& name,
+                            const std::vector<std::pair<std::string, double>>& series,
+                            unsigned pid) {
+  Event e;
+  e.ph = 'C';
+  e.ts = ts;
+  e.pid = pid;
+  e.tid = tid;
+  e.name = name;
+  e.args = series;
+  events_.push_back(std::move(e));
+}
+
+void PerfettoTrace::complete(std::int64_t ts, std::int64_t dur, unsigned tid,
+                             const std::string& name,
+                             const std::vector<std::pair<std::string, double>>& args,
+                             unsigned pid) {
+  PMSB_CHECK(dur >= 0, "complete event with negative duration");
+  Event e;
+  e.ph = 'X';
+  e.ts = ts;
+  e.dur = dur;
+  e.pid = pid;
+  e.tid = tid;
+  e.name = name;
+  e.args = args;
+  events_.push_back(std::move(e));
+}
+
+void PerfettoTrace::instant(std::int64_t ts, unsigned tid, const std::string& name,
+                            unsigned pid) {
+  Event e;
+  e.ph = 'i';
+  e.ts = ts;
+  e.pid = pid;
+  e.tid = tid;
+  e.name = name;
+  events_.push_back(std::move(e));
+}
+
+std::string PerfettoTrace::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const auto& e : events_) {
+    w.begin_object();
+    w.field("ph", std::string_view(&e.ph, 1));
+    w.field("pid", e.pid);
+    w.field("tid", e.tid);
+    w.field("name", std::string_view(e.name));
+    if (e.ph == 'M') {
+      w.key("args").begin_object().field("name", std::string_view(e.string_arg)).end_object();
+    } else {
+      w.field("ts", std::int64_t{e.ts});
+      if (e.ph == 'X') w.field("dur", std::int64_t{e.dur});
+      if (e.ph == 'i') w.field("s", "t");
+      if (!e.args.empty()) {
+        w.key("args").begin_object();
+        for (const auto& [k, v] : e.args) w.field(std::string_view(k), v);
+        w.end_object();
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+void PerfettoTrace::write(const std::string& path) const {
+  const std::string doc = json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  PMSB_CHECK(f != nullptr, "cannot open trace output file");
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = (n == doc.size()) && (std::fclose(f) == 0);
+  PMSB_CHECK(ok, "short write on trace output file");
+}
+
+}  // namespace pmsb::obs

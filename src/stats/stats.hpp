@@ -8,7 +8,7 @@
 #include <string>
 
 #include "common/util.hpp"
-#include "stats/histogram.hpp"
+#include "stats/hdr_histogram.hpp"
 
 namespace pmsb {
 
@@ -31,11 +31,15 @@ class RunningStats {
 
 /// Latency statistics with a warmup horizon: samples with an injection time
 /// before `warmup_until` are discarded so transients do not pollute
-/// steady-state measurements.
+/// steady-state measurements. Backed by a constant-memory HdrHistogram, so
+/// tails are never clamped: p50/p90/p99/p99.9 are exact below
+/// 2^precision_bits cycles and within 2^-precision_bits relative error
+/// above, regardless of how long the run gets.
 class LatencyStats {
  public:
-  explicit LatencyStats(Cycle warmup_until = 0, std::size_t hist_max = 4096)
-      : warmup_until_(warmup_until), hist_(hist_max) {}
+  explicit LatencyStats(Cycle warmup_until = 0,
+                        unsigned precision_bits = HdrHistogram::kDefaultPrecisionBits)
+      : warmup_until_(warmup_until), hist_(precision_bits) {}
 
   void set_warmup(Cycle until) { warmup_until_ = until; }
 
@@ -44,15 +48,21 @@ class LatencyStats {
 
   std::uint64_t samples() const { return hist_.samples(); }
   double mean() const { return hist_.mean(); }
-  std::uint64_t p50() const { return hist_.percentile(0.50); }
-  std::uint64_t p99() const { return hist_.percentile(0.99); }
+  std::uint64_t p50() const { return hist_.p50(); }
+  std::uint64_t p90() const { return hist_.p90(); }
+  std::uint64_t p99() const { return hist_.p99(); }
+  std::uint64_t p999() const { return hist_.p999(); }
   std::uint64_t min() const { return hist_.min(); }
   std::uint64_t max() const { return hist_.max(); }
-  const Histogram& histogram() const { return hist_; }
+  const HdrHistogram& histogram() const { return hist_; }
+
+  /// Fold another tracker's samples in (warmup filtering already applied by
+  /// the donor); precisions must match.
+  void merge(const LatencyStats& other) { hist_.merge(other.hist_); }
 
  private:
   Cycle warmup_until_;
-  Histogram hist_;
+  HdrHistogram hist_;
 };
 
 /// Offered / carried / lost accounting for one run.

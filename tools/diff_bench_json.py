@@ -32,6 +32,11 @@ import tempfile
 from pathlib import Path
 
 REQUIRED_KEYS = {"bench", "schema_version", "metrics", "runtime", "tables"}
+# Schema v2 additions a bench may carry but need not. "timeseries" (registry
+# counter/gauge samples on the metric grid) is INSIDE the diffed surface:
+# the sampling cadence is replayed identically at every thread count and
+# across idle skipping, so its rows must match bit for bit.
+OPTIONAL_KEYS = {"timeseries"}
 
 
 def check_schema(path: Path, doc) -> bool:
@@ -43,7 +48,7 @@ def check_schema(path: Path, doc) -> bool:
     for missing in sorted(REQUIRED_KEYS - keys):
         print(f"MALFORMED {path.name}: missing top-level key {missing!r}")
         ok = False
-    for extra in sorted(keys - REQUIRED_KEYS):
+    for extra in sorted(keys - REQUIRED_KEYS - OPTIONAL_KEYS):
         print(f"MALFORMED {path.name}: unexpected top-level key {extra!r}")
         ok = False
     if "runtime" in doc and not isinstance(doc["runtime"], dict):
@@ -97,9 +102,14 @@ def self_test() -> int:
     pair of artifact directories and asserts the expected verdict."""
     base = {
         "bench": "t",
-        "schema_version": 1,
-        "metrics": {"throughput": 1.0},
-        "runtime": {"wall_seconds": 0.5},
+        "schema_version": 2,
+        "metrics": {"throughput": 1.0, "p99_latency": 475.0},
+        "runtime": {
+            "wall_seconds": 0.5,
+            "compiler": "gcc 13",
+            "flags": "-O2",
+            "git_sha": "deadbeef",
+        },
         "tables": [],
     }
 
@@ -111,13 +121,30 @@ def self_test() -> int:
     nested_a = variant(tables=[{"title": "x", "runtime": {"wall": 1}, "rows": []}])
     nested_b = variant(tables=[{"title": "x", "runtime": {"wall": 2}, "rows": []}])
     no_runtime = {k: v for k, v in base.items() if k != "runtime"}
+    ts = {
+        "counter_columns": ["switch.cells_out"],
+        "gauge_columns": ["buffer.occupancy"],
+        "dropped": 0,
+        "rows": [[128, 7, 3.0]],
+    }
+    ts_other = json.loads(json.dumps(ts))
+    ts_other["rows"] = [[128, 8, 3.0]]
+    provenance_b = variant(
+        runtime={"wall_seconds": 0.5, "compiler": "clang 17", "flags": "-O3",
+                 "git_sha": "cafebabe"})
 
     cases = [
         # (name, doc_a, doc_b, expected exit status)
         ("identical", base, base, 0),
         ("runtime-only difference", base, variant(runtime={"wall_seconds": 9.0}), 0),
         ("nested runtime difference", nested_a, nested_b, 0),
+        # Build provenance lives in runtime: differing toolchains must not
+        # fail a determinism diff.
+        ("provenance-only difference", base, provenance_b, 0),
         ("metrics difference", base, variant(metrics={"throughput": 2.0}), 1),
+        # "timeseries" is optional but diffed when present.
+        ("identical timeseries", variant(timeseries=ts), variant(timeseries=ts), 0),
+        ("timeseries difference", variant(timeseries=ts), variant(timeseries=ts_other), 1),
         ("missing runtime block", no_runtime, no_runtime, 1),
         ("non-object runtime block", variant(runtime=3.0), variant(runtime=3.0), 1),
         ("unexpected extra key", variant(extra=1), variant(extra=1), 1),

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate Chrome/Perfetto trace-event JSON files (TRACE_*.json).
+
+The benches export registry time series and fabric shard telemetry as
+trace-event JSON (DESIGN.md "Observability v2"). chrome://tracing and
+Perfetto are forgiving loaders, so a malformed trace often "loads" as an
+empty timeline instead of failing -- this script is the strict check CI
+runs on every emitted trace:
+
+  * the file parses as JSON and has a non-empty "traceEvents" list;
+  * every event carries "ph", "pid", "tid" and "name";
+  * every non-metadata event (ph != 'M') has a numeric "ts" >= 0, and
+    timestamps are monotonically non-decreasing per (pid, tid) track;
+  * complete events (ph == 'X') have a numeric "dur" >= 0.
+
+Usage: validate_perfetto.py TRACE.json [TRACE.json ...]
+Exit status: 0 when every file is valid, 1 otherwise.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def validate(path: Path) -> list:
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable or invalid JSON: {e}"]
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["missing 'traceEvents' list"]
+    events = doc["traceEvents"]
+    if not events:
+        return ["'traceEvents' is empty"]
+
+    last_ts = {}  # (pid, tid) -> most recent timestamp
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                errors.append(f"event {i}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph == "M":
+            continue  # Metadata events carry no timestamp.
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"event {i} ({ev.get('name')}): bad ts {ts!r}")
+            continue
+        track = (ev.get("pid"), ev.get("tid"))
+        if track in last_ts and ts < last_ts[track]:
+            errors.append(
+                f"event {i} ({ev.get('name')}): ts {ts} goes backwards on "
+                f"track pid={track[0]} tid={track[1]} (previous {last_ts[track]})")
+        last_ts[track] = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                errors.append(f"event {i} ({ev.get('name')}): bad dur {dur!r}")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(f"usage: {sys.argv[0]} TRACE.json [TRACE.json ...]", file=sys.stderr)
+        return 2
+    failed = False
+    for arg in sys.argv[1:]:
+        path = Path(arg)
+        errors = validate(path)
+        if errors:
+            failed = True
+            print(f"INVALID  {path.name}")
+            for e in errors[:20]:
+                print(f"  {e}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            doc = json.loads(path.read_text())
+            n = len(doc["traceEvents"])
+            tracks = {(e.get("pid"), e.get("tid")) for e in doc["traceEvents"]}
+            print(f"ok       {path.name} ({n} events, {len(tracks)} tracks)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
