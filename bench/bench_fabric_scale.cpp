@@ -67,6 +67,40 @@ FlightP99 flight_p99_of(const obs::FlightRecorder& fr) {
   return out;
 }
 
+// Fill a runtime.<name> block from the fabric's scheduling-layer telemetry:
+// engine, steal/rebalance totals, per-worker wall-clock slices, and per-task
+// stall composition. All timing-derived -> runtime object only.
+void scheduler_block(BenchJson& bj, const std::string& name, const fabric::Fabric& fab) {
+  const fabric::FabricSchedulerStats s = fab.scheduler_stats();
+  BenchJson::RuntimeBlock& b = bj.runtime_block(name);
+  b.set("engine", std::string(s.engine));
+  b.set("workers", static_cast<double>(s.workers));
+  b.set("tasks", static_cast<double>(s.tasks));
+  b.set("steals", static_cast<double>(s.steals));
+  b.set("rebalance_splits", static_cast<double>(s.splits));
+  b.set("rebalance_merges", static_cast<double>(s.merges));
+  b.set_list("rebalance_log", s.rebalance_log);
+  std::vector<BenchJson::RuntimeBlock::ObjectRow> workers;
+  for (const auto& w : s.per_worker) {
+    workers.push_back({{"active_ms", static_cast<double>(w.active_ns) / 1e6},
+                       {"idle_ms", static_cast<double>(w.idle_ns) / 1e6},
+                       {"steals", static_cast<double>(w.steals)},
+                       {"slices", static_cast<double>(w.slices)}});
+  }
+  b.set_objects("per_worker", std::move(workers));
+  std::vector<BenchJson::RuntimeBlock::ObjectRow> tasks;
+  for (const fabric::ShardTelemetry& t : fab.shard_telemetry()) {
+    tasks.push_back({{"nodes", static_cast<double>(t.nodes)},
+                     {"active_ms", static_cast<double>(t.active_ns) / 1e6},
+                     {"barrier_wait_ms", static_cast<double>(t.barrier_wait_ns) / 1e6},
+                     {"blocked_on_empty_ms", static_cast<double>(t.blocked_on_empty_ns) / 1e6},
+                     {"blocked_on_full_ms", static_cast<double>(t.blocked_on_full_ns) / 1e6},
+                     {"steals", static_cast<double>(t.steals)},
+                     {"chunks", static_cast<double>(t.rounds)}});
+  }
+  b.set_objects("per_task", std::move(tasks));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,8 +266,11 @@ int main(int argc, char** argv) {
         }
         ctx.json.runtime_metric("rounds_skipped",
                                 static_cast<double>(big.rounds_skipped()));
-        std::printf("\nShard telemetry for the instrumented %s run (wall clock; "
-                    "runtime object only):\n\n", topos.back().describe().c_str());
+        scheduler_block(ctx.json, "scheduler", big);
+        std::printf("\nShard telemetry for the instrumented %s run (engine: %s; "
+                    "wall clock; runtime object only):\n\n",
+                    topos.back().describe().c_str(),
+                    fabric::to_string(big.engine()));
         shard_t.print();
 
         {
@@ -338,9 +375,104 @@ int main(int argc, char** argv) {
           ctx.json.metric("mixed mean latency", a.mean_latency);
         }
 
+        // --- Imbalanced load: barrier vs dataflow -----------------------
+        // An 8x8 torus where only the top-left 4x4 quadrant runs the
+        // cycle-accurate switch (the rest use the fast model) is the
+        // barrier engine's worst case: every round, 3/4 of the fabric waits
+        // for the expensive quadrant. The dataflow engine lets cheap nodes
+        // run ahead up to the channel credit and steals the hot tasks
+        // across workers, so it should win wall-clock -- while every
+        // published stat stays bit-identical across engines AND thread
+        // counts (the bench FAILS otherwise; CI also asserts the speedup).
+        {
+          const net::Topology topo{net::TopologyKind::kTorus2D, 8, 8};
+          const Cycle hot_cycles = 4000;
+          auto hot_cfg = [&](fabric::FabricEngine engine, unsigned threads) {
+            fabric::FabricConfig cfg = make_config(topo, ctx.seed, threads);
+            cfg.flight_recorder = false;
+            cfg.engine = engine;
+            // Hot quadrant: x < 4 && y < 4 cycle-accurate, the rest fast.
+            cfg.fast_node = [](unsigned node) {
+              return !(node % 8 < 4 && node / 8 < 4);
+            };
+            return cfg;
+          };
+          struct HotRun {
+            const char* label;
+            fabric::FabricEngine engine;
+            unsigned threads;
+            double wall_seconds = 0;
+            fabric::FabricStats stats;
+          };
+          std::vector<HotRun> hot_runs = {
+              {"barrier t1", fabric::FabricEngine::kBarrier, 1},
+              {"barrier t4", fabric::FabricEngine::kBarrier, 4},
+              {"dataflow t4", fabric::FabricEngine::kDataflow, 4},
+          };
+          Table hot_t({"run", "wall s", "delivered", "digest", "blocked/wait ms"});
+          double wall_barrier4 = 0, wall_dataflow4 = 0;
+          for (HotRun& r : hot_runs) {
+            fabric::Fabric fab(hot_cfg(r.engine, r.threads));
+            const exp::WallTimer timer;
+            fab.run(hot_cycles);
+            r.wall_seconds = timer.seconds();
+            r.stats = fab.stats();
+            add_simulated_units(static_cast<std::uint64_t>(hot_cycles) * topo.nodes());
+            double stall_ms = 0;
+            for (const fabric::ShardTelemetry& sh : fab.shard_telemetry())
+              stall_ms += static_cast<double>(sh.barrier_wait_ns + sh.blocked_on_empty_ns +
+                                              sh.blocked_on_full_ns) /
+                          1e6;
+            char digest[20];
+            std::snprintf(digest, sizeof digest, "%016llx",
+                          static_cast<unsigned long long>(r.stats.uid_digest));
+            hot_t.add_row({r.label, Table::num(r.wall_seconds, 3),
+                           Table::integer(static_cast<long long>(r.stats.delivered)),
+                           digest, Table::num(stall_ms, 1)});
+            const std::string tag = std::string("hotspot ") + r.label;
+            ctx.json.runtime_metric(tag + " wall_s", r.wall_seconds);
+            ctx.json.runtime_metric(tag + " stall_ms", stall_ms);
+            if (r.engine == fabric::FabricEngine::kBarrier && r.threads == 4) {
+              wall_barrier4 = r.wall_seconds;
+              scheduler_block(ctx.json, "scheduler_barrier", fab);
+            }
+            if (r.engine == fabric::FabricEngine::kDataflow && r.threads == 4) {
+              wall_dataflow4 = r.wall_seconds;
+              scheduler_block(ctx.json, "scheduler_dataflow", fab);
+            }
+          }
+          const fabric::FabricStats& ref = hot_runs.front().stats;
+          for (const HotRun& r : hot_runs) {
+            if (r.stats.uid_digest != ref.uid_digest || r.stats.delivered != ref.delivered ||
+                r.stats.dropped() != ref.dropped() ||
+                r.stats.mean_latency != ref.mean_latency ||
+                r.stats.latency.p999() != ref.latency.p999()) {
+              std::fprintf(stderr,
+                           "FAIL: hotspot fabric diverged on %s "
+                           "(digest %016llx vs %016llx)\n",
+                           r.label, static_cast<unsigned long long>(r.stats.uid_digest),
+                           static_cast<unsigned long long>(ref.uid_digest));
+              deterministic = false;
+            }
+          }
+          const double ratio =
+              wall_dataflow4 > 0 ? wall_barrier4 / wall_dataflow4 : 0.0;
+          ctx.json.runtime_metric("hotspot dataflow_vs_barrier_speedup", ratio);
+          std::printf("\nImbalanced load (%s, hot 4x4 quadrant cycle-accurate, rest "
+                      "fast):\n\n", topo.describe().c_str());
+          hot_t.print();
+          std::printf("\nDataflow vs barrier at 4 threads: %.2fx "
+                      "(timing-dependent; CI asserts >= 1.5x on real cores)\n", ratio);
+          ctx.json.metric("hotspot delivered", static_cast<double>(ref.delivered));
+          ctx.json.metric("hotspot dropped", static_cast<double>(ref.dropped()));
+          ctx.json.metric("hotspot mean latency", ref.mean_latency);
+          ctx.json.metric("hotspot p999 latency",
+                          static_cast<double>(ref.latency.p999()));
+        }
+
         if (!deterministic) return 1;
         std::printf("\nDeterminism: delivered-cell digests identical across "
-                    "{1, 2, 4} threads on every topology.\n");
+                    "{1, 2, 4} threads, both engines, on every topology.\n");
         return 0;
       });
 }

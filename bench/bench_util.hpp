@@ -269,6 +269,58 @@ class BenchJson {
     runtime_extra_.emplace_back(key, v);
   }
 
+  /// One nested object inside "runtime" (e.g. runtime.scheduler). Same
+  /// exclusion from determinism diffs as runtime_metric; holds scalars,
+  /// strings, string lists, and lists of flat objects (per-worker rows),
+  /// emitted in insertion order.
+  struct RuntimeBlock {
+    using ObjectRow = std::vector<std::pair<std::string, double>>;
+
+    void set(const std::string& key, double v) { numbers_.emplace_back(key, v); }
+    void set(const std::string& key, std::string v) {
+      strings_.emplace_back(key, std::move(v));
+    }
+    void set_list(const std::string& key, std::vector<std::string> values) {
+      string_lists_.emplace_back(key, std::move(values));
+    }
+    void set_objects(const std::string& key, std::vector<ObjectRow> rows) {
+      object_lists_.emplace_back(key, std::move(rows));
+    }
+
+    void emit(obs::JsonWriter& w) const {
+      for (const auto& s : strings_) w.field(s.first, s.second);
+      for (const auto& n : numbers_) w.field(n.first, n.second);
+      for (const auto& l : string_lists_) {
+        w.key(l.first).begin_array();
+        for (const auto& v : l.second) w.value(v);
+        w.end_array();
+      }
+      for (const auto& o : object_lists_) {
+        w.key(o.first).begin_array();
+        for (const ObjectRow& row : o.second) {
+          w.begin_object();
+          for (const auto& f : row) w.field(f.first, f.second);
+          w.end_object();
+        }
+        w.end_array();
+      }
+    }
+
+   private:
+    std::vector<std::pair<std::string, double>> numbers_;
+    std::vector<std::pair<std::string, std::string>> strings_;
+    std::vector<std::pair<std::string, std::vector<std::string>>> string_lists_;
+    std::vector<std::pair<std::string, std::vector<ObjectRow>>> object_lists_;
+  };
+
+  /// Get-or-create the named nested runtime object ("runtime.<name>").
+  RuntimeBlock& runtime_block(const std::string& name) {
+    for (auto& b : runtime_blocks_)
+      if (b.first == name) return b.second;
+    runtime_blocks_.emplace_back(name, RuntimeBlock{});
+    return runtime_blocks_.back().second;
+  }
+
   /// Convenience: stamp the runtime block from a bench's top-level timer,
   /// the process-wide simulated-unit counter, and the resolved sweep width.
   void finish_runtime(const exp::WallTimer& timer) {
@@ -295,6 +347,11 @@ class BenchJson {
     w.field("flags", obs::build_flags());
     w.field("git_sha", obs::build_git_sha());
     for (const auto& m : runtime_extra_) w.field(m.first, m.second);
+    for (const auto& [bname, block] : runtime_blocks_) {
+      w.key(bname).begin_object();
+      block.emit(w);
+      w.end_object();
+    }
     w.end_object();
     w.key("tables").begin_array();
     for (const auto& [title, t] : tables_) {
@@ -398,6 +455,7 @@ class BenchJson {
   std::uint64_t units_ = 0;
   unsigned threads_ = 1;
   std::vector<std::pair<std::string, double>> runtime_extra_;
+  std::vector<std::pair<std::string, RuntimeBlock>> runtime_blocks_;
   obs::TimeSeriesSampler::Series timeseries_;
   bool have_timeseries_ = false;
 };

@@ -11,15 +11,28 @@
 // for t + 1 -- the same S + 1 total, with the bridge playing the role of the
 // last pipeline register.
 //
-// Race-freedom under the conservative round scheme (see src/fabric/): with
-// lookahead k <= S cycles between barriers, every slot the reader touches in
-// round r was written in round r-1 or earlier (t_read - S < r*k), and the
-// writer stays at least size - (k + S) > 0 slots away from the oldest
-// unread entry. Different threads therefore always address disjoint slots,
-// and the barrier provides the happens-before edge for visibility.
+// Two engines share this ring, with two different happens-before stories:
+//
+//  * Barrier engine (conservative rounds): with lookahead k <= S cycles
+//    between barriers, every slot the reader touches in round r was written
+//    in round r-1 or earlier (t_read - S < r*k), and the writer stays at
+//    least size - (k + S) > 0 slots away from the oldest unread entry.
+//    Different threads therefore always address disjoint slots, and the
+//    barrier provides the happens-before edge for visibility.
+//
+//  * Dataflow engine (credit backpressure): producer and consumer publish
+//    per-node progress counters (cycles fully executed). The consumer reads
+//    slot t - S only after observing producer_done > t - S, so the write
+//    happens-before the read through the counter. The producer writes slot
+//    t mod size only while t < consumer_done + capacity() - S (its write
+//    credit), so the aliased slot t - capacity() was read strictly in the
+//    consumer's past. Same disjointness, point-to-point edges instead of a
+//    global barrier. See src/fabric/fabric.cpp (dataflow engine) and
+//    DESIGN.md "Task-dataflow fabric" for the full argument.
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -42,11 +55,18 @@ class Channel {
 
   unsigned delay() const { return delay_; }
 
+  /// Ring slots. The dataflow engine's write credit is capacity() - delay()
+  /// cycles of producer lead over the consumer.
+  std::size_t capacity() const { return mask_ + 1; }
+
   /// Producer side (TxTap): record the upstream out-wire's value during
   /// cycle t. Exactly one writer, exactly once per producer cycle.
   void write(Cycle t, const Flit& f) {
     ring_[static_cast<std::size_t>(t) & mask_] = f;
-    if (f.valid) last_valid_ = t;
+    // Monotonic high-water mark of valid traffic. Relaxed is enough: every
+    // cross-thread read piggybacks on a stronger edge (the barrier, or the
+    // producer's progress counter) that already orders this store.
+    if (f.valid) last_valid_.store(t, std::memory_order_relaxed);
   }
 
   /// Consumer side (PortBridge): the word that entered the channel `delay`
@@ -58,8 +78,16 @@ class Channel {
 
   /// True when nothing is in flight at cycle T: every valid flit ever
   /// written was already delivered (read cycle last_valid_ + delay < T).
-  /// Part of the fabric's global quiescence predicate.
-  bool idle_at(Cycle t) const { return last_valid_ + static_cast<Cycle>(delay_) < t; }
+  /// Part of the fabric's global quiescence predicate (barrier engine) and
+  /// of the per-node skip predicate (dataflow engine).
+  bool idle_at(Cycle t) const {
+    return last_valid_.load(std::memory_order_relaxed) + static_cast<Cycle>(delay_) < t;
+  }
+
+  /// Cycle of the newest valid flit written (-1 before the first). Only
+  /// meaningful to a reader that has already synchronized with the
+  /// producer's progress (see idle_at / the dataflow skip predicate).
+  Cycle last_valid() const { return last_valid_.load(std::memory_order_relaxed); }
 
   /// Invalidate all ring slots after the fabric skipped idle rounds. While
   /// skipping, the producer's per-cycle write(t, invalid) calls do not
@@ -71,13 +99,27 @@ class Channel {
     for (Flit& f : ring_) f = Flit{};
   }
 
+  /// Dataflow-engine skip compensation: stand in for the producer's
+  /// suppressed write(t, invalid) calls for every cycle in [from, to).
+  /// Bounded by the ring size (a longer window laps the ring and would
+  /// rewrite the same slots). The caller holds write credit for the whole
+  /// window, so these stores target slots the consumer is provably past.
+  void clear_range(Cycle from, Cycle to) {
+    const Cycle window = to - from;
+    const std::size_t n = window >= static_cast<Cycle>(capacity())
+                              ? capacity()
+                              : static_cast<std::size_t>(window);
+    for (std::size_t i = 0; i < n; ++i)
+      ring_[static_cast<std::size_t>(from + static_cast<Cycle>(i)) & mask_] = Flit{};
+  }
+
  private:
   inline static const Flit kIdle{};
 
   unsigned delay_;
   std::size_t mask_;
   std::vector<Flit> ring_;
-  Cycle last_valid_ = -1;  ///< Cycle of the newest valid flit written.
+  std::atomic<Cycle> last_valid_{-1};  ///< Cycle of the newest valid flit written.
 };
 
 }  // namespace pmsb::fabric

@@ -2,15 +2,32 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/rng.hpp"
 #include "exp/sweep.hpp"
+#include "fabric/scheduler.hpp"
+#include "fabric/task.hpp"
 #include "obs/perfetto.hpp"
 #include "sim/barrier.hpp"
 
 namespace pmsb::fabric {
+
+FabricEngine fabric_engine_env_default() {
+  static const FabricEngine e = [] {
+    const char* v = std::getenv("PMSB_FABRIC_ENGINE");
+    if (v != nullptr && std::string(v) == "dataflow") return FabricEngine::kDataflow;
+    return FabricEngine::kBarrier;
+  }();
+  return e;
+}
+
+const char* to_string(FabricEngine e) {
+  return e == FabricEngine::kDataflow ? "dataflow" : "barrier";
+}
 
 ConfigValidation FabricConfig::check() const {
   ConfigValidation v = node.check();
@@ -39,6 +56,8 @@ ConfigValidation FabricConfig::check() const {
     issue(ConfigIssue::Code::kBadLinkStages, "inter-node links need >= 1 register stage");
   if (!(load >= 0.0) || load > 1.0)
     issue(ConfigIssue::Code::kBadLoad, "offered load must be in [0, 1]");
+  if (tasks_per_worker < 1)
+    issue(ConfigIssue::Code::kBadTopology, "tasks_per_worker must be >= 1");
   return v;
 }
 
@@ -46,6 +65,144 @@ void FabricConfig::validate() const {
   const ConfigValidation v = check();
   if (!v.ok()) throw std::invalid_argument(v.summary());
 }
+
+// ---------------------------------------------------------------------------
+// Dataflow engine internals.
+//
+// Correctness model (full argument in DESIGN.md "Task-dataflow fabric"):
+// every node publishes `done` -- the count of cycles it has fully executed.
+// Node X with upstream neighbors U and downstream neighbors Y may execute
+// cycle t when
+//
+//   t <  min_U(U.done) + D            (input bound: the channel slot X reads
+//                                      at t, written at t - D, exists once
+//                                      U.done > t - D)
+//   t <  min_Y(Y.done) + capacity - D (credit bound: X's write at t lands on
+//                                      the slot aliasing cycle t - capacity,
+//                                      which Y consumed strictly before its
+//                                      current cycle)
+//
+// Both loads are seq_cst and every `done` store is seq_cst, which (a) gives
+// the ring writes release/acquire visibility through the counter, replacing
+// the barrier's happens-before edge, and (b) pairs with the scheduler's
+// blocked/wake Dekker protocol (scheduler.hpp). The global minimum node is
+// always runnable (its bounds are strictly ahead of it), so the task graph
+// cannot deadlock.
+
+struct Fabric::Dataflow {
+  struct NodeRt {
+    Engine engine;  ///< This node's private two-phase kernel.
+    std::vector<std::unique_ptr<PortBridge>> bridges;
+    std::vector<std::unique_ptr<TxTap>> taps;
+    /// Cycles fully executed (== engine.now() between chunks). The only
+    /// cross-thread-written word of the node; everything else is owned by
+    /// whichever worker holds the node's task.
+    std::atomic<Cycle> done{0};
+    struct In {
+      unsigned node;  ///< Upstream neighbor.
+      Channel* ch;    ///< The ring it writes and this node reads.
+    };
+    std::vector<In> ins;
+    std::vector<unsigned> out_nodes;  ///< Downstream neighbors.
+    std::vector<Channel*> out_chs;
+    Cycle credit = 0;  ///< min over out_chs of capacity() - D.
+  };
+
+  class Task : public SchedTask {
+   public:
+    Fabric* fab = nullptr;
+    std::vector<unsigned> node_ids;
+    /// active_ns at the start of the current run (rebalance input).
+    std::uint64_t active_snapshot = 0;
+
+    Advance advance() override {
+      bool progressed = false;
+      bool any_blocked = false;
+      bool any_empty = false;
+      for (unsigned v : node_ids) {
+        switch (fab->df_advance_node(v)) {
+          case NodeAdvance::kStepped:
+            rounds.fetch_add(1, std::memory_order_relaxed);
+            progressed = true;
+            break;
+          case NodeAdvance::kSkipped: progressed = true; break;
+          case NodeAdvance::kInputBlocked:
+            any_blocked = true;
+            any_empty = true;
+            break;
+          case NodeAdvance::kCreditBlocked: any_blocked = true; break;
+          case NodeAdvance::kNodeDone: break;
+        }
+      }
+      if (progressed) return Advance::kProgress;
+      if (!any_blocked) return Advance::kFinished;
+      return any_empty ? Advance::kBlockedOnEmpty : Advance::kBlockedOnFull;
+    }
+
+    bool can_advance() const override {
+      for (unsigned v : node_ids)
+        if (fab->df_node_ready(v)) return true;
+      return false;
+    }
+  };
+
+  /// Accumulator for one in-flight round boundary's metric sample (see
+  /// df_contribute_sample). Reused round-robin: slot j serves boundaries
+  /// j, j + R, j + 2R, ... where R = frames.size().
+  struct FrameSlot {
+    std::atomic<Cycle> boundary{-1};  ///< Boundary index armed, -1 inactive.
+    std::atomic<unsigned> remaining{0};
+    std::atomic<std::uint64_t> injected{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> backlog{0};
+    std::atomic<std::uint64_t> lat_sum{0};
+  };
+
+  std::vector<std::unique_ptr<NodeRt>> nodes;
+  std::vector<std::unique_ptr<Task>> tasks;
+  std::vector<unsigned> task_of;  ///< node -> owning task index.
+  std::vector<std::vector<unsigned>> wake_lists;
+  std::vector<unsigned> placement;
+  std::unique_ptr<Scheduler> scheduler;
+
+  // Current run window.
+  Cycle run_start = 0;
+  Cycle target = 0;
+  Cycle round = 1;         ///< Boundary spacing (= link_pipe_stages).
+  Cycle n_boundaries = 0;  ///< Of the current run; 0 with metrics off.
+  std::vector<std::unique_ptr<FrameSlot>> frames;
+  /// Next boundary index whose sample may be published (orders the
+  /// registry's sample() calls exactly like the barrier's rounds).
+  std::atomic<Cycle> sample_turn{0};
+
+  // Rebalancing (planned at run end, applied at next run start).
+  std::vector<std::vector<unsigned>> pending_parts;
+  bool pending = false;
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+  std::vector<std::string> log;
+
+  /// Smallest boundary cycle > d of the current run.
+  Cycle next_boundary(Cycle d) const {
+    const Cycle len = target - run_start;
+    Cycle nb = ((d - run_start) / round + 1) * round;
+    if (nb > len) nb = len;
+    return run_start + nb;
+  }
+  bool is_boundary(Cycle c) const {
+    const Cycle rel = c - run_start;
+    return rel > 0 && (rel == target - run_start || rel % round == 0);
+  }
+  Cycle boundary_index(Cycle c) const {
+    const Cycle rel = c - run_start;
+    return rel % round == 0 ? rel / round - 1 : n_boundaries - 1;
+  }
+  Cycle boundary_cycle(Cycle index) const {
+    const Cycle len = target - run_start;
+    return run_start + std::min<Cycle>((index + 1) * round, len);
+  }
+};
 
 Fabric::Fabric(const FabricConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
@@ -56,12 +213,54 @@ Fabric::Fabric(const FabricConfig& cfg) : cfg_(cfg) {
 
 Fabric::~Fabric() = default;
 
+void Fabric::wire_node(unsigned v, Engine& eng,
+                       std::vector<std::unique_ptr<PortBridge>>& bridges,
+                       std::vector<std::unique_ptr<TxTap>>& taps) {
+  const net::Topology& topo = cfg_.topo;
+  Node& node = *nodes_[v];
+  eng.add(node.sw ? static_cast<Component*>(node.sw.get())
+                  : static_cast<Component*>(node.fast.get()));
+  auto in_link = [&node](unsigned q) -> WireLink* {
+    return node.sw ? &node.sw->in_link(q) : &node.fast->in_link(q);
+  };
+  auto out_link = [&node](unsigned p) -> WireLink* {
+    return node.sw ? &node.sw->out_link(p) : &node.fast->out_link(p);
+  };
+  // The first connected port doubles as the node's injection point.
+  bool designated = false;
+  for (unsigned q = 0; q < ports_; ++q) {
+    const net::Port port = static_cast<net::Port>(q);
+    const int u = topo.neighbor(v, port);
+    if (u < 0) continue;
+    Channel* rx = channels_[static_cast<unsigned>(u) * ports_ + net::opposite(port)].get();
+    PMSB_CHECK(rx != nullptr, "fabric link without a channel");
+    Injector* inj = designated ? nullptr : &node.injector;
+    designated = true;
+    bridges.push_back(std::make_unique<PortBridge>(&cfg_.topo, &codec_, v, port, rx,
+                                                   in_link(q), inj, &node.ejector));
+    eng.add(bridges.back().get());
+  }
+  PMSB_CHECK(designated, "fabric node with no links");
+  for (unsigned p = 0; p < ports_; ++p) {
+    Channel* ch = channels_[v * ports_ + p].get();
+    if (!ch) continue;
+    taps.push_back(std::make_unique<TxTap>(out_link(p), ch));
+    eng.add(taps.back().get());
+  }
+  // Structural invariant checking only exists for the cycle-accurate
+  // switch; fast nodes are covered by the differential harness instead.
+  if (check::env_enabled() && node.sw) {
+    node.checker = std::make_unique<check::InvariantChecker>();
+    node.checker->attach(*node.sw, eng);
+  }
+}
+
 void Fabric::build() {
   const net::Topology& topo = cfg_.topo;
   const unsigned n = topo.nodes();
 
   unsigned workers = cfg_.threads ? cfg_.threads : exp::thread_count();
-  workers = std::min(std::max(workers, 1u), n);
+  workers_ = std::min(std::max(workers, 1u), n);
 
   idle_skip_on_ = cfg_.idle_skip < 0 ? Engine::idle_skip_env_default() : cfg_.idle_skip != 0;
 
@@ -100,8 +299,8 @@ void Fabric::build() {
     nodes_.push_back(std::move(node));
   }
 
-  // Identical wiring at every thread count: each directed link gets a
-  // channel even when both endpoints share a shard.
+  // Identical wiring at every thread count AND engine: each directed link
+  // gets a channel even when both endpoints share a shard.
   channels_.resize(static_cast<std::size_t>(n) * ports_);
   for (unsigned u = 0; u < n; ++u) {
     for (unsigned p = 0; p < ports_; ++p) {
@@ -110,79 +309,162 @@ void Fabric::build() {
     }
   }
 
-  // Contiguous node blocks per shard (cache locality; any fixed partition
-  // yields identical results).
-  shards_.reserve(workers);
-  for (unsigned s = 0; s < workers; ++s) {
+  if (cfg_.engine == FabricEngine::kDataflow) {
+    build_dataflow(workers_);
+    return;
+  }
+
+  // kBarrier: contiguous node blocks per shard (cache locality; any fixed
+  // partition yields identical results).
+  shards_.reserve(workers_);
+  for (unsigned s = 0; s < workers_; ++s) {
     auto shard = std::make_unique<Shard>();
-    const unsigned lo = s * n / workers;
-    const unsigned hi = (s + 1) * n / workers;
+    const unsigned lo = s * n / workers_;
+    const unsigned hi = (s + 1) * n / workers_;
     // Engine-local skipping stays off inside shards: a shard cannot see
     // other shards' in-flight flits or its own channels' contents, so only
     // the fabric-level planner (maybe_skip) may skip, at round granularity.
     shard->engine.set_idle_skip(false);
     for (unsigned v = lo; v < hi; ++v) {
-      Node& node = *nodes_[v];
       shard->node_ids.push_back(v);
-      shard->engine.add(node.sw ? static_cast<Component*>(node.sw.get())
-                                : static_cast<Component*>(node.fast.get()));
-      auto in_link = [&node](unsigned q) -> WireLink* {
-        return node.sw ? &node.sw->in_link(q) : &node.fast->in_link(q);
-      };
-      auto out_link = [&node](unsigned p) -> WireLink* {
-        return node.sw ? &node.sw->out_link(p) : &node.fast->out_link(p);
-      };
-      // The first connected port doubles as the node's injection point.
-      bool designated = false;
-      for (unsigned q = 0; q < ports_; ++q) {
-        const net::Port port = static_cast<net::Port>(q);
-        const int u = topo.neighbor(v, port);
-        if (u < 0) continue;
-        Channel* rx = channels_[static_cast<unsigned>(u) * ports_ + net::opposite(port)].get();
-        PMSB_CHECK(rx != nullptr, "fabric link without a channel");
-        Injector* inj = designated ? nullptr : &node.injector;
-        designated = true;
-        shard->bridges.push_back(std::make_unique<PortBridge>(
-            &cfg_.topo, &codec_, v, port, rx, in_link(q), inj, &node.ejector));
-        shard->engine.add(shard->bridges.back().get());
-      }
-      PMSB_CHECK(designated, "fabric node with no links");
-      for (unsigned p = 0; p < ports_; ++p) {
-        Channel* ch = channels_[v * ports_ + p].get();
-        if (!ch) continue;
-        shard->taps.push_back(std::make_unique<TxTap>(out_link(p), ch));
-        shard->engine.add(shard->taps.back().get());
-      }
-      // Structural invariant checking only exists for the cycle-accurate
-      // switch; fast nodes are covered by the differential harness instead.
-      if (check::env_enabled() && node.sw) {
-        node.checker = std::make_unique<check::InvariantChecker>();
-        node.checker->attach(*node.sw, shard->engine);
-      }
+      wire_node(v, shard->engine, shard->bridges, shard->taps);
     }
     shards_.push_back(std::move(shard));
+  }
+}
+
+void Fabric::build_dataflow(unsigned workers) {
+  df_ = std::make_unique<Dataflow>();
+  Dataflow& df = *df_;
+  const unsigned n = nodes();
+  const Cycle stages = cfg_.link_pipe_stages;
+
+  df.scheduler = std::make_unique<Scheduler>(workers);
+  df.nodes.reserve(n);
+  for (unsigned v = 0; v < n; ++v) {
+    auto nd = std::make_unique<Dataflow::NodeRt>();
+    // Engine-local skipping off: the node's engine cannot see its channels,
+    // so only df_advance_node may skip, with the channel-idle check.
+    nd->engine.set_idle_skip(false);
+    wire_node(v, nd->engine, nd->bridges, nd->taps);
+    for (unsigned q = 0; q < ports_; ++q) {
+      const net::Port port = static_cast<net::Port>(q);
+      const int u = cfg_.topo.neighbor(v, port);
+      if (u < 0) continue;
+      Channel* rx = channels_[static_cast<unsigned>(u) * ports_ + net::opposite(port)].get();
+      nd->ins.push_back(Dataflow::NodeRt::In{static_cast<unsigned>(u), rx});
+    }
+    Cycle credit = kNeverWake;
+    for (unsigned p = 0; p < ports_; ++p) {
+      Channel* ch = channels_[v * ports_ + p].get();
+      if (!ch) continue;
+      nd->out_nodes.push_back(
+          static_cast<unsigned>(cfg_.topo.neighbor(v, static_cast<net::Port>(p))));
+      nd->out_chs.push_back(ch);
+      const Cycle c = static_cast<Cycle>(ch->capacity()) - stages;
+      if (c < credit) credit = c;
+    }
+    PMSB_CHECK(credit > 0, "channel ring smaller than its own delay");
+    nd->credit = credit;
+    df.nodes.push_back(std::move(nd));
+  }
+
+  // Sampling-frame ring: clock skew between any two nodes is bounded by
+  // diameter * D (each hop adds at most D), i.e. `diameter` boundaries, so
+  // diameter + 4 in-flight boundary accumulators can never collide.
+  const unsigned rsize = cfg_.topo.diameter() + 4;
+  df.frames.reserve(rsize);
+  for (unsigned j = 0; j < rsize; ++j)
+    df.frames.push_back(std::make_unique<Dataflow::FrameSlot>());
+
+  // Initial partition: contiguous blocks, tasks_per_worker tasks per worker
+  // so stealing and rebalancing have slack to move load around.
+  unsigned ntasks = workers * cfg_.tasks_per_worker;
+  ntasks = std::min(std::max(ntasks, workers), n);
+  std::vector<std::vector<unsigned>> parts(ntasks);
+  for (unsigned t = 0; t < ntasks; ++t) {
+    const unsigned lo = t * n / ntasks;
+    const unsigned hi = (t + 1) * n / ntasks;
+    for (unsigned v = lo; v < hi; ++v) parts[t].push_back(v);
+  }
+  df_apply_partition(parts);
+}
+
+void Fabric::df_apply_partition(const std::vector<std::vector<unsigned>>& parts) {
+  Dataflow& df = *df_;
+  const unsigned n = nodes();
+  df.tasks.clear();
+  df.task_of.assign(n, 0);
+  for (std::size_t t = 0; t < parts.size(); ++t) {
+    PMSB_CHECK(!parts[t].empty(), "empty task in fabric partition");
+    auto task = std::make_unique<Dataflow::Task>();
+    task->fab = this;
+    task->node_ids = parts[t];
+    for (unsigned v : parts[t]) df.task_of[v] = static_cast<unsigned>(t);
+    df.tasks.push_back(std::move(task));
+  }
+  // Wake lists: the tasks owning any channel neighbor of this task's nodes.
+  df.wake_lists.assign(parts.size(), {});
+  for (std::size_t t = 0; t < parts.size(); ++t) {
+    std::vector<unsigned>& nbrs = df.wake_lists[t];
+    for (unsigned v : parts[t]) {
+      for (const Dataflow::NodeRt::In& in : df.nodes[v]->ins)
+        nbrs.push_back(df.task_of[in.node]);
+      for (unsigned o : df.nodes[v]->out_nodes) nbrs.push_back(df.task_of[o]);
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    nbrs.erase(std::remove(nbrs.begin(), nbrs.end(), static_cast<unsigned>(t)), nbrs.end());
+  }
+  // Initial placement follows the node index (neighboring tasks start on
+  // the same worker); stealing takes it from there.
+  df.placement.resize(parts.size());
+  for (std::size_t t = 0; t < parts.size(); ++t) {
+    const unsigned w = static_cast<unsigned>(
+        static_cast<std::uint64_t>(parts[t].front()) * workers_ / n);
+    df.placement[t] = std::min(w, workers_ - 1);
   }
 }
 
 void Fabric::register_metrics(obs::MetricsRegistry* m) {
   metrics_ = m;
   if (!m) return;
-  m->add_gauge("fabric.injected", [this] { return static_cast<double>(sum_injected()); });
-  m->add_gauge("fabric.delivered", [this] { return static_cast<double>(sum_delivered()); });
-  m->add_gauge("fabric.dropped", [this] { return static_cast<double>(sum_dropped()); });
-  m->add_gauge("fabric.backlog", [this] { return static_cast<double>(sum_backlog()); });
+  // Under the dataflow engine the gauges fire inside a boundary-frame
+  // publication (df_contribute_sample) while other nodes keep advancing, so
+  // they read the assembled SampleFrame; the barrier engine samples with
+  // every worker parked and reads live state. Values are identical.
+  m->add_gauge("fabric.injected", [this] {
+    return static_cast<double>(sample_frame_ ? sample_frame_->injected : sum_injected());
+  });
+  m->add_gauge("fabric.delivered", [this] {
+    return static_cast<double>(sample_frame_ ? sample_frame_->delivered : sum_delivered());
+  });
+  m->add_gauge("fabric.dropped", [this] {
+    return static_cast<double>(sample_frame_ ? sample_frame_->dropped : sum_dropped());
+  });
+  m->add_gauge("fabric.backlog", [this] {
+    return static_cast<double>(sample_frame_ ? sample_frame_->backlog : sum_backlog());
+  });
   m->add_gauge("fabric.in_network", [this] {
+    if (sample_frame_)
+      return static_cast<double>(sample_frame_->injected - sample_frame_->backlog -
+                                 sample_frame_->delivered - sample_frame_->dropped);
     return static_cast<double>(sum_injected() - sum_backlog() - sum_delivered() -
                                sum_dropped());
   });
   m->add_gauge("fabric.latency.mean", [this] {
-    const std::uint64_t d = sum_delivered();
-    return d ? static_cast<double>(sum_lat()) / static_cast<double>(d) : 0.0;
+    const std::uint64_t d = sample_frame_ ? sample_frame_->delivered : sum_delivered();
+    const std::uint64_t lat = sample_frame_ ? sample_frame_->lat_sum : sum_lat();
+    return d ? static_cast<double>(lat) / static_cast<double>(d) : 0.0;
   });
 }
 
 void Fabric::run(Cycle cycles) {
   if (cycles <= 0) return;
+  if (cfg_.engine == FabricEngine::kDataflow) {
+    run_dataflow(cycles);
+    return;
+  }
   run_target_ = cycles_run_ + cycles;
   const Cycle lookahead = cfg_.link_pipe_stages;
 
@@ -208,8 +490,13 @@ void Fabric::run(Cycle cycles) {
     return;
   }
 
-  const unsigned workers = threads();
-  if (!pool_) pool_ = std::make_unique<exp::ThreadPool>(workers);
+  const unsigned workers = static_cast<unsigned>(shards_.size());
+  if (!pool_) {
+    exp::ThreadPoolOptions po;
+    if (exp::pin_threads_env())
+      po.on_worker_start = [](unsigned w) { exp::pin_current_thread(w); };
+    pool_ = std::make_unique<exp::ThreadPool>(workers, std::move(po));
+  }
   // The last arriver of each round advances the global clock and samples
   // the gauges while every other shard is parked (see sim/barrier.hpp).
   SpinBarrier barrier(workers, [this] { end_of_round(); });
@@ -242,6 +529,244 @@ void Fabric::run(Cycle cycles) {
   }
   pool_->wait_idle();
   PMSB_CHECK(cycles_run_ == run_target_, "fabric rounds out of step");
+}
+
+void Fabric::run_dataflow(Cycle cycles) {
+  Dataflow& df = *df_;
+  if (df.pending) {
+    df_apply_partition(df.pending_parts);
+    df.pending_parts.clear();
+    df.pending = false;
+  }
+  df.run_start = cycles_run_;
+  df.target = cycles_run_ + cycles;
+  run_target_ = df.target;
+  df.round = cfg_.link_pipe_stages;
+  if (metrics_ != nullptr) {
+    df.n_boundaries = (cycles + df.round - 1) / df.round;
+    df.sample_turn.store(0, std::memory_order_relaxed);
+    const Cycle rsize = static_cast<Cycle>(df.frames.size());
+    for (Cycle j = 0; j < rsize; ++j) {
+      Dataflow::FrameSlot& slot = *df.frames[static_cast<std::size_t>(j)];
+      slot.injected.store(0, std::memory_order_relaxed);
+      slot.delivered.store(0, std::memory_order_relaxed);
+      slot.dropped.store(0, std::memory_order_relaxed);
+      slot.backlog.store(0, std::memory_order_relaxed);
+      slot.lat_sum.store(0, std::memory_order_relaxed);
+      slot.remaining.store(nodes(), std::memory_order_relaxed);
+      slot.boundary.store(j < df.n_boundaries ? j : -1, std::memory_order_release);
+    }
+  } else {
+    df.n_boundaries = 0;
+  }
+  for (auto& t : df.tasks)
+    t->active_snapshot = t->active_ns.load(std::memory_order_relaxed);
+
+  if (!pool_) {
+    exp::ThreadPoolOptions po;
+    if (exp::pin_threads_env())
+      po.on_worker_start = [](unsigned w) { exp::pin_current_thread(w); };
+    pool_ = std::make_unique<exp::ThreadPool>(workers_, std::move(po));
+  }
+  std::vector<SchedTask*> tasks;
+  tasks.reserve(df.tasks.size());
+  for (auto& t : df.tasks) tasks.push_back(t.get());
+  df.scheduler->run(*pool_, tasks, df.wake_lists, df.placement);
+
+  cycles_run_ = df.target;
+  for (const auto& nd : df.nodes)
+    PMSB_CHECK(nd->done.load(std::memory_order_relaxed) == df.target,
+               "dataflow node stopped short of the run target");
+  if (metrics_ != nullptr)
+    PMSB_CHECK(df.sample_turn.load(std::memory_order_relaxed) == df.n_boundaries,
+               "dataflow run finished with unpublished samples");
+  if (cfg_.rebalance) df_plan_rebalance();
+}
+
+Fabric::NodeAdvance Fabric::df_advance_node(unsigned v) {
+  Dataflow& df = *df_;
+  Dataflow::NodeRt& nd = *df.nodes[v];
+  const Cycle target = df.target;
+  const Cycle d = nd.engine.now();
+  if (d >= target) return NodeAdvance::kNodeDone;
+  const Cycle stages = cfg_.link_pipe_stages;
+
+  // Input bound first: it is the tighter constraint under load, and its
+  // seq_cst loads double as the acquire of the upstreams' ring writes.
+  Cycle limit = target;
+  for (const Dataflow::NodeRt::In& in : nd.ins) {
+    const Cycle b = df.nodes[in.node]->done.load(std::memory_order_seq_cst) + stages;
+    if (b < limit) limit = b;
+  }
+  if (limit <= d) return NodeAdvance::kInputBlocked;
+  for (unsigned o : nd.out_nodes) {
+    const Cycle b = df.nodes[o]->done.load(std::memory_order_seq_cst) + nd.credit;
+    if (b < limit) limit = b;
+  }
+  if (limit <= d) return NodeAdvance::kCreditBlocked;
+  if (metrics_ != nullptr) {
+    // Land on every round boundary so this node can contribute its sample
+    // share there (the barrier engine samples at exactly these cycles).
+    const Cycle nb = df.next_boundary(d);
+    if (nb < limit) limit = nb;
+  }
+
+  bool stepped = true;
+  if (idle_skip_on_ && nd.engine.can_skip()) {
+    // Whole-chunk idle skip: every component quiescent through the chunk
+    // (wake >= limit keeps the wake cycle itself stepped) and no flit
+    // arriving on any input during [d, limit) -- idle_at(d) bounds arrivals
+    // to cycles >= upstream_done >= limit - D, outside the window.
+    Cycle wake = kNeverWake;
+    if (nd.engine.quiescent_at(d, &wake) && wake >= limit) {
+      bool rx_idle = true;
+      for (const Dataflow::NodeRt::In& in : nd.ins) {
+        if (!in.ch->idle_at(d)) {
+          rx_idle = false;
+          break;
+        }
+      }
+      if (rx_idle) {
+        // Stand in for the suppressed TxTap writes (see Channel::clear_range).
+        for (Channel* ch : nd.out_chs) ch->clear_range(d, limit);
+        nd.engine.skip_to(limit);
+        rounds_skipped_.fetch_add(1, std::memory_order_relaxed);
+        stepped = false;
+      }
+    }
+  }
+  if (stepped) nd.engine.run(limit - d);
+
+  // Publish progress: seq_cst store pairs with neighbors' bound loads (ring
+  // visibility) and with the scheduler's block/recheck protocol.
+  nd.done.store(limit, std::memory_order_seq_cst);
+  if (metrics_ != nullptr && df.is_boundary(limit))
+    df_contribute_sample(v, df.boundary_index(limit));
+  return stepped ? NodeAdvance::kStepped : NodeAdvance::kSkipped;
+}
+
+bool Fabric::df_node_ready(unsigned v) const {
+  const Dataflow& df = *df_;
+  const Dataflow::NodeRt& nd = *df.nodes[v];
+  const Cycle d = nd.done.load(std::memory_order_seq_cst);
+  if (d >= df.target) return false;
+  const Cycle stages = cfg_.link_pipe_stages;
+  for (const Dataflow::NodeRt::In& in : nd.ins)
+    if (df.nodes[in.node]->done.load(std::memory_order_seq_cst) + stages <= d) return false;
+  for (unsigned o : nd.out_nodes)
+    if (df.nodes[o]->done.load(std::memory_order_seq_cst) + nd.credit <= d) return false;
+  return true;
+}
+
+void Fabric::df_contribute_sample(unsigned v, Cycle k) {
+  Dataflow& df = *df_;
+  Dataflow::FrameSlot& slot =
+      *df.frames[static_cast<std::size_t>(k % static_cast<Cycle>(df.frames.size()))];
+  // The slot serving boundary k is re-armed by the completer of boundary
+  // k - R. The skew bound (frames comment in build_dataflow) guarantees
+  // that boundary has all contributions by now, so this wait only covers
+  // an in-flight completion call.
+  while (slot.boundary.load(std::memory_order_acquire) != k) std::this_thread::yield();
+  const Node& n = *nodes_[v];
+  // This worker holds node v exactly at the boundary cycle, so these reads
+  // see the same per-node state the parked barrier engine would.
+  slot.injected.fetch_add(n.injector.generated, std::memory_order_relaxed);
+  slot.backlog.fetch_add(n.injector.backlog.size(), std::memory_order_relaxed);
+  slot.delivered.fetch_add(n.ejector.delivered, std::memory_order_relaxed);
+  slot.dropped.fetch_add(n.drop_no_addr + n.drop_no_slot + n.drop_out_limit,
+                         std::memory_order_relaxed);
+  slot.lat_sum.fetch_add(n.ejector.lat_sum, std::memory_order_relaxed);
+  if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+
+  // Last contributor publishes, strictly in boundary order (sample_turn is
+  // the baton; the registry's time series relies on monotonic sample calls).
+  while (df.sample_turn.load(std::memory_order_acquire) != k) std::this_thread::yield();
+  SampleFrame f;
+  f.injected = slot.injected.load(std::memory_order_relaxed);
+  f.delivered = slot.delivered.load(std::memory_order_relaxed);
+  f.dropped = slot.dropped.load(std::memory_order_relaxed);
+  f.backlog = slot.backlog.load(std::memory_order_relaxed);
+  f.lat_sum = slot.lat_sum.load(std::memory_order_relaxed);
+  sample_frame_ = &f;
+  metrics_->sample(df.boundary_cycle(k));
+  sample_frame_ = nullptr;
+  // Re-arm this slot for boundary k + R before passing the baton.
+  const Cycle next = k + static_cast<Cycle>(df.frames.size());
+  if (next < df.n_boundaries) {
+    slot.injected.store(0, std::memory_order_relaxed);
+    slot.delivered.store(0, std::memory_order_relaxed);
+    slot.dropped.store(0, std::memory_order_relaxed);
+    slot.backlog.store(0, std::memory_order_relaxed);
+    slot.lat_sum.store(0, std::memory_order_relaxed);
+    slot.remaining.store(nodes(), std::memory_order_relaxed);
+    slot.boundary.store(next, std::memory_order_release);
+  } else {
+    slot.boundary.store(-1, std::memory_order_release);
+  }
+  df.sample_turn.store(k + 1, std::memory_order_release);
+}
+
+void Fabric::df_plan_rebalance() {
+  Dataflow& df = *df_;
+  const std::size_t ntasks = df.tasks.size();
+  std::vector<std::uint64_t> delta(ntasks, 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < ntasks; ++i) {
+    delta[i] = df.tasks[i]->active_ns.load(std::memory_order_relaxed) -
+               df.tasks[i]->active_snapshot;
+    total += delta[i];
+  }
+  if (total == 0) return;
+  const double mean = static_cast<double>(total) / static_cast<double>(ntasks);
+
+  struct Part {
+    std::vector<unsigned> ids;
+    double cost;
+  };
+  bool changed = false;
+  // Split pass: halve tasks that dominated the last run.
+  std::vector<Part> parts;
+  parts.reserve(ntasks + 4);
+  for (std::size_t i = 0; i < ntasks; ++i) {
+    const auto& ids = df.tasks[i]->node_ids;
+    const double cost = static_cast<double>(delta[i]);
+    if (cost > 1.6 * mean && ids.size() >= 2) {
+      const std::size_t mid = ids.size() / 2;
+      parts.push_back(Part{{ids.begin(), ids.begin() + static_cast<long>(mid)}, cost / 2});
+      parts.push_back(Part{{ids.begin() + static_cast<long>(mid), ids.end()}, cost / 2});
+      df.log.push_back("split task " + std::to_string(i) + " (" +
+                       std::to_string(ids.size()) + " nodes, " +
+                       std::to_string(cost / mean) + "x mean active_ns)");
+      ++df.splits;
+      changed = true;
+    } else {
+      parts.push_back(Part{ids, cost});
+    }
+  }
+  // Merge pass: coalesce adjacent starved tasks, keeping at least one task
+  // per worker so nobody idles by construction.
+  std::vector<Part> merged;
+  merged.reserve(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::size_t projected = merged.size() + (parts.size() - i);
+    if (!merged.empty() && projected - 1 >= workers_ && merged.back().cost < 0.4 * mean &&
+        parts[i].cost < 0.4 * mean) {
+      df.log.push_back("merge tasks at node " + std::to_string(merged.back().ids.front()) +
+                       " + " + std::to_string(parts[i].ids.front()) + " (both < 0.4x mean)");
+      merged.back().ids.insert(merged.back().ids.end(), parts[i].ids.begin(),
+                               parts[i].ids.end());
+      merged.back().cost += parts[i].cost;
+      ++df.merges;
+      changed = true;
+    } else {
+      merged.push_back(std::move(parts[i]));
+    }
+  }
+  if (!changed) return;
+  df.pending_parts.clear();
+  df.pending_parts.reserve(merged.size());
+  for (Part& p : merged) df.pending_parts.push_back(std::move(p.ids));
+  df.pending = true;
 }
 
 void Fabric::end_of_round() {
@@ -277,7 +802,7 @@ void Fabric::maybe_skip() {
     cycles_run_ = nb;
     if (metrics_) metrics_->sample(cycles_run_);
     skipped = true;
-    ++rounds_skipped_;
+    rounds_skipped_.fetch_add(1, std::memory_order_relaxed);
   }
   // Skipping suppressed the TxTaps' per-cycle ring writes; drop the stale
   // entries so they cannot resurface after a jump past the ring size. All
@@ -372,6 +897,25 @@ obs::FlightRecorder Fabric::merged_flight() const {
 
 std::vector<ShardTelemetry> Fabric::shard_telemetry() const {
   std::vector<ShardTelemetry> out;
+  if (cfg_.engine == FabricEngine::kDataflow) {
+    const Dataflow& df = *df_;
+    out.reserve(df.tasks.size());
+    for (std::size_t i = 0; i < df.tasks.size(); ++i) {
+      const Dataflow::Task& task = *df.tasks[i];
+      ShardTelemetry t;
+      t.shard = static_cast<unsigned>(i);
+      t.nodes = static_cast<unsigned>(task.node_ids.size());
+      t.active_ns = task.active_ns.load(std::memory_order_relaxed);
+      t.blocked_on_empty_ns = task.blocked_on_empty_ns.load(std::memory_order_relaxed);
+      t.blocked_on_full_ns = task.blocked_on_full_ns.load(std::memory_order_relaxed);
+      t.steals = task.steals.load(std::memory_order_relaxed);
+      t.rounds = task.rounds.load(std::memory_order_relaxed);
+      for (unsigned v : task.node_ids)
+        for (const auto& b : df.nodes[v]->bridges) t.cells_relayed += b->relayed();
+      out.push_back(t);
+    }
+    return out;
+  }
   out.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const Shard& sh = *shards_[s];
@@ -387,21 +931,74 @@ std::vector<ShardTelemetry> Fabric::shard_telemetry() const {
   return out;
 }
 
+FabricSchedulerStats Fabric::scheduler_stats() const {
+  FabricSchedulerStats s;
+  s.engine = to_string(cfg_.engine);
+  s.workers = workers_;
+  if (cfg_.engine == FabricEngine::kDataflow) {
+    const Dataflow& df = *df_;
+    s.tasks = static_cast<unsigned>(df.tasks.size());
+    s.steals = df.scheduler->total_steals();
+    s.splits = df.splits;
+    s.merges = df.merges;
+    s.rebalance_log = df.log;
+    for (const Scheduler::WorkerStats& w : df.scheduler->worker_stats())
+      s.per_worker.push_back(FabricSchedulerStats::Worker{w.active_ns, w.idle_ns, w.steals,
+                                                          w.slices});
+    return s;
+  }
+  s.tasks = static_cast<unsigned>(shards_.size());
+  for (const auto& sp : shards_)
+    s.per_worker.push_back(
+        FabricSchedulerStats::Worker{sp->active_ns, sp->barrier_wait_ns, 0, sp->rounds});
+  return s;
+}
+
 void Fabric::telemetry_to_perfetto(obs::PerfettoTrace& out) const {
   // Worker tracks start at tid 1000 so they never collide with the
-  // component counter tracks of a TimeSeriesSampler sharing the trace.
+  // component counter tracks of a TimeSeriesSampler sharing the trace; the
+  // shard-stall counter track sits above them at tid 1900.
   constexpr unsigned kWorkerTidBase = 1000;
+  constexpr unsigned kStallTid = 1900;
+  const std::uint64_t skipped = rounds_skipped();
+  if (cfg_.engine == FabricEngine::kDataflow) {
+    const FabricSchedulerStats sched = scheduler_stats();
+    for (std::size_t w = 0; w < sched.per_worker.size(); ++w) {
+      const auto& ws = sched.per_worker[w];
+      const unsigned tid = kWorkerTidBase + static_cast<unsigned>(w);
+      out.set_track_name(tid, "fabric worker " + std::to_string(w) + " (wall clock)");
+      const std::int64_t active_us = static_cast<std::int64_t>(ws.active_ns / 1000);
+      const std::int64_t idle_us = static_cast<std::int64_t>(ws.idle_ns / 1000);
+      out.complete(0, active_us, tid, "active",
+                   {{"slices", static_cast<double>(ws.slices)},
+                    {"steals", static_cast<double>(ws.steals)}});
+      out.complete(active_us, idle_us, tid, "scheduler_idle",
+                   {{"chunks_skipped", static_cast<double>(skipped)}});
+    }
+  } else {
+    for (const ShardTelemetry& t : shard_telemetry()) {
+      const unsigned tid = kWorkerTidBase + t.shard;
+      out.set_track_name(tid, "fabric worker " + std::to_string(t.shard) + " (wall clock)");
+      const std::int64_t active_us = static_cast<std::int64_t>(t.active_ns / 1000);
+      const std::int64_t wait_us = static_cast<std::int64_t>(t.barrier_wait_ns / 1000);
+      out.complete(0, active_us, tid, "active",
+                   {{"nodes", static_cast<double>(t.nodes)},
+                    {"rounds", static_cast<double>(t.rounds)},
+                    {"cells_relayed", static_cast<double>(t.cells_relayed)}});
+      out.complete(active_us, wait_us, tid, "barrier_wait",
+                   {{"rounds_skipped", static_cast<double>(skipped)}});
+    }
+  }
+  // One counter sample per shard/task (ts = shard index): stall composition
+  // in microseconds, directly comparable between the engines' traces.
+  out.set_track_name(kStallTid, std::string("fabric shard stalls (") +
+                                    to_string(cfg_.engine) + ", us by shard index)");
   for (const ShardTelemetry& t : shard_telemetry()) {
-    const unsigned tid = kWorkerTidBase + t.shard;
-    out.set_track_name(tid, "fabric worker " + std::to_string(t.shard) + " (wall clock)");
-    const std::int64_t active_us = static_cast<std::int64_t>(t.active_ns / 1000);
-    const std::int64_t wait_us = static_cast<std::int64_t>(t.barrier_wait_ns / 1000);
-    out.complete(0, active_us, tid, "active",
-                 {{"nodes", static_cast<double>(t.nodes)},
-                  {"rounds", static_cast<double>(t.rounds)},
-                  {"cells_relayed", static_cast<double>(t.cells_relayed)}});
-    out.complete(active_us, wait_us, tid, "barrier_wait",
-                 {{"rounds_skipped", static_cast<double>(rounds_skipped_)}});
+    out.counter(static_cast<std::int64_t>(t.shard), kStallTid, "fabric.stall_us",
+                {{"barrier_wait", static_cast<double>(t.barrier_wait_ns / 1000)},
+                 {"blocked_on_empty", static_cast<double>(t.blocked_on_empty_ns / 1000)},
+                 {"blocked_on_full", static_cast<double>(t.blocked_on_full_ns / 1000)},
+                 {"steals", static_cast<double>(t.steals)}});
   }
 }
 

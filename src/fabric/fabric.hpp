@@ -1,7 +1,8 @@
 // Sharded multi-switch fabric engine: a whole net::Topology of
 // cycle-accurate PipelinedSwitch nodes, partitioned across worker threads,
 // with a hard determinism contract -- delivered cells, drops, latencies and
-// every published metric are bit-identical at any thread count.
+// every published metric are bit-identical at any thread count AND under
+// either execution engine.
 //
 // Structure per node: one PipelinedSwitch, one PortBridge per incoming link
 // (ejection, next-hop head rewrite, transit/injection mux -- see
@@ -10,17 +11,32 @@
 // endpoints land in the same shard -- go through the same Channel rings, so
 // the simulated wiring does not depend on the partition.
 //
-// Conservative synchronization: inter-node links have `link_pipe_stages`
-// (D >= 1) register stages, i.e. a word leaving a node cannot be observed
-// anywhere else for at least D + 1 cycles. Each shard therefore runs its
-// nodes locally for a round of up to D cycles, then all shards meet at a
-// barrier; every channel slot a shard reads during round r was written in
-// round r-1 or earlier, so no cross-shard event can ever be missed. The
-// barrier's last arriver samples the metrics gauges, giving the same
-// sampling cadence (and values) at every thread count.
+// Two engines share that structure (FabricConfig::engine):
+//
+//  * kBarrier -- conservative lockstep: inter-node links have
+//    `link_pipe_stages` (D >= 1) register stages, i.e. a word leaving a node
+//    cannot be observed anywhere else for at least D + 1 cycles. Each shard
+//    runs its nodes locally for a round of up to D cycles, then all shards
+//    meet at a SpinBarrier; every channel slot a shard reads during round r
+//    was written in round r-1 or earlier, so no cross-shard event can ever
+//    be missed. The barrier's last arriver samples the metrics gauges.
+//
+//  * kDataflow -- credit-backpressured tasks: every node is its own Engine,
+//    grouped into SchedTasks run by a work-stealing Scheduler. A node whose
+//    neighbors have executed through cycle u may run to u + D (its inputs
+//    for those cycles are already in the channel rings) and to
+//    consumer_done + capacity - D on the output side (write credit); a task
+//    blocks only when every owned node hits one of those bounds, and is
+//    woken by the neighbor that moves it. Slow nodes no longer stall the
+//    whole fabric -- only their neighborhood, transitively. Metric samples
+//    are assembled per round boundary from per-node contributions (each
+//    node passes every boundary exactly once), reproducing the barrier's
+//    sampling cadence and values bit-exactly. See DESIGN.md "Task-dataflow
+//    fabric" for the correctness argument.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -47,6 +63,21 @@ class PerfettoTrace;
 
 namespace pmsb::fabric {
 
+/// Execution engine for Fabric::run(). Results are bit-identical either way
+/// (CI-enforced); the choice only affects wall-clock and scheduling
+/// telemetry.
+enum class FabricEngine {
+  kBarrier,   ///< Lockstep rounds over a SpinBarrier (PR 5 engine).
+  kDataflow,  ///< Credit-backpressured tasks on a work-stealing scheduler.
+};
+
+/// Process-wide default engine: PMSB_FABRIC_ENGINE=dataflow|barrier (read
+/// once; barrier when unset). Lets CI run every fabric bench/test under
+/// both engines without touching configs.
+FabricEngine fabric_engine_env_default();
+
+const char* to_string(FabricEngine e);
+
 struct FabricConfig {
   net::Topology topo;
   /// Per-node switch geometry. Needs n_ports >= topo.required_ports(),
@@ -54,7 +85,7 @@ struct FabricConfig {
   /// tag wide enough for a node id. SwitchConfig::for_ports() qualifies.
   SwitchConfig node = SwitchConfig::for_ports(4);
   /// D: register stages on every inter-node link (latency D + 1 cycles).
-  /// Doubles as the shards' synchronization lookahead.
+  /// Doubles as the engines' synchronization lookahead.
   unsigned link_pipe_stages = 4;
   /// Offered load per node as a fraction of one link's cell rate.
   double load = 0.5;
@@ -62,11 +93,22 @@ struct FabricConfig {
   /// Worker threads; 0 resolves via exp::thread_count() (PMSB_THREADS).
   /// Clamped to the node count.
   unsigned threads = 0;
-  /// Idle-cycle skipping at round granularity: when every component of
-  /// every shard is quiescent and every channel is empty, the fabric jumps
-  /// whole rounds to the next scheduled injection. Results are bit-identical
-  /// either way (CI-enforced). -1 = environment default (PMSB_IDLE_SKIP),
-  /// 0 = off, 1 = on.
+  /// Execution engine (see FabricEngine). Default from PMSB_FABRIC_ENGINE.
+  FabricEngine engine = fabric_engine_env_default();
+  /// kDataflow initial partition grain: tasks ~= threads * tasks_per_worker
+  /// (clamped to [threads, nodes]). More tasks = finer stealing and
+  /// rebalancing, more scheduling overhead.
+  unsigned tasks_per_worker = 4;
+  /// kDataflow load-aware repartitioning between run() calls: split tasks
+  /// that dominated the last run's active_ns, merge starved ones. Never
+  /// changes results, only placement (the partition is invisible to the
+  /// simulation).
+  bool rebalance = true;
+  /// Idle-cycle skipping: when a region of the fabric is quiescent and its
+  /// channels are empty, jump to the next scheduled injection instead of
+  /// stepping. Round-granular and global under kBarrier; per-node under
+  /// kDataflow. Results are bit-identical either way (CI-enforced).
+  /// -1 = environment default (PMSB_IDLE_SKIP), 0 = off, 1 = on.
   int idle_skip = -1;
   /// Per-node model selection: nodes for which this returns true run the
   /// behavioural FastSwitch (core/fast_switch.hpp) instead of the
@@ -86,18 +128,43 @@ struct FabricConfig {
   void validate() const;
 };
 
-/// Wall-clock accounting for one worker/shard of the last run()s. Telemetry
-/// is timing-derived, so it belongs in the BENCH JSON "runtime" block only
+/// Wall-clock accounting for one shard (kBarrier: one per worker thread;
+/// kDataflow: one per scheduler task) of the run so far. Telemetry is
+/// timing-derived, so it belongs in the BENCH JSON "runtime" block only
 /// (the determinism diffs strip it); rounds and cells_relayed are
-/// deterministic per shard *given* a thread count, but the shard partition
-/// itself changes with PMSB_THREADS.
+/// deterministic per shard *given* a thread count and engine, but the
+/// partition itself changes with PMSB_THREADS and rebalancing.
 struct ShardTelemetry {
   unsigned shard = 0;
-  unsigned nodes = 0;                 ///< Nodes owned by this shard.
-  std::uint64_t active_ns = 0;        ///< Wall time inside Engine::run.
-  std::uint64_t barrier_wait_ns = 0;  ///< Wall time parked at the round barrier.
-  std::uint64_t rounds = 0;           ///< Rounds stepped (skipped rounds excluded).
-  std::uint64_t cells_relayed = 0;    ///< Transit cells relayed by this shard's bridges.
+  unsigned nodes = 0;           ///< Nodes owned by this shard/task.
+  std::uint64_t active_ns = 0;  ///< Wall time advancing the simulation.
+  std::uint64_t barrier_wait_ns = 0;    ///< kBarrier: parked at the round barrier.
+  std::uint64_t blocked_on_empty_ns = 0;  ///< kDataflow: starved of upstream data.
+  std::uint64_t blocked_on_full_ns = 0;   ///< kDataflow: out of downstream credit.
+  std::uint64_t steals = 0;     ///< kDataflow: times this task ran on a thief.
+  std::uint64_t rounds = 0;     ///< Rounds/chunks stepped (skipped excluded).
+  std::uint64_t cells_relayed = 0;  ///< Transit cells relayed by this shard's bridges.
+};
+
+/// Scheduling-layer accounting for the run so far (BENCH JSON
+/// runtime.scheduler block). kBarrier reports its shards as degenerate
+/// pinned tasks so the block shape is engine-independent.
+struct FabricSchedulerStats {
+  const char* engine = "barrier";
+  unsigned workers = 0;
+  unsigned tasks = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t splits = 0;   ///< Rebalance: hot tasks split.
+  std::uint64_t merges = 0;   ///< Rebalance: cold task pairs merged.
+  struct Worker {
+    std::uint64_t active_ns = 0;
+    std::uint64_t idle_ns = 0;  ///< Barrier wait / steal hunt + parked.
+    std::uint64_t steals = 0;
+    std::uint64_t slices = 0;
+  };
+  std::vector<Worker> per_worker;
+  /// Human-readable rebalance decisions, in order ("split task 3 ...").
+  std::vector<std::string> rebalance_log;
 };
 
 /// Aggregated end-of-run accounting, merged over nodes in index order.
@@ -140,7 +207,8 @@ class Fabric {
   Fabric& operator=(const Fabric&) = delete;
 
   unsigned nodes() const { return cfg_.topo.nodes(); }
-  unsigned threads() const { return static_cast<unsigned>(shards_.size()); }
+  unsigned threads() const { return workers_; }
+  FabricEngine engine() const { return cfg_.engine; }
   Cycle now() const { return cycles_run_; }
   const FabricConfig& config() const { return cfg_; }
   bool node_is_fast(unsigned i) const { return nodes_[i]->fast != nullptr; }
@@ -155,14 +223,15 @@ class Fabric {
 
   /// Register live gauges (fabric.injected/delivered/dropped/backlog/
   /// in_network/latency.mean) on `m` and sample them at every round
-  /// boundary of subsequent run() calls. Call before run(); `m` must
-  /// outlive the fabric's runs.
+  /// boundary of subsequent run() calls -- same cadence and values under
+  /// both engines. Call before run(); `m` must outlive the fabric's runs.
   void register_metrics(obs::MetricsRegistry* m);
 
   /// Advance the whole fabric by `cycles`. Callable repeatedly.
   void run(Cycle cycles);
 
-  /// Deterministic aggregate accounting (identical at any thread count).
+  /// Deterministic aggregate accounting (identical at any thread count and
+  /// under either engine).
   FabricStats stats() const;
 
   /// Per-node flight recorder (null unless FabricConfig::flight_recorder).
@@ -173,12 +242,20 @@ class Fabric {
   /// thread count. Requires FabricConfig::flight_recorder.
   obs::FlightRecorder merged_flight() const;
 
-  /// Wall-clock telemetry of the run so far, one entry per shard.
+  /// Wall-clock telemetry of the run so far: one entry per worker shard
+  /// (kBarrier) or per scheduler task (kDataflow).
   std::vector<ShardTelemetry> shard_telemetry() const;
-  /// Rounds the quiescence planner jumped over (0 with idle skipping off).
-  std::uint64_t rounds_skipped() const { return rounds_skipped_; }
-  /// Render shard telemetry as Perfetto worker tracks (one track per shard,
-  /// active / barrier-wait slices in wall-clock microseconds).
+  /// Scheduling-layer telemetry of the run so far (see FabricSchedulerStats).
+  FabricSchedulerStats scheduler_stats() const;
+  /// Idle jumps the planner took: whole-fabric rounds under kBarrier,
+  /// per-node chunks under kDataflow (0 with idle skipping off).
+  std::uint64_t rounds_skipped() const {
+    return rounds_skipped_.load(std::memory_order_relaxed);
+  }
+  /// Render telemetry as Perfetto tracks: one worker track per shard/worker
+  /// (active / wait slices in wall-clock microseconds) plus a counter track
+  /// of per-shard stall totals, so barrier-vs-dataflow wait time is
+  /// directly comparable in one trace.
   void telemetry_to_perfetto(obs::PerfettoTrace& out) const;
 
  private:
@@ -210,7 +287,21 @@ class Fabric {
     std::uint64_t rounds = 0;
   };
 
+  /// One consistent snapshot of the fabric-wide gauge inputs at a round
+  /// boundary; assembled from per-node contributions by the dataflow
+  /// engine (the barrier engine reads live state instead -- everyone is
+  /// parked there).
+  struct SampleFrame {
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t backlog = 0;
+    std::uint64_t lat_sum = 0;
+  };
+
   void build();
+  void wire_node(unsigned v, Engine& eng, std::vector<std::unique_ptr<PortBridge>>& bridges,
+                 std::vector<std::unique_ptr<TxTap>>& taps);
   void end_of_round();
   /// Round-granularity idle skip, run inside the barrier completion while
   /// every worker is parked: if all shards are quiescent and all channels
@@ -225,18 +316,44 @@ class Fabric {
   std::uint64_t sum_backlog() const;
   std::uint64_t sum_lat() const;
 
+  // --- Dataflow engine (implementation in fabric.cpp) ---------------------
+  struct Dataflow;
+  /// Node-level outcome of one bounded chunk attempt.
+  enum class NodeAdvance : std::uint8_t {
+    kStepped,        ///< Executed a chunk cycle by cycle.
+    kSkipped,        ///< Jumped a quiescent chunk (idle skip).
+    kInputBlocked,   ///< Upstream lookahead exhausted.
+    kCreditBlocked,  ///< Downstream ring out of credit.
+    kNodeDone,       ///< Reached the run target.
+  };
+  void build_dataflow(unsigned workers);
+  void run_dataflow(Cycle cycles);
+  NodeAdvance df_advance_node(unsigned v);
+  bool df_node_ready(unsigned v) const;
+  void df_contribute_sample(unsigned v, Cycle boundary_index);
+  /// Recompute the task partition from the last run's per-task active_ns
+  /// (split hot, merge cold); applied lazily at the next run's start.
+  void df_plan_rebalance();
+  void df_apply_partition(const std::vector<std::vector<unsigned>>& parts);
+
   FabricConfig cfg_;
   CellCodec codec_;
-  unsigned ports_ = 0;  ///< Router ports in use (topology degree).
+  unsigned ports_ = 0;    ///< Router ports in use (topology degree).
+  unsigned workers_ = 1;  ///< Resolved worker-thread count.
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Channel>> channels_;  ///< [node * ports_ + out_port]
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::unique_ptr<exp::ThreadPool> pool_;  ///< Lazily built for threads() > 1.
+  std::vector<std::unique_ptr<Shard>> shards_;      ///< kBarrier only.
+  std::unique_ptr<Dataflow> df_;                    ///< kDataflow only.
+  std::unique_ptr<exp::ThreadPool> pool_;  ///< Lazily built when needed.
   obs::MetricsRegistry* metrics_ = nullptr;
+  /// Non-null only while the dataflow engine is inside a metrics_->sample()
+  /// call; gauge callbacks then read this boundary snapshot instead of the
+  /// (concurrently advancing) live node state.
+  const SampleFrame* sample_frame_ = nullptr;
   Cycle cycles_run_ = 0;
   Cycle run_target_ = 0;
   bool idle_skip_on_ = true;  ///< Resolved from FabricConfig::idle_skip.
-  std::uint64_t rounds_skipped_ = 0;  ///< Written inside the barrier completion.
+  std::atomic<std::uint64_t> rounds_skipped_{0};
 };
 
 }  // namespace pmsb::fabric

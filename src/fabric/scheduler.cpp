@@ -1,0 +1,196 @@
+#include "fabric/scheduler.hpp"
+
+#include <chrono>
+
+#include "common/util.hpp"
+#include "exp/thread_pool.hpp"
+
+namespace pmsb::fabric {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+Scheduler::Scheduler(unsigned workers) {
+  PMSB_CHECK(workers >= 1, "scheduler needs at least one worker");
+  deques_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) deques_.push_back(std::make_unique<Deque>());
+  stats_.resize(workers);
+}
+
+std::uint64_t Scheduler::total_steals() const {
+  std::uint64_t s = 0;
+  for (const WorkerStats& ws : stats_) s += ws.steals;
+  return s;
+}
+
+void Scheduler::run(exp::ThreadPool& pool, const std::vector<SchedTask*>& tasks,
+                    const std::vector<std::vector<unsigned>>& wake_lists,
+                    const std::vector<unsigned>& placement) {
+  PMSB_CHECK(!tasks.empty(), "scheduler run with no tasks");
+  PMSB_CHECK(wake_lists.size() == tasks.size() && placement.size() == tasks.size(),
+             "scheduler wake/placement tables out of sync with tasks");
+  tasks_ = &tasks;
+  wake_ = &wake_lists;
+  n_tasks_ = static_cast<unsigned>(tasks.size());
+  finished_.store(0, std::memory_order_relaxed);
+  pending_.store(0, std::memory_order_relaxed);
+  for (unsigned i = 0; i < n_tasks_; ++i) {
+    tasks[i]->state.store(SchedTask::kReady, std::memory_order_relaxed);
+    PMSB_CHECK(placement[i] < workers(), "task placed on a nonexistent worker");
+    deques_[placement[i]]->q.push_back(i);
+  }
+  pending_.store(static_cast<int>(n_tasks_), std::memory_order_release);
+  for (unsigned w = 0; w < workers(); ++w) pool.submit([this, w] { worker_loop(w); });
+  pool.wait_idle();
+  PMSB_CHECK(finished_.load(std::memory_order_acquire) == n_tasks_,
+             "scheduler stopped with unfinished tasks");
+}
+
+void Scheduler::push(unsigned w, unsigned task) {
+  {
+    std::lock_guard<std::mutex> lk(deques_[w]->mu);
+    deques_[w]->q.push_back(task);
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    wake = idle_waiters_ > 0;
+  }
+  if (wake) idle_cv_.notify_one();
+}
+
+bool Scheduler::pop(unsigned w, unsigned* task) {
+  std::lock_guard<std::mutex> lk(deques_[w]->mu);
+  if (deques_[w]->q.empty()) return false;
+  *task = deques_[w]->q.front();
+  deques_[w]->q.pop_front();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Scheduler::steal(unsigned thief, unsigned* task) {
+  const unsigned n = workers();
+  for (unsigned off = 1; off < n; ++off) {
+    Deque& d = *deques_[(thief + off) % n];
+    std::lock_guard<std::mutex> lk(d.mu);
+    if (d.q.empty()) continue;
+    // Steal from the back: the front is the victim's working set.
+    *task = d.q.back();
+    d.q.pop_back();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::wake_neighbors(unsigned w, unsigned task) {
+  const std::vector<SchedTask*>& tasks = *tasks_;
+  for (unsigned nb : (*wake_)[task]) {
+    SchedTask* t = tasks[nb];
+    std::uint8_t expect = SchedTask::kBlocked;
+    // seq_cst pairs with the blocking worker's state store + recheck (see
+    // scheduler.hpp); success means WE requeue it, and nobody else will.
+    if (!t->state.compare_exchange_strong(expect, SchedTask::kReady,
+                                          std::memory_order_seq_cst))
+      continue;
+    const std::uint64_t since = t->blocked_since_ns.load(std::memory_order_relaxed);
+    const std::uint64_t waited = now_ns() - since;
+    if (t->blocked_reason.load(std::memory_order_relaxed) ==
+        static_cast<std::uint8_t>(Advance::kBlockedOnFull))
+      t->blocked_on_full_ns.fetch_add(waited, std::memory_order_relaxed);
+    else
+      t->blocked_on_empty_ns.fetch_add(waited, std::memory_order_relaxed);
+    push(w, nb);
+  }
+}
+
+void Scheduler::worker_loop(unsigned w) {
+  WorkerStats& ws = stats_[w];
+  const std::vector<SchedTask*>& tasks = *tasks_;
+  std::uint64_t idle_since = 0;  ///< Set when the hunt for work started.
+  for (;;) {
+    unsigned ti = 0;
+    bool stolen = false;
+    if (!pop(w, &ti)) {
+      if (steal(w, &ti)) {
+        stolen = true;
+      } else {
+        if (finished_.load(std::memory_order_acquire) == n_tasks_) {
+          if (idle_since) ws.idle_ns += now_ns() - idle_since;
+          return;
+        }
+        if (!idle_since) idle_since = now_ns();
+        std::unique_lock<std::mutex> lk(idle_mu_);
+        // Recheck under the waiter registration: a push that saw
+        // idle_waiters_ == 0 must have bumped pending_ already.
+        if (pending_.load(std::memory_order_acquire) > 0) continue;
+        ++idle_waiters_;
+        // Timed wait: the termination notify and rare wake races are both
+        // bounded by the timeout instead of trusting every signal edge.
+        idle_cv_.wait_for(lk, std::chrono::microseconds(200));
+        --idle_waiters_;
+        continue;
+      }
+    }
+    if (idle_since) {
+      ws.idle_ns += now_ns() - idle_since;
+      idle_since = 0;
+    }
+    SchedTask* t = tasks[ti];
+    t->state.store(SchedTask::kRunning, std::memory_order_relaxed);
+    if (stolen) {
+      ++ws.steals;
+      t->steals.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::uint64_t t0 = now_ns();
+    const Advance r = t->advance();
+    const std::uint64_t dt = now_ns() - t0;
+    ws.active_ns += dt;
+    ++ws.slices;
+    t->active_ns.fetch_add(dt, std::memory_order_relaxed);
+    t->slices.fetch_add(1, std::memory_order_relaxed);
+    switch (r) {
+      case Advance::kFinished: {
+        t->state.store(SchedTask::kDone, std::memory_order_release);
+        // Neighbors blocked on this task's nodes can still need a final
+        // wake (their last chunk runs on the lookahead past our target).
+        wake_neighbors(w, ti);
+        if (finished_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_tasks_) {
+          { std::lock_guard<std::mutex> lk(idle_mu_); }
+          idle_cv_.notify_all();
+        }
+        break;
+      }
+      case Advance::kProgress: {
+        wake_neighbors(w, ti);
+        t->state.store(SchedTask::kReady, std::memory_order_relaxed);
+        push(w, ti);
+        break;
+      }
+      case Advance::kBlockedOnEmpty:
+      case Advance::kBlockedOnFull: {
+        t->blocked_reason.store(static_cast<std::uint8_t>(r), std::memory_order_relaxed);
+        t->blocked_since_ns.store(now_ns(), std::memory_order_relaxed);
+        t->state.store(SchedTask::kBlocked, std::memory_order_seq_cst);
+        // Dekker recheck closing the lost-wakeup window (see scheduler.hpp).
+        if (t->can_advance()) {
+          std::uint8_t expect = SchedTask::kBlocked;
+          if (t->state.compare_exchange_strong(expect, SchedTask::kReady,
+                                               std::memory_order_seq_cst))
+            push(w, ti);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace pmsb::fabric

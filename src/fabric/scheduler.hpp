@@ -1,0 +1,109 @@
+// Work-stealing task runtime for the dataflow fabric engine.
+//
+// One deque of ready tasks per worker; a worker pops from its own deque,
+// steals from a neighbor when empty, and parks on a condvar (with a short
+// timeout) when the whole system looks idle. Tasks that return blocked are
+// NOT requeued -- they sit in SchedTask::kBlocked until a neighbor task
+// that shares a channel with them makes progress and wakes them through the
+// caller-supplied wake lists.
+//
+// Lost-wakeup protocol (the only delicate part): a task T observes "cannot
+// advance" from its neighbors' progress counters, then parks. A neighbor U
+// may publish new progress between T's observation and T's kBlocked store;
+// U's wake attempt would find T still kRunning and do nothing, leaving T
+// parked forever. The fix is Dekker-style with seq_cst on both sides:
+//
+//   worker running T                     worker running U
+//   ----------------                     ----------------
+//   (reads U's progress: stale)          progress.store(seq_cst)
+//   state.store(kBlocked, seq_cst)       if (T.state == kBlocked) wake T
+//   if (can_advance()) self-wake
+//
+// In the seq_cst total order either U's progress store precedes T's block
+// store -- then T's can_advance() recheck sees the progress and T self-wakes
+// -- or T's block store precedes U's state load, and U wakes T. Both wake
+// paths go through a kBlocked -> kReady compare-exchange, so exactly one
+// party requeues the task.
+//
+// Determinism: the scheduler decides only WHERE and WHEN tasks run, never
+// WHAT they compute -- simulation state is partitioned per node and every
+// cross-node read is bounded by the channel credit protocol, so results are
+// bit-identical for any worker count, steal order, or rebalance decision
+// (CI-enforced).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fabric/task.hpp"
+
+namespace pmsb::exp {
+class ThreadPool;
+}
+
+namespace pmsb::fabric {
+
+class Scheduler {
+ public:
+  /// Per-worker wall-clock accounting, cumulative over run() calls.
+  struct WorkerStats {
+    std::uint64_t active_ns = 0;  ///< Inside SchedTask::advance().
+    std::uint64_t idle_ns = 0;    ///< Hunting for work or parked.
+    std::uint64_t steals = 0;     ///< Tasks taken from another worker's deque.
+    std::uint64_t slices = 0;     ///< advance() calls executed.
+  };
+
+  explicit Scheduler(unsigned workers);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Run every task to completion (SchedTask::kDone). `wake_lists[i]` holds
+  /// the indices of tasks sharing a channel with task i -- the candidates to
+  /// wake after task i progresses. `placement[i]` is the worker whose deque
+  /// initially holds task i (stealing redistributes from there). The pool
+  /// must have at least workers() threads available; run() blocks until all
+  /// tasks finished.
+  void run(exp::ThreadPool& pool, const std::vector<SchedTask*>& tasks,
+           const std::vector<std::vector<unsigned>>& wake_lists,
+           const std::vector<unsigned>& placement);
+
+  unsigned workers() const { return static_cast<unsigned>(deques_.size()); }
+  const std::vector<WorkerStats>& worker_stats() const { return stats_; }
+  std::uint64_t total_steals() const;
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<unsigned> q;  ///< Ready task indices.
+  };
+
+  void worker_loop(unsigned w);
+  void push(unsigned w, unsigned task);
+  bool pop(unsigned w, unsigned* task);
+  bool steal(unsigned thief, unsigned* task);
+  /// Wake every kBlocked neighbor of `task` (it just progressed/finished),
+  /// attributing its blocked interval to the stall counters.
+  void wake_neighbors(unsigned w, unsigned task);
+
+  const std::vector<SchedTask*>* tasks_ = nullptr;
+  const std::vector<std::vector<unsigned>>* wake_ = nullptr;
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<WorkerStats> stats_;
+  std::atomic<unsigned> finished_{0};
+  std::atomic<int> pending_{0};  ///< Tasks sitting in deques (approximate).
+  unsigned n_tasks_ = 0;
+
+  // Idle parking: workers that find nothing to pop or steal wait here; every
+  // push and the final task completion notify.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  unsigned idle_waiters_ = 0;
+};
+
+}  // namespace pmsb::fabric

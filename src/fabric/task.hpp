@@ -1,0 +1,74 @@
+// Schedulable unit of the dataflow fabric engine (FabricEngine::kDataflow).
+//
+// A SchedTask owns a contiguous block of fabric nodes and advances them in
+// bounded chunks; it blocks only on its own channels -- upstream data
+// (input lookahead exhausted) or downstream credit (ring full) -- never on
+// a global barrier. The Scheduler (src/fabric/scheduler.hpp) runs tasks on
+// an exp::ThreadPool with work stealing and wakes a blocked task when one
+// of its channel neighbors makes progress.
+//
+// State machine (stored here so the scheduler stays task-type agnostic):
+//
+//            push            pop              advance() == progress
+//   kReady ----------> in a deque ----> kRunning ----> kReady (requeued)
+//     ^                                    |
+//     |  neighbor wake (CAS) /             | advance() == blocked
+//     |  self-recheck (CAS)                v
+//     +---------------------------- kBlocked ----> kDone (all nodes at target)
+//
+// Only the transition kBlocked -> kReady is contended (the owning worker's
+// post-block recheck races neighbor wakes); it is a compare-exchange so a
+// task is pushed by exactly one party. The blocked <-> wake handshake uses
+// seq_cst together with the nodes' progress counters (see the "lost wakeup"
+// note in scheduler.hpp).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pmsb::fabric {
+
+/// Result of one SchedTask::advance() slice.
+enum class Advance : std::uint8_t {
+  kProgress,        ///< At least one owned node moved forward.
+  kBlockedOnEmpty,  ///< Every runnable node waits for upstream data.
+  kBlockedOnFull,   ///< Every runnable node waits for downstream credit.
+  kFinished,        ///< Every owned node reached the run target.
+};
+
+class SchedTask {
+ public:
+  virtual ~SchedTask() = default;
+
+  /// Advance each owned node by at most one chunk (bounded by the fabric's
+  /// link lookahead). Must publish all progress (with the ordering the
+  /// wake protocol requires) before returning.
+  virtual Advance advance() = 0;
+
+  /// Cheap conservative recheck: true when advance() would make progress
+  /// right now. Used to close the block-vs-wake race; a false positive only
+  /// costs a wasted slice, a false negative would deadlock -- so err ready.
+  virtual bool can_advance() const = 0;
+
+  enum State : std::uint8_t { kReady, kRunning, kBlocked, kDone };
+
+  std::atomic<std::uint8_t> state{kReady};
+  /// Why the task is parked (an Advance value); written by the owning
+  /// worker right before the kBlocked store, read by the waker to attribute
+  /// the blocked interval to the right counter.
+  std::atomic<std::uint8_t> blocked_reason{0};
+  /// steady_clock nanosecond stamp of the kBlocked transition.
+  std::atomic<std::uint64_t> blocked_since_ns{0};
+
+  // Cumulative telemetry (relaxed; exact totals are read only after a run
+  // completes, via the pool's join/wait_idle ordering).
+  std::atomic<std::uint64_t> active_ns{0};
+  std::atomic<std::uint64_t> blocked_on_empty_ns{0};
+  std::atomic<std::uint64_t> blocked_on_full_ns{0};
+  std::atomic<std::uint64_t> steals{0};   ///< Times this task ran on a thief.
+  std::atomic<std::uint64_t> slices{0};   ///< advance() calls executed.
+  std::atomic<std::uint64_t> rounds{0};   ///< Stepped chunks (skipped excluded).
+};
+
+}  // namespace pmsb::fabric

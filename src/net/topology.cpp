@@ -62,6 +62,16 @@ unsigned Topology::hops(unsigned a, unsigned b) const {
   return axis(x_of(a), x_of(b), width) + axis(y_of(a), y_of(b), height);
 }
 
+unsigned Topology::diameter() const {
+  // hops() is separable per axis, so the worst pair is the worst per-axis
+  // distance summed: full span on a mesh, half the wrap on a torus/ring.
+  const auto axis = [this](unsigned size) -> unsigned {
+    if (size <= 1) return 0;
+    return kind == TopologyKind::kMesh2D ? size - 1 : size / 2;
+  };
+  return axis(width) + axis(height);
+}
+
 std::string Topology::describe() const {
   const char* k = kind == TopologyKind::kMesh2D  ? "mesh2d"
                   : kind == TopologyKind::kTorus2D ? "torus2d"

@@ -44,6 +44,11 @@ struct Topology {
   /// Length of the route_xy path from `a` to `b` in links. 0 when a == b.
   unsigned hops(unsigned a, unsigned b) const;
 
+  /// Maximum hops() over all node pairs. Bounds how far apart two nodes'
+  /// local clocks can drift in the dataflow fabric engine (skew <=
+  /// diameter * link lookahead), which sizes its sampling-frame ring.
+  unsigned diameter() const;
+
   /// Human-readable form for banners and tables, e.g. "torus2d 8x8".
   std::string describe() const;
 };

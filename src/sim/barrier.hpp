@@ -4,10 +4,22 @@
 // worker threads that advance in rounds of `lookahead` cycles. Rounds are
 // short (a handful of switch evals per node), so a parked-thread barrier
 // built on a mutex/condvar would spend more time in the kernel than in the
-// simulation. This barrier spins briefly, then yields, then sleeps, which
-// behaves well when workers are truly parallel AND when they are
-// oversubscribed on few cores (CI runners, PMSB_THREADS > hardware threads)
-// -- pure spin-or-yield waiting starves the straggler in that regime.
+// simulation. This barrier spins briefly, then yields, then parks on a
+// condvar, which behaves well when workers are truly parallel AND when they
+// are oversubscribed on few cores (CI runners, PMSB_THREADS > hardware
+// threads) -- pure spin-or-yield waiting starves the straggler in that
+// regime.
+//
+// Why a condvar and not a fixed sleep for the deepest tier: a
+// sleep_for(quantum) waiter keeps sleeping after the episode completes --
+// the last arriver has no way to interrupt it -- so every deep round used
+// to pay up to a full quantum of post-completion latency per parked waiter
+// (measurable as barrier_wait_ns inflation in oversubscribed runs). Parked
+// waiters now register in sleepers_ and the last arriver notifies the
+// condvar right after bumping the generation, so release latency is a
+// wakeup, not a timer. The condvar wait still uses a timeout purely as a
+// belt-and-braces bound; correctness never depends on it (the generation
+// check rules out spurious and stale wakeups).
 //
 // Memory ordering contract: everything written by a thread before its
 // arrive_and_wait() happens-before everything read by any thread after the
@@ -20,8 +32,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 
 #include "common/util.hpp"
@@ -48,23 +62,42 @@ class SpinBarrier {
       // after observing the new generation, so the counter is quiescent here.
       arrived_.store(0, std::memory_order_relaxed);
       if (completion_) completion_();
-      generation_.fetch_add(1, std::memory_order_release);
+      // seq_cst bump + seq_cst sleepers load pair with the waiter's seq_cst
+      // sleepers bump + generation recheck (Dekker): in the single total
+      // order either the waiter sees the new generation and never parks, or
+      // we see its sleepers_ registration and notify.
+      generation_.fetch_add(1, std::memory_order_seq_cst);
+      // Wake parked waiters immediately instead of letting them ride out a
+      // sleep quantum. The mutex acquisition orders this against a waiter
+      // that registered but has not yet entered wait(): it holds the lock
+      // from the recheck until wait() releases it, so our notify cannot
+      // slip into that window.
+      if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+        { std::lock_guard<std::mutex> lk(mu_); }
+        cv_.notify_all();
+      }
     } else {
       // Escalating backoff: spin hot briefly (the common case -- rounds are
       // short and workers arrive together), then yield the timeslice, then
-      // sleep. The sleep tier is what keeps oversubscribed runs (threads >
-      // cores, e.g. PMSB_THREADS above the CI runner's core count) from
-      // livelocking the scheduler: yield() is a no-op when every runnable
-      // thread is a spinner, but a sleeping spinner lets the straggler that
-      // everyone is waiting for actually run.
+      // park on the condvar. The parked tier is what keeps oversubscribed
+      // runs (threads > cores, e.g. PMSB_THREADS above the CI runner's core
+      // count) from livelocking the scheduler: yield() is a no-op when every
+      // runnable thread is a spinner, but a parked spinner lets the
+      // straggler that everyone is waiting for actually run.
       unsigned spins = 0;
       while (generation_.load(std::memory_order_acquire) == gen) {
         ++spins;
         if (spins <= kSpinsBeforeYield) continue;
-        if (spins <= kSpinsBeforeSleep) {
+        if (spins <= kSpinsBeforePark) {
           std::this_thread::yield();
         } else {
-          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          std::unique_lock<std::mutex> lk(mu_);
+          sleepers_.fetch_add(1, std::memory_order_seq_cst);
+          // Recheck under the lock: a completion between our loop check and
+          // the sleepers_ bump would otherwise notify nobody.
+          if (generation_.load(std::memory_order_seq_cst) == gen)
+            cv_.wait_for(lk, std::chrono::milliseconds(1));
+          sleepers_.fetch_sub(1, std::memory_order_relaxed);
         }
       }
     }
@@ -72,14 +105,20 @@ class SpinBarrier {
 
   unsigned parties() const { return parties_; }
 
+  /// Waiters currently parked on the condvar tier (telemetry/tests).
+  unsigned sleepers() const { return sleepers_.load(std::memory_order_relaxed); }
+
  private:
   static constexpr unsigned kSpinsBeforeYield = 128;
-  static constexpr unsigned kSpinsBeforeSleep = 4096;
+  static constexpr unsigned kSpinsBeforePark = 4096;
 
   const unsigned parties_;
   std::function<void()> completion_;
   std::atomic<unsigned> arrived_{0};
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<unsigned> sleepers_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
 };
 
 }  // namespace pmsb

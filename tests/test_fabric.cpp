@@ -375,6 +375,34 @@ TEST(SpinBarrierTest, SurvivesMoreThreadsThanCores) {
   EXPECT_EQ(completions.load(), kEpisodes);  // Exactly one completion/episode.
 }
 
+// Regression for the wake-up path: a straggler forces every other party all
+// the way into the condvar park tier, and the completion must notify them
+// out of it (the old sleep-polling waiter burned 50us per wake; the condvar
+// waiter is also the only reason sleepers_ accounting exists).
+TEST(SpinBarrierTest, ParkedWaitersWakeOnCompletion) {
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned parties = cores * 2 + 2;
+  constexpr int kEpisodes = 50;
+  std::atomic<int> completions{0};
+  SpinBarrier barrier(parties, [&completions] { ++completions; });
+
+  std::vector<std::thread> threads;
+  threads.reserve(parties);
+  for (unsigned p = 0; p < parties; ++p) {
+    threads.emplace_back([&barrier, p] {
+      for (int e = 0; e < kEpisodes; ++e) {
+        // Party 0 straggles past everyone's spin budget, so the rest park.
+        if (p == 0 && e % 8 == 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(completions.load(), kEpisodes);
+  EXPECT_EQ(barrier.sleepers(), 0u);  // Every parked waiter was released.
+}
+
 // The fabric itself must stay deterministic when its shard count exceeds the
 // machine's core count (same livelock regression, end to end).
 TEST(Fabric, DeterministicWhenOversubscribed) {
@@ -535,7 +563,11 @@ TEST(Fabric, LatencyHistogramMatchesScalarStats) {
 }
 
 TEST(Fabric, ShardTelemetryAccountsRoundsAndRelays) {
-  fabric::Fabric fab(small_torus(2));
+  fabric::FabricConfig cfg = small_torus(2);
+  // Round/relay accounting below is barrier-engine-specific (the dataflow
+  // engine reports per-task chunks instead of lockstep rounds).
+  cfg.engine = fabric::FabricEngine::kBarrier;
+  fabric::Fabric fab(cfg);
   fab.run(1200);  // 400 rounds of D = 3.
   const std::vector<fabric::ShardTelemetry> tel = fab.shard_telemetry();
   ASSERT_EQ(tel.size(), 2u);
@@ -556,12 +588,14 @@ TEST(Fabric, ShardTelemetryAccountsRoundsAndRelays) {
 
   obs::PerfettoTrace tr;
   fab.telemetry_to_perfetto(tr);
-  // Two tracks, each: thread_name metadata + active + barrier_wait slices.
-  EXPECT_EQ(tr.event_count(), 2u * 3u);
+  // Two worker tracks, each: thread_name metadata + active + barrier_wait
+  // slices; plus the stall counter track: metadata + one sample per shard.
+  EXPECT_EQ(tr.event_count(), 2u * 3u + 1u + 2u);
   const std::string doc = tr.json();
   EXPECT_NE(doc.find("fabric worker 0"), std::string::npos);
   EXPECT_NE(doc.find("fabric worker 1"), std::string::npos);
   EXPECT_NE(doc.find("\"barrier_wait\""), std::string::npos);
+  EXPECT_NE(doc.find("fabric shard stalls"), std::string::npos);
 }
 
 TEST(FabricFastModel, MixedFabricDeliversAndConserves) {
@@ -607,6 +641,207 @@ TEST(FabricFastModel, AllFastIdleSkipEquivalence) {
   skipped.run(20000);
   EXPECT_GT(stepped.stats().delivered, 0u);
   expect_same_stats(stepped.stats(), skipped.stats());
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow engine: the same determinism contract, now across ENGINES too --
+// kDataflow must reproduce kBarrier's results bit-exactly at any thread
+// count, under idle skipping, with mixed node models, and across run()
+// splits (which also exercises mid-sequence rebalancing).
+
+fabric::FabricConfig with_engine(fabric::FabricConfig cfg, fabric::FabricEngine e,
+                                 unsigned threads) {
+  cfg.engine = e;
+  cfg.threads = threads;
+  return cfg;
+}
+
+TEST(FabricDataflow, MatchesBarrierAcrossThreadCounts) {
+  fabric::FabricConfig base = small_torus(1);
+  base.flight_recorder = true;
+  base.flight_warmup = 200;
+  fabric::Fabric ref(with_engine(base, fabric::FabricEngine::kBarrier, 1));
+  ref.run(2000);
+  const fabric::FabricStats want = ref.stats();
+  ASSERT_GT(want.delivered, 0u);
+  const obs::FlightRecorder want_flight = ref.merged_flight();
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    fabric::Fabric df(with_engine(base, fabric::FabricEngine::kDataflow, threads));
+    EXPECT_EQ(df.engine(), fabric::FabricEngine::kDataflow);
+    df.run(2000);
+    const fabric::FabricStats got = df.stats();
+    expect_same_stats(want, got);
+    // Merged HDR latency distribution, down in the tail.
+    EXPECT_EQ(want.latency.samples(), got.latency.samples()) << threads;
+    EXPECT_EQ(want.latency.p50(), got.latency.p50()) << threads;
+    EXPECT_EQ(want.latency.p999(), got.latency.p999()) << threads;
+    // Flight-recorder per-stage sums survive the engine change.
+    const obs::FlightRecorder got_flight = df.merged_flight();
+    EXPECT_EQ(want_flight.completed(), got_flight.completed()) << threads;
+    for (unsigned s = 0; s < obs::kFlightStageCount; ++s) {
+      const auto st = static_cast<obs::FlightStage>(s);
+      EXPECT_EQ(want_flight.stage(st).samples(), got_flight.stage(st).samples())
+          << threads << " stage " << s;
+      EXPECT_EQ(want_flight.stage(st).sum(), got_flight.stage(st).sum())
+          << threads << " stage " << s;
+    }
+  }
+}
+
+TEST(FabricDataflow, MetricsSamplingMatchesBarrier) {
+  obs::MetricsRegistry mb, md;
+  fabric::Fabric fb(with_engine(small_torus(1), fabric::FabricEngine::kBarrier, 1));
+  fabric::Fabric fd(with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 4));
+  fb.register_metrics(&mb);
+  fd.register_metrics(&md);
+  fb.run(1200);
+  fd.run(1200);
+  for (const char* g : {"fabric.injected", "fabric.delivered", "fabric.dropped",
+                        "fabric.backlog", "fabric.in_network", "fabric.latency.mean"}) {
+    const obs::GaugeStats* a = mb.find_gauge(g);
+    const obs::GaugeStats* b = md.find_gauge(g);
+    ASSERT_NE(a, nullptr) << g;
+    ASSERT_NE(b, nullptr) << g;
+    EXPECT_EQ(a->samples, b->samples) << g;
+    EXPECT_DOUBLE_EQ(a->last, b->last) << g;
+    EXPECT_DOUBLE_EQ(a->min, b->min) << g;
+    EXPECT_DOUBLE_EQ(a->max, b->max) << g;
+    EXPECT_DOUBLE_EQ(a->sum, b->sum) << g;
+  }
+}
+
+// Repeated run() calls continue the simulation exactly; the second and third
+// runs start from a rebalanced partition (plan from the previous run),
+// which must be invisible in the results.
+TEST(FabricDataflow, SplitRunMatchesSingleRunWithRebalance) {
+  fabric::FabricConfig cfg = with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 4);
+  cfg.rebalance = true;
+  fabric::Fabric whole(cfg);
+  fabric::Fabric split(cfg);
+  whole.run(1400);
+  split.run(500);
+  split.run(137);  // Deliberately not a multiple of the lookahead.
+  split.run(763);
+  EXPECT_EQ(whole.now(), split.now());
+  expect_same_stats(whole.stats(), split.stats());
+}
+
+// Per-node idle skipping (the dataflow engine's chunk-granular variant)
+// changes nothing, including against the barrier planner's round-granular
+// skipping, and across a mid-run split.
+TEST(FabricDataflow, IdleSkipEquivalentAcrossEnginesAndSplits) {
+  fabric::Fabric barrier_skip(
+      with_engine(low_load_torus(/*idle_skip=*/1, 1), fabric::FabricEngine::kBarrier, 1));
+  fabric::Fabric df_step(
+      with_engine(low_load_torus(/*idle_skip=*/0, 2), fabric::FabricEngine::kDataflow, 2));
+  fabric::Fabric df_skip(
+      with_engine(low_load_torus(/*idle_skip=*/1, 2), fabric::FabricEngine::kDataflow, 2));
+  fabric::Fabric df_skip_split(
+      with_engine(low_load_torus(/*idle_skip=*/1, 2), fabric::FabricEngine::kDataflow, 2));
+  barrier_skip.run(20000);
+  df_step.run(20000);
+  df_skip.run(20000);
+  df_skip_split.run(8100);  // Off the round grid on purpose.
+  df_skip_split.run(11900);
+  EXPECT_GT(df_step.stats().delivered, 0u);
+  expect_same_stats(barrier_skip.stats(), df_step.stats());
+  expect_same_stats(df_step.stats(), df_skip.stats());
+  expect_same_stats(df_skip.stats(), df_skip_split.stats());
+  EXPECT_GT(df_skip.rounds_skipped(), 0u);  // Skipping actually engaged.
+}
+
+TEST(FabricDataflow, MixedModelMatchesBarrier) {
+  fabric::Fabric fb(with_engine(mixed_model_torus(1), fabric::FabricEngine::kBarrier, 1));
+  fabric::Fabric fd(with_engine(mixed_model_torus(1), fabric::FabricEngine::kDataflow, 4));
+  fb.run(2000);
+  fd.run(2000);
+  expect_same_stats(fb.stats(), fd.stats());
+  for (unsigned i = 0; i < fb.nodes(); ++i) {
+    if (fb.node_is_fast(i)) {
+      EXPECT_EQ(fb.node_fast_switch(i).stats().accepted,
+                fd.node_fast_switch(i).stats().accepted) << i;
+    } else {
+      EXPECT_EQ(fb.node_switch(i).stats().accepted, fd.node_switch(i).stats().accepted)
+          << i;
+    }
+  }
+}
+
+TEST(FabricDataflow, DeterministicWhenOversubscribed) {
+  fabric::FabricConfig cfg = with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 1);
+  fabric::Fabric f1(cfg);
+  cfg.threads = std::max(4u, std::thread::hardware_concurrency() + 2);
+  fabric::Fabric fmany(cfg);
+  EXPECT_GE(fmany.threads(), 4u);
+  f1.run(1200);
+  fmany.run(1200);
+  expect_same_stats(f1.stats(), fmany.stats());
+}
+
+TEST(FabricDataflow, RebalanceNeverChangesResults) {
+  fabric::FabricConfig on = with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 2);
+  on.rebalance = true;
+  fabric::FabricConfig off = on;
+  off.rebalance = false;
+  fabric::Fabric fon(on);
+  fabric::Fabric foff(off);
+  // Several runs so rebalance plans actually get applied in between.
+  for (int r = 0; r < 4; ++r) {
+    fon.run(600);
+    foff.run(600);
+  }
+  expect_same_stats(fon.stats(), foff.stats());
+}
+
+TEST(FabricDataflow, SchedulerStatsAndTelemetryShape) {
+  fabric::Fabric fab(with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 2));
+  fab.run(1200);
+  const fabric::FabricSchedulerStats sched = fab.scheduler_stats();
+  EXPECT_STREQ(sched.engine, "dataflow");
+  EXPECT_EQ(sched.workers, 2u);
+  EXPECT_GE(sched.tasks, sched.workers);
+  ASSERT_EQ(sched.per_worker.size(), 2u);
+  std::uint64_t active = 0;
+  for (const auto& w : sched.per_worker) active += w.active_ns;
+  EXPECT_GT(active, 0u);
+
+  const std::vector<fabric::ShardTelemetry> tel = fab.shard_telemetry();
+  ASSERT_EQ(tel.size(), sched.tasks);
+  unsigned nodes = 0;
+  std::uint64_t relayed = 0;
+  std::uint64_t chunks = 0;
+  for (const fabric::ShardTelemetry& t : tel) {
+    EXPECT_EQ(t.barrier_wait_ns, 0u);  // kDataflow never parks at a barrier.
+    nodes += t.nodes;
+    relayed += t.cells_relayed;
+    chunks += t.rounds;
+  }
+  EXPECT_EQ(nodes, fab.nodes());
+  EXPECT_GT(relayed, 0u);
+  EXPECT_GT(chunks, 0u);
+
+  obs::PerfettoTrace tr;
+  fab.telemetry_to_perfetto(tr);
+  const std::string doc = tr.json();
+  EXPECT_NE(doc.find("fabric worker 0"), std::string::npos);
+  EXPECT_NE(doc.find("\"scheduler_idle\""), std::string::npos);
+  EXPECT_NE(doc.find("fabric shard stalls"), std::string::npos);
+  EXPECT_NE(doc.find("blocked_on_empty"), std::string::npos);
+}
+
+// The barrier engine's scheduler block is shape-compatible (degenerate
+// pinned tasks), so BENCH JSON consumers need no engine-specific handling.
+TEST(FabricDataflow, BarrierSchedulerStatsShape) {
+  fabric::Fabric fab(with_engine(small_torus(2), fabric::FabricEngine::kBarrier, 2));
+  fab.run(600);
+  const fabric::FabricSchedulerStats sched = fab.scheduler_stats();
+  EXPECT_STREQ(sched.engine, "barrier");
+  EXPECT_EQ(sched.workers, 2u);
+  EXPECT_EQ(sched.tasks, 2u);
+  EXPECT_EQ(sched.steals, 0u);
+  ASSERT_EQ(sched.per_worker.size(), 2u);
+  EXPECT_GT(sched.per_worker[0].active_ns + sched.per_worker[1].active_ns, 0u);
 }
 
 }  // namespace

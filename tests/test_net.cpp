@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/switch.hpp"
 #include "core/testbench.hpp"
 #include "net/credit_bridge.hpp"
@@ -109,6 +111,23 @@ TEST(Topology, HopsMatchesRouteXyPathLength) {
     }
     EXPECT_EQ(t.hops(0, 0), 0u);
   }
+}
+
+TEST(Topology, DiameterIsMaxPairwiseHops) {
+  for (Topology t : {Topology{TopologyKind::kMesh2D, 4, 3},
+                     Topology{TopologyKind::kTorus2D, 4, 4},
+                     Topology{TopologyKind::kTorus2D, 8, 8},
+                     Topology{TopologyKind::kRing, 6, 1},
+                     Topology{TopologyKind::kRing, 7, 1}}) {
+    unsigned worst = 0;
+    for (unsigned a = 0; a < t.nodes(); ++a)
+      for (unsigned b = 0; b < t.nodes(); ++b) worst = std::max(worst, t.hops(a, b));
+    EXPECT_EQ(t.diameter(), worst) << t.describe();
+  }
+  // Closed forms: full span on a mesh, half the wrap on torus/ring.
+  EXPECT_EQ((Topology{TopologyKind::kMesh2D, 5, 4}.diameter()), 4u + 3u);
+  EXPECT_EQ((Topology{TopologyKind::kTorus2D, 8, 8}.diameter()), 4u + 4u);
+  EXPECT_EQ((Topology{TopologyKind::kRing, 8, 1}.diameter()), 4u);
 }
 
 TEST(Topology, DescribeAndRequiredPorts) {
