@@ -1,0 +1,386 @@
+// Buffer-sharing admission-policy frontiers (ROADMAP: dynamic buffer
+// sharing + crosspoint-queued baseline under datacenter traffic).
+//
+// Sweeps the three admission policies (static per-output cap, classic
+// Dynamic Threshold [ChHa98-style], BShare-style queueing-delay-driven)
+// across their parameter ranges on the three regimes where sharing policy
+// actually matters -- incast, hotspot, heavy-tailed bursty arrivals -- and
+// publishes the loss / p99-delay frontier per policy, with the drop-reason
+// split attributing every lost cell. A static-cap equivalence section
+// proves the default policy is bit-identical to the seed SharedBufferModel,
+// and a cycle-accurate section places the crosspoint-queued architecture
+// (Cao & Panwar) next to the pipelined shared buffer at equal total memory.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "arch/admission.hpp"
+#include "arch/cq/cq_switch.hpp"
+#include "arch/shared_buffer.hpp"
+#include "bench_util.hpp"
+#include "core/testbench.hpp"
+
+using namespace pmsb;
+using namespace pmsb::bench;
+
+namespace {
+
+constexpr unsigned kN = 16;
+constexpr std::size_t kPool = 64;  // 4 cells/output: tight enough to fight over.
+constexpr Cycle kSlots = 150000;
+constexpr double kWarmupFraction = 0.2;
+
+enum class Workload { kIncast, kHotspot, kBursty };
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::kIncast: return "incast";
+    case Workload::kHotspot: return "hotspot";
+    case Workload::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+SlotTraffic make_traffic(Workload w, DestPattern* dests, std::uint64_t seed) {
+  switch (w) {
+    case Workload::kIncast:
+      // 8-to-1 fan-in at load 0.7: the sink output is offered 5.6x its
+      // drain rate while the rest of the switch idles.
+      return SlotTraffic(kN, 0.7, dests, Rng(seed));
+    case Workload::kHotspot:
+      // Half of all cells converge on output 0 at aggregate load 0.6.
+      return SlotTraffic(kN, 0.6, dests, Rng(seed));
+    case Workload::kBursty:
+      // Heavy-tailed (shape 1.5) bursts, mean 16 cells, uniform dests.
+      return SlotTraffic::bursty_pareto(kN, 0.8, 16.0, 1.5, dests, Rng(seed));
+  }
+  PMSB_CHECK(false, "unreachable");
+  return SlotTraffic(1, 0.5, dests, Rng(seed));
+}
+
+std::unique_ptr<DestPattern> make_dests(Workload w) {
+  switch (w) {
+    case Workload::kIncast: return std::make_unique<IncastDest>(kN, 0, 8);
+    case Workload::kHotspot: return std::make_unique<HotspotDest>(kN, 0, 0.5);
+    case Workload::kBursty: return std::make_unique<UniformDest>(kN);
+  }
+  return nullptr;
+}
+
+struct PolicyPoint {
+  std::string policy;
+  double param = 0;
+  double loss = 0;
+  double throughput = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t pool_full = 0;
+  std::uint64_t output_cap = 0;
+  std::uint64_t policy_reject = 0;
+};
+
+PolicyPoint run_point(Workload w, const char* policy_name, double param,
+                      std::unique_ptr<AdmissionPolicy> policy, std::uint64_t seed) {
+  SharedBufferModel model(kN, kPool, std::move(policy));
+  std::unique_ptr<DestPattern> dests = make_dests(w);
+  SlotTraffic traffic = make_traffic(w, dests.get(), seed);
+  const Cycle warmup = static_cast<Cycle>(static_cast<double>(kSlots) * kWarmupFraction);
+  run_slot_sim(model, traffic, kSlots, warmup);
+  add_simulated_units(static_cast<std::uint64_t>(kSlots));
+
+  const FlowCounts m = model.measured_counts();
+  PolicyPoint p;
+  p.policy = policy_name;
+  p.param = param;
+  p.loss = m.injected == 0
+               ? 0.0
+               : static_cast<double>(m.dropped) / static_cast<double>(m.injected);
+  p.throughput = measured_throughput(model, kSlots);
+  p.p50 = model.latency().p50();
+  p.p99 = model.latency().p99();
+  p.pool_full = model.drop_split().pool_full;
+  p.output_cap = model.drop_split().output_cap;
+  p.policy_reject = model.drop_split().policy_reject;
+  return p;
+}
+
+struct PointSpec {
+  Workload workload;
+  const char* policy;
+  double param;
+};
+
+std::unique_ptr<AdmissionPolicy> make_policy(const std::string& name, double param) {
+  if (name == "static_cap")
+    return std::make_unique<StaticCapPolicy>(static_cast<std::size_t>(param));
+  if (name == "dynamic_threshold") return std::make_unique<DynamicThresholdPolicy>(param);
+  return std::make_unique<QueueDelayPolicy>(static_cast<Cycle>(param));
+}
+
+// ---------------------------------------------------------------------------
+// Static-cap equivalence: the seed SharedBufferModel::step, verbatim.
+// ---------------------------------------------------------------------------
+
+class SeedSharedBuffer : public SlotModel {
+ public:
+  SeedSharedBuffer(unsigned n, std::size_t capacity, std::size_t out_queue_limit = 0)
+      : SlotModel(n), capacity_(capacity), out_queue_limit_(out_queue_limit), queues_(n) {}
+  std::uint64_t resident() const override { return resident_; }
+  const char* kind() const override { return "seed shared buffer"; }
+
+ protected:
+  void do_step(Cycle slot,
+               const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) override {
+    for (unsigned i = 0; i < n_; ++i) {
+      if (!arrivals[i]) continue;
+      on_injected();
+      const unsigned dest = arrivals[i]->dest;
+      if ((capacity_ != 0 && resident_ >= capacity_) ||
+          (out_queue_limit_ != 0 && queues_[dest].size() >= out_queue_limit_)) {
+        on_dropped();
+        continue;
+      }
+      queues_[dest].push_back(SlotCell{slot, i, dest});
+      ++resident_;
+    }
+    for (unsigned o = 0; o < n_; ++o) {
+      if (queues_[o].empty()) continue;
+      on_delivered(slot, queues_[o].front());
+      queues_[o].pop_front();
+      --resident_;
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t out_queue_limit_;
+  std::vector<std::deque<SlotCell>> queues_;
+  std::uint64_t resident_ = 0;
+};
+
+/// True iff the policy model reproduces the seed model bit-for-bit on an
+/// E3-style workload (counts, window, and latency histogram all equal).
+bool static_cap_matches_seed() {
+  bool ok = true;
+  const struct {
+    std::size_t capacity;
+    std::size_t limit;
+    double load;
+  } cases[] = {{86, 0, 0.8}, {64, 4, 0.8}, {48, 6, 0.95}};
+  for (const auto& c : cases) {
+    SeedSharedBuffer seed(kN, c.capacity, c.limit);
+    SharedBufferModel model(kN, c.capacity, c.limit);
+    for (SlotModel* m : {static_cast<SlotModel*>(&seed), static_cast<SlotModel*>(&model)}) {
+      UniformDest dests(kN);
+      SlotTraffic traffic(kN, c.load, &dests, Rng(101));
+      run_slot_sim(*m, traffic, 60000, 12000);
+      add_simulated_units(60000);
+    }
+    ok = ok && seed.counts().injected == model.counts().injected &&
+         seed.counts().delivered == model.counts().delivered &&
+         seed.counts().dropped == model.counts().dropped &&
+         seed.resident() == model.resident() &&
+         seed.measured_counts().delivered == model.measured_counts().delivered &&
+         seed.latency().samples() == model.latency().samples() &&
+         seed.latency().mean() == model.latency().mean() &&
+         seed.latency().p50() == model.latency().p50() &&
+         seed.latency().p99() == model.latency().p99() &&
+         seed.latency().max() == model.latency().max();
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-accurate: crosspoint-queued vs pipelined shared buffer.
+// ---------------------------------------------------------------------------
+
+struct CyclePoint {
+  std::string arch;
+  double loss = 0;
+  std::uint64_t p99 = 0;
+  double mean_latency = 0;
+};
+
+template <typename TB>
+CyclePoint run_cycle_point(TB& tb, const char* arch, Cycle cycles, Cycle warmup) {
+  LatencyStats head_latency(warmup);
+  SwitchEvents ev;
+  ev.on_read_grant = [&](unsigned, unsigned, Cycle tr, Cycle, Cycle a0, bool) {
+    head_latency.record(a0, tr + 1);
+  };
+  const Subscription sub = tb.dut().events().subscribe(std::move(ev));
+  tb.run(cycles);
+  const SwitchStats& st = tb.dut().stats();
+  CyclePoint p;
+  p.arch = arch;
+  p.loss = st.heads_seen == 0
+               ? 0.0
+               : static_cast<double>(st.dropped()) / static_cast<double>(st.heads_seen);
+  p.p99 = head_latency.p99();
+  p.mean_latency = head_latency.mean();
+  add_simulated_units(static_cast<std::uint64_t>(cycles));
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::Main(
+      argc, argv,
+      {"BS", "buffer-sharing admission-policy frontiers (BShare, Cao&Panwar)",
+       "buffer_sharing"},
+      [](bench::BenchContext& ctx) {
+        BenchJson& bj = ctx.json;
+        std::printf(
+            "\n16x16 shared buffer, %zu-cell pool, %lld slots/run (%.0f%% warmup).\n"
+            "Loss and p99 delay per admission policy under incast (8-to-1),\n"
+            "hotspot (50%% to one output), and heavy-tailed bursts (Pareto 1.5,\n"
+            "mean 16 cells).\n",
+            kPool, static_cast<long long>(kSlots), kWarmupFraction * 100.0);
+
+        // The full frontier grid: every (workload, policy, parameter) point
+        // is independent, so the whole grid is one parallel sweep.
+        std::vector<PointSpec> specs;
+        const double static_params[] = {2, 4, 8, 16};
+        const double dt_params[] = {0.25, 0.5, 1.0, 2.0};
+        const double delay_params[] = {4, 8, 16, 32};
+        for (const Workload w : {Workload::kIncast, Workload::kHotspot, Workload::kBursty}) {
+          for (const double v : static_params) specs.push_back({w, "static_cap", v});
+          for (const double v : dt_params) specs.push_back({w, "dynamic_threshold", v});
+          for (const double v : delay_params) specs.push_back({w, "queue_delay", v});
+        }
+        exp::SweepRunner runner;
+        std::vector<std::function<PolicyPoint()>> jobs;
+        jobs.reserve(specs.size());
+        for (const PointSpec& s : specs) {
+          jobs.push_back([s] {
+            return run_point(s.workload, s.policy, s.param,
+                             make_policy(s.policy, s.param), /*seed=*/407);
+          });
+        }
+        const std::vector<PolicyPoint> points = runner.run(std::move(jobs));
+
+        std::size_t idx = 0;
+        for (const Workload w : {Workload::kIncast, Workload::kHotspot, Workload::kBursty}) {
+          Table t({"policy", "param", "loss", "throughput", "p50", "p99", "pool-full",
+                   "output-cap", "policy-reject"});
+          for (std::size_t k = 0; k < 12; ++k, ++idx) {
+            const PolicyPoint& p = points[idx];
+            t.add_row({p.policy, Table::num(p.param, 2), Table::sci(p.loss, 2),
+                       Table::num(p.throughput, 4),
+                       Table::integer(static_cast<long long>(p.p50)),
+                       Table::integer(static_cast<long long>(p.p99)),
+                       Table::integer(static_cast<long long>(p.pool_full)),
+                       Table::integer(static_cast<long long>(p.output_cap)),
+                       Table::integer(static_cast<long long>(p.policy_reject))});
+          }
+          std::printf("\n-- %s --\n", workload_name(w));
+          t.print();
+          bj.add_table(std::string(workload_name(w)) + " loss/p99 frontier", t);
+        }
+
+        // Headline per-(workload, policy) metrics at each policy's midpoint
+        // parameter, so the frontier is diffable as flat keys too.
+        idx = 0;
+        for (const Workload w : {Workload::kIncast, Workload::kHotspot, Workload::kBursty}) {
+          for (std::size_t k = 0; k < 12; ++k, ++idx) {
+            const PolicyPoint& p = points[idx];
+            const bool headline =
+                (p.policy == "static_cap" && p.param == 4) ||
+                (p.policy == "dynamic_threshold" && p.param == 1.0) ||
+                (p.policy == "queue_delay" && p.param == 16);
+            if (!headline) continue;
+            const std::string prefix = std::string(workload_name(w)) + " " + p.policy;
+            bj.metric(prefix + " loss", p.loss);
+            bj.metric(prefix + " p99", static_cast<double>(p.p99));
+          }
+        }
+
+        // Fixed-schema keys from one representative point (hotspot, DT 1.0).
+        const PolicyPoint& rep = points[12 + 4 + 2];  // hotspot, DT, alpha 1.0
+        bj.metric("throughput", rep.throughput);
+        bj.metric("p50_latency", static_cast<double>(rep.p50));
+        bj.metric("p99_latency", static_cast<double>(rep.p99));
+        bj.metric("occupancy", static_cast<double>(kPool));
+
+        // Static-cap equivalence: the default policy must reproduce the
+        // seed model bit-for-bit, or the artifact (and CI) fails.
+        const bool identical = static_cap_matches_seed();
+        bj.metric("static_cap_bit_identical", identical ? 1.0 : 0.0);
+        std::printf("\nstatic-cap policy vs seed model: %s\n",
+                    identical ? "bit-identical" : "DIVERGED");
+        if (!identical) {
+          std::fprintf(stderr,
+                       "error: static-cap policy diverged from the seed "
+                       "SharedBufferModel\n");
+          return 1;
+        }
+
+        // Cycle-accurate coda: crosspoint-queued (RR and LQF) vs the
+        // pipelined shared buffer at equal total memory, under the hotspot
+        // regime the partitioning argument is about.
+        std::printf(
+            "\n-- cycle-accurate, 8x8, 128 cells total, hotspot 50%% load 0.6 --\n");
+        SwitchConfig cfg;
+        cfg.n_ports = 8;
+        cfg.word_bits = 16;
+        cfg.cell_words = 16;
+        cfg.capacity_segments = 128;  // 2 cells per crosspoint when split 64 ways.
+        TrafficSpec spec;
+        spec.pattern = PatternKind::kHotspot;
+        spec.hot_fraction = 0.5;
+        spec.load = 0.6;
+        spec.seed = ctx.seed;
+        const Cycle cycles = 120000, cwarm = 24000;
+        std::vector<std::function<CyclePoint()>> cycle_jobs;
+        cycle_jobs.push_back([&] {
+          Testbench<CrosspointQueuedSwitch, CqConfig> tb(
+              CqConfig{cfg, CqScheduler::kRoundRobin}, cfg.n_ports, cfg.cell_format(), spec,
+              /*with_scoreboard=*/false);
+          return run_cycle_point(tb, "crosspoint-queued (RR)", cycles, cwarm);
+        });
+        cycle_jobs.push_back([&] {
+          Testbench<CrosspointQueuedSwitch, CqConfig> tb(
+              CqConfig{cfg, CqScheduler::kLongestQueue}, cfg.n_ports, cfg.cell_format(), spec,
+              /*with_scoreboard=*/false);
+          return run_cycle_point(tb, "crosspoint-queued (LQF)", cycles, cwarm);
+        });
+        cycle_jobs.push_back([&] {
+          PipelinedTestbench tb(cfg, cfg.n_ports, cfg.cell_format(), spec,
+                                /*with_scoreboard=*/false);
+          return run_cycle_point(tb, "shared buffer (uncapped)", cycles, cwarm);
+        });
+        cycle_jobs.push_back([&] {
+          SwitchConfig capped = cfg;
+          capped.out_queue_limit = 32;  // anti-hogging cap, 1/4 of the pool
+          PipelinedTestbench tb(capped, capped.n_ports, capped.cell_format(), spec,
+                                /*with_scoreboard=*/false);
+          return run_cycle_point(tb, "shared buffer (cap 32)", cycles, cwarm);
+        });
+        const std::vector<CyclePoint> cyc = runner.run(std::move(cycle_jobs));
+        Table ct({"architecture", "loss", "p99 head latency", "mean head latency"});
+        for (const CyclePoint& p : cyc) {
+          ct.add_row({p.arch, Table::sci(p.loss, 2),
+                      Table::integer(static_cast<long long>(p.p99)),
+                      Table::num(p.mean_latency, 1)});
+        }
+        ct.print();
+        bj.add_table("crosspoint-queued vs shared buffer (cycle-accurate)", ct);
+        bj.metric("cq_rr_loss", cyc[0].loss);
+        bj.metric("cq_lqf_loss", cyc[1].loss);
+        bj.metric("pipelined_loss", cyc[2].loss);
+        bj.metric("pipelined_capped_loss", cyc[3].loss);
+        std::printf(
+            "\nSame die area of buffer memory, persistent hotspot overload:\n"
+            "loss is set by the overload itself, so every design that isolates\n"
+            "the hot output converges to the same loss floor. The uncapped\n"
+            "shared pool does not isolate it -- the hot output hogs the pool\n"
+            "and cold cells are lost too, the failure mode admission policies\n"
+            "exist to prevent. An anti-hogging cap restores isolation with no\n"
+            "extra memory; sharing's win over partitioning is under transient\n"
+            "bursts (the bursty frontier above), not persistent overload.\n");
+        return 0;
+      });
+}

@@ -10,7 +10,7 @@ BlockCrosspoint::BlockCrosspoint(unsigned n, unsigned groups, std::size_t capaci
   for (auto& b : blocks_) b.per_output.resize(n);
 }
 
-void BlockCrosspoint::step(Cycle slot,
+void BlockCrosspoint::do_step(Cycle slot,
                            const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) {
   PMSB_CHECK(arrivals.size() == n_, "arrival vector size mismatch");
   for (unsigned i = 0; i < n_; ++i) {

@@ -1,0 +1,140 @@
+#include "arch/cq/cq_switch.hpp"
+
+#include <stdexcept>
+
+#include "common/cell.hpp"
+
+namespace pmsb {
+
+CrosspointQueuedSwitch::CrosspointQueuedSwitch(const SwitchConfig& cfg, CqScheduler sched)
+    : cfg_((cfg.validate(), cfg)),
+      sched_(sched),
+      L_(cfg.cell_words),
+      xp_cap_(cfg.capacity_cells() /
+              (static_cast<std::size_t>(cfg.n_ports) * cfg.n_ports)),
+      xq_(static_cast<std::size_t>(cfg.n_ports) * cfg.n_ports),
+      in_links_(cfg.n_ports),
+      out_links_(cfg.n_ports),
+      in_(cfg.n_ports),
+      out_(cfg.n_ports) {
+  if (xp_cap_ == 0)
+    throw std::invalid_argument(
+        "crosspoint-queued switch needs capacity_cells() >= n_ports^2: the "
+        "pool is statically split into one buffer per crosspoint");
+  rr_.reserve(cfg.n_ports);
+  for (unsigned o = 0; o < cfg.n_ports; ++o) rr_.emplace_back(cfg.n_ports);
+  for (auto& p : in_) p.fill.resize(L_);
+  for (auto& p : out_) p.shift.resize(L_);
+}
+
+void CrosspointQueuedSwitch::eval(Cycle t) {
+  ++stats_.cycles;
+  run_outputs(t);
+  accept_arrivals(t);
+}
+
+int CrosspointQueuedSwitch::pick_input(unsigned output) {
+  if (sched_ == CqScheduler::kRoundRobin) {
+    return rr_[output].pick([&](unsigned i) { return !xq(i, output).empty(); });
+  }
+  // Longest queue first; lowest input index breaks ties, deterministically.
+  int best = -1;
+  std::size_t best_len = 0;
+  for (unsigned i = 0; i < cfg_.n_ports; ++i) {
+    const std::size_t len = xq(i, output).size();
+    if (len > best_len) {
+      best = static_cast<int>(i);
+      best_len = len;
+    }
+  }
+  return best;
+}
+
+void CrosspointQueuedSwitch::run_outputs(Cycle t) {
+  for (unsigned o = 0; o < cfg_.n_ports; ++o) {
+    OutPort& p = out_[o];
+    if (!p.shifting) {
+      const int i = pick_input(o);
+      if (i >= 0) {
+        auto& q = xq(static_cast<unsigned>(i), o);
+        QueuedCell& c = q.front();
+        p.shift.swap(c.words);
+        p.shifting = true;
+        p.shift_idx = 0;
+        ++stats_.read_initiations;
+        ++stats_.read_grants;
+        events_.read_grant(o, c.input, t, c.stored_at, c.a0, false);
+        q.pop_front();
+      }
+    }
+    if (p.shifting) {
+      out_links_[o].drive_next(Flit{true, p.shift_idx == 0, p.shift[p.shift_idx]});
+      ++p.shift_idx;
+      if (p.shift_idx == L_) p.shifting = false;
+    }
+  }
+}
+
+void CrosspointQueuedSwitch::accept_arrivals(Cycle t) {
+  for (unsigned i = 0; i < cfg_.n_ports; ++i) {
+    const Flit& f = in_links_[i].now();
+    InPort& p = in_[i];
+    if (!p.receiving) {
+      if (!f.valid) continue;
+      PMSB_CHECK(f.sop, "cell body word arrived while the input expected a head");
+      p.receiving = true;
+      p.phase = 0;
+      p.dest = decode_dest(f.data, cfg_.cell_format());
+      PMSB_CHECK(p.dest < cfg_.n_ports, "destination out of range");
+      p.a0 = t;
+      ++stats_.heads_seen;
+      events_.head(i, t, p.dest);
+    } else {
+      PMSB_CHECK(f.valid && !f.sop, "gap or unexpected head inside a cell");
+    }
+
+    p.fill[p.phase] = f.data;
+    ++p.phase;
+    if (p.phase != L_) continue;
+
+    // Cell complete: it either fits in its crosspoint or is lost. Only this
+    // input writes crosspoint (i, dest), so one occupancy check suffices.
+    p.receiving = false;
+    if (xq(i, p.dest).size() >= xp_cap_) {
+      ++stats_.dropped_no_addr;
+      events_.drop(i, p.a0, DropReason::kNoAddress);
+      continue;
+    }
+    staged_.push_back(QueuedCell{p.fill, i, p.a0, t});
+    staged_dest_.push_back(p.dest);
+    ++stats_.accepted;
+    ++stats_.write_initiations;
+    events_.accept(i, p.a0, t + 1);
+  }
+}
+
+void CrosspointQueuedSwitch::commit(Cycle) {
+  for (std::size_t k = 0; k < staged_.size(); ++k) {
+    xq(staged_[k].input, staged_dest_[k]).push_back(std::move(staged_[k]));
+  }
+  staged_.clear();
+  staged_dest_.clear();
+  for (auto& l : in_links_) l.tick();
+  for (auto& l : out_links_) l.tick();
+}
+
+bool CrosspointQueuedSwitch::drained() const {
+  if (!staged_.empty()) return false;
+  for (const auto& q : xq_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& p : in_) {
+    if (p.receiving) return false;
+  }
+  for (const auto& p : out_) {
+    if (p.shifting) return false;
+  }
+  return true;
+}
+
+}  // namespace pmsb

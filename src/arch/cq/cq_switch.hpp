@@ -1,0 +1,120 @@
+// Cycle-accurate crosspoint-queued (CQ) switch: the single-chip architecture
+// of Cao & Panwar (PAPERS.md), the opposite pole from shared buffering in
+// the section 2.2 memory-utilization trade-off. Each (input, output) pair
+// owns a small dedicated buffer at its crosspoint, so there is no shared
+// memory port to arbitrate at all: every input can write its crosspoint and
+// every output can read one crosspoint in the same cell time. The price is
+// static partitioning -- the pool is split n^2 ways, so a hot crosspoint
+// overflows while the rest of the die sits empty. bench_buffer_sharing
+// quantifies exactly that against the shared-buffer policies.
+//
+// Store-and-forward only (a crosspoint SRAM has no bypass bus); each output
+// picks among its n crosspoints with round-robin or longest-queue-first.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/arbiter.hpp"
+#include "core/config.hpp"
+#include "core/event_hub.hpp"
+#include "core/switch.hpp"  // SwitchEvents, DropReason, SwitchStats
+#include "sim/engine.hpp"
+#include "sim/wire.hpp"
+
+namespace pmsb {
+
+/// How an output chooses among its column of crosspoint buffers.
+enum class CqScheduler {
+  kRoundRobin,    ///< Rotating priority over inputs (work-conserving, fair).
+  kLongestQueue,  ///< Longest queue first, lowest input index on ties.
+};
+
+/// Single-argument config for harnesses (Testbench constructs the DUT from
+/// one config object): the shared geometry plus the output scheduler.
+struct CqConfig {
+  SwitchConfig base;
+  CqScheduler sched = CqScheduler::kRoundRobin;
+};
+
+class CrosspointQueuedSwitch : public Component {
+ public:
+  /// Uses the shared SwitchConfig geometry; the total buffer budget
+  /// capacity_cells() is split evenly into n^2 crosspoints (throws if that
+  /// leaves a crosspoint with zero cells). cut_through is ignored.
+  explicit CrosspointQueuedSwitch(const SwitchConfig& cfg,
+                                  CqScheduler sched = CqScheduler::kRoundRobin);
+  explicit CrosspointQueuedSwitch(const CqConfig& cfg)
+      : CrosspointQueuedSwitch(cfg.base, cfg.sched) {}
+
+  const SwitchConfig& config() const { return cfg_; }
+  CqScheduler scheduler() const { return sched_; }
+  std::size_t crosspoint_capacity() const { return xp_cap_; }
+
+  WireLink& in_link(unsigned i) { return in_links_.at(i); }
+  WireLink& out_link(unsigned o) { return out_links_.at(o); }
+
+  /// Multi-subscriber event fan-out (see core/event_hub.hpp).
+  EventHub& events() { return events_; }
+  const EventHub& events() const { return events_; }
+
+  void eval(Cycle t) override;
+  void commit(Cycle t) override;
+  std::string name() const override { return "crosspoint_queued_switch"; }
+
+  const SwitchStats& stats() const { return stats_; }
+  bool drained() const;
+
+ private:
+  struct InPort {
+    bool receiving = false;
+    unsigned phase = 0;
+    unsigned dest = 0;
+    Cycle a0 = 0;
+    std::vector<Word> fill;
+  };
+  struct OutPort {
+    bool shifting = false;
+    unsigned shift_idx = 0;
+    std::vector<Word> shift;
+  };
+  struct QueuedCell {
+    std::vector<Word> words;
+    unsigned input;
+    Cycle a0;
+    Cycle stored_at;
+  };
+
+  std::deque<QueuedCell>& xq(unsigned input, unsigned output) {
+    return xq_[static_cast<std::size_t>(input) * cfg_.n_ports + output];
+  }
+  const std::deque<QueuedCell>& xq(unsigned input, unsigned output) const {
+    return xq_[static_cast<std::size_t>(input) * cfg_.n_ports + output];
+  }
+
+  void run_outputs(Cycle t);
+  void accept_arrivals(Cycle t);
+  int pick_input(unsigned output);
+
+  SwitchConfig cfg_;
+  CqScheduler sched_;
+  unsigned L_;          ///< Words per cell.
+  std::size_t xp_cap_;  ///< Cells per crosspoint buffer.
+
+  std::vector<std::deque<QueuedCell>> xq_;  ///< [input * n + output]
+  std::vector<QueuedCell> staged_;          ///< Completed this cycle; queued in commit().
+  std::vector<unsigned> staged_dest_;       ///< Crosspoint column per staged cell.
+  std::vector<RoundRobin> rr_;              ///< Per-output rotating priority.
+
+  std::vector<WireLink> in_links_;
+  std::vector<WireLink> out_links_;
+  std::vector<InPort> in_;
+  std::vector<OutPort> out_;
+
+  EventHub events_;
+  SwitchStats stats_;
+};
+
+}  // namespace pmsb

@@ -7,7 +7,7 @@ CrosspointQueueing::CrosspointQueueing(unsigned n, std::size_t capacity)
       queues_(static_cast<std::size_t>(n) * n),
       column_rr_(n, RoundRobin(n)) {}
 
-void CrosspointQueueing::step(Cycle slot,
+void CrosspointQueueing::do_step(Cycle slot,
                               const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) {
   PMSB_CHECK(arrivals.size() == n_, "arrival vector size mismatch");
   for (unsigned i = 0; i < n_; ++i) {

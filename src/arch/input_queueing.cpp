@@ -5,7 +5,7 @@ namespace pmsb {
 InputQueueingFifo::InputQueueingFifo(unsigned n, std::size_t capacity, Rng rng)
     : SlotModel(n), capacity_(capacity), rng_(rng), queues_(n) {}
 
-void InputQueueingFifo::step(Cycle slot,
+void InputQueueingFifo::do_step(Cycle slot,
                              const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) {
   PMSB_CHECK(arrivals.size() == n_, "arrival vector size mismatch");
   for (unsigned i = 0; i < n_; ++i) {

@@ -14,7 +14,7 @@ class InputQueueingFifo : public SlotModel {
   /// capacity = cells per input FIFO; 0 = unbounded.
   InputQueueingFifo(unsigned n, std::size_t capacity, Rng rng);
 
-  void step(Cycle slot, const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) override;
+  void do_step(Cycle slot, const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) override;
   std::uint64_t resident() const override;
   const char* kind() const override { return "input-queueing (FIFO)"; }
 

@@ -9,7 +9,7 @@ InputSmoothing::InputSmoothing(unsigned n, std::size_t frame, Rng rng)
   PMSB_CHECK(frame >= 1, "frame must be at least one slot");
 }
 
-void InputSmoothing::step(Cycle slot,
+void InputSmoothing::do_step(Cycle slot,
                           const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) {
   PMSB_CHECK(arrivals.size() == n_, "arrival vector size mismatch");
   for (unsigned i = 0; i < n_; ++i) {

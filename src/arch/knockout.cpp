@@ -8,7 +8,7 @@ KnockoutSwitch::KnockoutSwitch(unsigned n, unsigned concentration, std::size_t c
   PMSB_CHECK(concentration >= 1 && concentration <= n, "concentration L must be in [1, n]");
 }
 
-void KnockoutSwitch::step(Cycle slot,
+void KnockoutSwitch::do_step(Cycle slot,
                           const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) {
   PMSB_CHECK(arrivals.size() == n_, "arrival vector size mismatch");
   for (auto& v : per_output_) v.clear();

@@ -5,7 +5,7 @@ namespace pmsb {
 OutputQueueing::OutputQueueing(unsigned n, std::size_t capacity)
     : SlotModel(n), capacity_(capacity), queues_(n) {}
 
-void OutputQueueing::step(Cycle slot,
+void OutputQueueing::do_step(Cycle slot,
                           const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) {
   PMSB_CHECK(arrivals.size() == n_, "arrival vector size mismatch");
   for (unsigned i = 0; i < n_; ++i) {

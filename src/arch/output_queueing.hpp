@@ -14,7 +14,7 @@ class OutputQueueing : public SlotModel {
   /// capacity = cells per output FIFO; 0 = unbounded.
   OutputQueueing(unsigned n, std::size_t capacity);
 
-  void step(Cycle slot, const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) override;
+  void do_step(Cycle slot, const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) override;
   std::uint64_t resident() const override;
   const char* kind() const override { return "output queueing"; }
 

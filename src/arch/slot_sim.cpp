@@ -1,15 +1,31 @@
 #include "arch/slot_sim.hpp"
 
+#include "arch/shared_buffer.hpp"
+#include "check/invariants.hpp"
+#include "check/slot_invariants.hpp"
+
 namespace pmsb {
 
 void run_slot_sim(SlotModel& model, SlotTraffic& traffic, Cycle slots, Cycle warmup) {
   model.set_warmup(warmup);
+  const SharedBufferModel* shared =
+      check::env_enabled() ? dynamic_cast<const SharedBufferModel*>(&model) : nullptr;
+  if (shared) {
+    check::SharedBufferAuditor audit(*shared);
+    for (Cycle s = 0; s < slots; ++s) {
+      model.step(s, traffic.step());
+      audit.after_step(s);
+    }
+    return;
+  }
   for (Cycle s = 0; s < slots; ++s) model.step(s, traffic.step());
 }
 
 double measured_throughput(const SlotModel& model, Cycle slots) {
-  return normalized_throughput(model.counts().delivered, model.ports(),
-                               static_cast<std::uint64_t>(slots));
+  const Cycle warmup = model.warmup_until();
+  if (slots <= warmup) return 0.0;
+  return normalized_throughput(model.measured_counts().delivered, model.ports(),
+                               static_cast<std::uint64_t>(slots - warmup));
 }
 
 }  // namespace pmsb

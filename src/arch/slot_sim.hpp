@@ -41,7 +41,16 @@ class SlotModel {
   unsigned ports() const { return n_; }
 
   /// Process one slot. arrivals[i] is input i's arriving cell, if any.
-  virtual void step(Cycle slot, const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) = 0;
+  /// Non-virtual: snapshots the flow counters the first time `slot` crosses
+  /// the warmup horizon so measured_counts() can window them, then delegates
+  /// to the model-specific do_step().
+  void step(Cycle slot, const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) {
+    if (!warmup_latched_ && slot >= warmup_until_) {
+      counts_at_warmup_ = counts_;
+      warmup_latched_ = true;
+    }
+    do_step(slot, arrivals);
+  }
 
   /// Cells still buffered (for conservation checks).
   virtual std::uint64_t resident() const = 0;
@@ -49,11 +58,33 @@ class SlotModel {
   virtual const char* kind() const = 0;
 
   const FlowCounts& counts() const { return counts_; }
+
+  /// Flow counters windowed to the post-warmup phase (the same window
+  /// LatencyStats measures over). Zero if the run never reached warmup.
+  FlowCounts measured_counts() const {
+    if (!warmup_latched_) return FlowCounts{};
+    FlowCounts w;
+    w.injected = counts_.injected - counts_at_warmup_.injected;
+    w.delivered = counts_.delivered - counts_at_warmup_.delivered;
+    w.dropped = counts_.dropped - counts_at_warmup_.dropped;
+    return w;
+  }
+
+  Cycle warmup_until() const { return warmup_until_; }
+
   LatencyStats& latency() { return latency_; }
   const LatencyStats& latency() const { return latency_; }
-  void set_warmup(Cycle until) { latency_.set_warmup(until); }
+  void set_warmup(Cycle until) {
+    latency_.set_warmup(until);
+    warmup_until_ = until;
+    warmup_latched_ = false;
+  }
 
  protected:
+  /// Model-specific slot processing; called via the public step() wrapper.
+  virtual void do_step(Cycle slot,
+                       const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) = 0;
+
   void on_injected() { ++counts_.injected; }
   void on_dropped() { ++counts_.dropped; }
   void on_delivered(Cycle slot, const SlotCell& c) {
@@ -64,14 +95,23 @@ class SlotModel {
   unsigned n_;
   FlowCounts counts_;
   LatencyStats latency_;
+
+ private:
+  FlowCounts counts_at_warmup_;
+  Cycle warmup_until_ = 0;
+  bool warmup_latched_ = false;
 };
 
 /// Drive `model` with `traffic` for `slots` slots (plus a drain phase for
 /// unbounded-buffer latency runs is unnecessary: steady-state measurements
 /// ignore residents). Sets the model's warmup horizon to `warmup` slots.
+/// Under PMSB_CHECK=1 a SharedBufferModel is audited every slot for
+/// conservation, occupancy, and drop-attribution invariants.
 void run_slot_sim(SlotModel& model, SlotTraffic& traffic, Cycle slots, Cycle warmup);
 
-/// Measured normalized output throughput of a finished run.
+/// Measured normalized output throughput of a finished run: post-warmup
+/// deliveries over post-warmup slots, matching the window LatencyStats
+/// filters to (whole-run before the warmup-window fix).
 double measured_throughput(const SlotModel& model, Cycle slots);
 
 }  // namespace pmsb

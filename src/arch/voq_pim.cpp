@@ -10,7 +10,7 @@ VoqPim::VoqPim(unsigned n, std::size_t capacity, unsigned iterations, Rng rng,
   PMSB_CHECK(iterations >= 1, "PIM needs at least one iteration");
 }
 
-void VoqPim::step(Cycle slot, const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) {
+void VoqPim::do_step(Cycle slot, const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) {
   PMSB_CHECK(arrivals.size() == n_, "arrival vector size mismatch");
   for (unsigned i = 0; i < n_; ++i) {
     if (!arrivals[i]) continue;

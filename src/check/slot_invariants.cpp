@@ -1,0 +1,32 @@
+#include "check/slot_invariants.hpp"
+
+namespace pmsb::check {
+
+void SharedBufferAuditor::after_step(Cycle slot) const {
+  (void)slot;
+  const FlowCounts& c = model_.counts();
+  PMSB_CHECK(c.injected == c.delivered + c.dropped + model_.resident(),
+             "shared buffer leaks cells: injected != delivered + dropped + resident");
+
+  std::uint64_t queued = 0;
+  for (unsigned o = 0; o < model_.ports(); ++o) queued += model_.queue_len(o);
+  PMSB_CHECK(queued == model_.resident(), "resident count disagrees with queue lengths");
+
+  PMSB_CHECK(model_.capacity() == 0 || model_.resident() <= model_.capacity(),
+             "shared pool occupancy exceeds capacity");
+
+  const SharedBufferModel::DropSplit& split = model_.drop_split();
+  PMSB_CHECK(split.total() == c.dropped, "drop-reason split does not sum to total drops");
+  std::uint64_t per_output = 0;
+  for (std::uint64_t d : model_.drops_by_output()) per_output += d;
+  PMSB_CHECK(per_output == c.dropped, "per-output drop counters do not sum to total drops");
+
+  const std::size_t cap = model_.policy().hard_queue_cap();
+  if (cap != 0) {
+    for (unsigned o = 0; o < model_.ports(); ++o) {
+      PMSB_CHECK(model_.queue_len(o) <= cap, "queue exceeds the policy's static bound");
+    }
+  }
+}
+
+}  // namespace pmsb::check

@@ -1,0 +1,30 @@
+// Per-slot invariant audit for the slot-level shared buffer, mirroring the
+// cycle-accurate InvariantChecker in spirit: conservation, occupancy bounds,
+// and drop-attribution consistency, independent of which admission policy
+// is plugged in. Wired into run_slot_sim behind PMSB_CHECK=1.
+
+#pragma once
+
+#include "arch/shared_buffer.hpp"
+#include "common/util.hpp"
+
+namespace pmsb::check {
+
+class SharedBufferAuditor {
+ public:
+  explicit SharedBufferAuditor(const SharedBufferModel& model) : model_(model) {}
+
+  /// Aborts (PMSB_CHECK) on the first violated invariant:
+  ///  - conservation: injected == delivered + dropped + resident
+  ///  - resident matches the sum of the logical per-output queues
+  ///  - resident never exceeds the pool capacity
+  ///  - the drop-reason split and the per-output drop counters both sum
+  ///    to the total drop count
+  ///  - no queue exceeds the policy's static bound, if it declares one
+  void after_step(Cycle slot) const;
+
+ private:
+  const SharedBufferModel& model_;
+};
+
+}  // namespace pmsb::check

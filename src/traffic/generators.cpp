@@ -1,5 +1,7 @@
 #include "traffic/generators.hpp"
 
+#include <cmath>
+
 namespace pmsb {
 
 // ---------------------------------------------------------------------------
@@ -159,22 +161,41 @@ void CellSink::commit(Cycle) {}
 // ---------------------------------------------------------------------------
 
 SlotTraffic::SlotTraffic(unsigned n_inputs, double load, DestPattern* dests, Rng rng)
-    : SlotTraffic(n_inputs, load, 1.0, false, dests, rng) {}
+    : SlotTraffic(n_inputs, load, 1.0, Burstiness::kNone, dests, rng) {}
 
 SlotTraffic SlotTraffic::bursty(unsigned n_inputs, double load, double mean_burst,
                                 DestPattern* dests, Rng rng) {
-  return SlotTraffic(n_inputs, load, mean_burst, true, dests, rng);
+  return SlotTraffic(n_inputs, load, mean_burst, Burstiness::kGeometric, dests, rng);
 }
 
-SlotTraffic::SlotTraffic(unsigned n_inputs, double load, double mean_burst, bool bursty_mode,
+SlotTraffic SlotTraffic::bursty_pareto(unsigned n_inputs, double load, double mean_burst,
+                                       double shape, DestPattern* dests, Rng rng) {
+  SlotTraffic t(n_inputs, load, mean_burst, Burstiness::kPareto, dests, rng);
+  PMSB_CHECK(shape > 1.0, "pareto burst lengths need shape > 1 for a finite mean");
+  t.pareto_shape_ = shape;
+  // Continuous Pareto(xm, s) has mean xm s / (s - 1); pick xm for `mean_burst`.
+  t.pareto_xm_ = mean_burst * (shape - 1.0) / shape;
+  const double mean_gap = load >= 1.0 ? 0.0 : mean_burst * (1.0 - load) / load;
+  t.p_gap_ = 1.0 / (1.0 + mean_gap);
+  t.pareto_.resize(n_inputs);
+  // Independent initial gaps desynchronize the inputs' on/off phases.
+  for (ParetoState& st : t.pareto_) {
+    st.gap_left = static_cast<Cycle>(t.rng_.next_geometric(t.p_gap_));
+  }
+  return t;
+}
+
+SlotTraffic::SlotTraffic(unsigned n_inputs, double load, double mean_burst, Burstiness mode,
                          DestPattern* dests, Rng rng)
-    : n_(n_inputs), load_(load), bursty_(bursty_mode), dests_(dests), rng_(rng),
+    : n_(n_inputs), load_(load), mode_(mode), dests_(dests), rng_(rng),
       burst_(n_inputs), slot_(n_inputs) {
   PMSB_CHECK(n_inputs > 0, "traffic needs at least one input");
   PMSB_CHECK(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
   PMSB_CHECK(dests != nullptr, "traffic needs a destination pattern");
-  if (bursty_) {
+  if (mode_ != Burstiness::kNone) {
     PMSB_CHECK(mean_burst >= 1.0, "mean burst below one cell");
+  }
+  if (mode_ == Burstiness::kGeometric) {
     p_stop_ = 1.0 / mean_burst;
     // Stationary on-fraction p_start/(p_start + p_stop) must equal `load`.
     p_start_ = load >= 1.0 ? 1.0 : load * p_stop_ / (1.0 - load);
@@ -182,13 +203,41 @@ SlotTraffic::SlotTraffic(unsigned n_inputs, double load, double mean_burst, bool
   }
 }
 
+std::uint64_t SlotTraffic::draw_pareto_len() {
+  // Inverse-CDF draw, rounded up and clamped: heavy-tailed but bounded so a
+  // single burst cannot stall a sweep.
+  constexpr std::uint64_t kMaxBurst = 1u << 16;
+  const double u = rng_.next_double();
+  const double len = pareto_xm_ * std::pow(1.0 - u, -1.0 / pareto_shape_);
+  if (!(len >= 1.0)) return 1;
+  if (len >= static_cast<double>(kMaxBurst)) return kMaxBurst;
+  return static_cast<std::uint64_t>(std::ceil(len));
+}
+
 const std::vector<std::optional<SlotTraffic::Arrival>>& SlotTraffic::step() {
   for (unsigned i = 0; i < n_; ++i) {
     slot_[i].reset();
-    if (!bursty_) {
+    if (mode_ == Burstiness::kNone) {
       if (rng_.next_bool(load_)) {
         slot_[i] = Arrival{dests_->pick(i, rng_)};
         ++arrivals_;
+      }
+      continue;
+    }
+    if (mode_ == Burstiness::kPareto) {
+      ParetoState& st = pareto_[i];
+      if (st.gap_left > 0) {
+        --st.gap_left;
+        continue;
+      }
+      if (st.burst_left == 0) {
+        st.burst_left = draw_pareto_len();
+        st.dest = dests_->pick(i, rng_);
+      }
+      slot_[i] = Arrival{st.dest};
+      ++arrivals_;
+      if (--st.burst_left == 0) {
+        st.gap_left = static_cast<Cycle>(rng_.next_geometric(p_gap_));
       }
       continue;
     }

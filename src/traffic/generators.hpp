@@ -74,6 +74,26 @@ class HotspotDest : public DestPattern {
   double frac_;
 };
 
+/// Incast: inputs 0..fan_in-1 all converge on the `sink` output (the
+/// many-to-one datacenter pattern); the remaining inputs spread uniformly
+/// over the other outputs.
+class IncastDest : public DestPattern {
+ public:
+  IncastDest(unsigned n, unsigned sink, unsigned fan_in)
+      : n_(n), sink_(sink), fan_in_(fan_in) {}
+  unsigned pick(unsigned src, Rng& rng) override {
+    if (src < fan_in_ || n_ <= 1) return sink_;
+    unsigned d = static_cast<unsigned>(rng.next_below(n_ - 1));
+    if (d >= sink_) ++d;  // uniform over outputs other than the sink
+    return d;
+  }
+
+ private:
+  unsigned n_;
+  unsigned sink_;
+  unsigned fan_in_;
+};
+
 // ---------------------------------------------------------------------------
 // Word-level source / sink for the cycle-accurate switches
 // ---------------------------------------------------------------------------
@@ -197,6 +217,13 @@ class SlotTraffic {
   static SlotTraffic bursty(unsigned n_inputs, double load, double mean_burst,
                             DestPattern* dests, Rng rng);
 
+  /// Heavy-tailed bursty arrivals: burst lengths from a bounded discrete
+  /// Pareto with the given tail `shape` (> 1) and mean `mean_burst` cells,
+  /// one destination per burst, geometric off gaps sized so the average
+  /// rate is `load`. Inputs start with independent gaps (desynchronized).
+  static SlotTraffic bursty_pareto(unsigned n_inputs, double load, double mean_burst,
+                                   double shape, DestPattern* dests, Rng rng);
+
   /// Arrivals for this slot, indexed by input (nullopt = no arrival).
   const std::vector<std::optional<Arrival>>& step();
 
@@ -204,7 +231,9 @@ class SlotTraffic {
   std::uint64_t arrivals_so_far() const { return arrivals_; }
 
  private:
-  SlotTraffic(unsigned n_inputs, double load, double mean_burst, bool bursty_mode,
+  enum class Burstiness { kNone, kGeometric, kPareto };
+
+  SlotTraffic(unsigned n_inputs, double load, double mean_burst, Burstiness mode,
               DestPattern* dests, Rng rng);
 
   struct BurstState {
@@ -212,14 +241,28 @@ class SlotTraffic {
     unsigned dest = 0;
   };
 
+  /// Pareto-mode per-input state: slots of silence left, then cells of the
+  /// current burst left.
+  struct ParetoState {
+    Cycle gap_left = 0;
+    std::uint64_t burst_left = 0;
+    unsigned dest = 0;
+  };
+
+  std::uint64_t draw_pareto_len();
+
   unsigned n_;
   double load_;
-  bool bursty_ = false;
-  double p_start_ = 0.0;  ///< Off->on transition probability.
-  double p_stop_ = 0.0;   ///< On->off transition probability.
+  Burstiness mode_ = Burstiness::kNone;
+  double p_start_ = 0.0;  ///< Off->on transition probability (geometric mode).
+  double p_stop_ = 0.0;   ///< On->off transition probability (geometric mode).
+  double pareto_xm_ = 0.0;     ///< Pareto scale (minimum burst, pre-rounding).
+  double pareto_shape_ = 0.0;  ///< Pareto tail index.
+  double p_gap_ = 0.0;         ///< Geometric off-gap success probability.
   DestPattern* dests_;
   Rng rng_;
   std::vector<BurstState> burst_;
+  std::vector<ParetoState> pareto_;
   std::vector<std::optional<Arrival>> slot_;
   std::uint64_t arrivals_ = 0;
 };

@@ -682,8 +682,8 @@ class StallUntilWarmup : public SlotModel {
     SlotModel::set_warmup(until);
   }
 
-  void step(Cycle slot,
-            const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) override {
+  void do_step(Cycle slot,
+               const std::vector<std::optional<SlotTraffic::Arrival>>& arrivals) override {
     for (unsigned i = 0; i < n_; ++i) {
       if (arrivals[i]) {
         on_injected();
