@@ -21,6 +21,7 @@
 #include "arch/shared_buffer.hpp"
 #include "bench_util.hpp"
 #include "core/testbench.hpp"
+#include "traffic/spec.hpp"
 
 using namespace pmsb;
 using namespace pmsb::bench;
@@ -32,41 +33,32 @@ constexpr std::size_t kPool = 64;  // 4 cells/output: tight enough to fight over
 constexpr Cycle kSlots = 150000;
 constexpr double kWarmupFraction = 0.2;
 
-enum class Workload { kIncast, kHotspot, kBursty };
+/// The three stress workloads, as traffic::GeneratorSpec text (the one
+/// grammar shared by benches, tests and the fabric config). `tag` keys the
+/// tables and JSON metrics and is independent of the spec's kind name, so
+/// the artifact schema survives spec tweaks.
+struct Workload {
+  const char* tag;
+  const char* spec;
+};
+constexpr Workload kWorkloads[] = {
+    // 8-to-1 fan-in at load 0.7: the sink output is offered 5.6x its
+    // drain rate while the rest of the switch idles.
+    {"incast", "incast:8,0.7"},
+    // Half of all cells converge on output 0 at aggregate load 0.6.
+    {"hotspot", "hotspot:0.5,0.6"},
+    // Heavy-tailed (shape 1.5) bursts, mean 16 cells, uniform dests.
+    {"bursty", "pareto:0.8,1.5,16"},
+};
 
-const char* workload_name(Workload w) {
-  switch (w) {
-    case Workload::kIncast: return "incast";
-    case Workload::kHotspot: return "hotspot";
-    case Workload::kBursty: return "bursty";
-  }
-  return "?";
+SlotTraffic make_traffic(const Workload& w, DestPattern* dests, std::uint64_t seed) {
+  return traffic::GeneratorSpec::parse(w.spec).make_slot_traffic(kN, /*fallback_load=*/0.5,
+                                                                 dests, Rng(seed));
 }
 
-SlotTraffic make_traffic(Workload w, DestPattern* dests, std::uint64_t seed) {
-  switch (w) {
-    case Workload::kIncast:
-      // 8-to-1 fan-in at load 0.7: the sink output is offered 5.6x its
-      // drain rate while the rest of the switch idles.
-      return SlotTraffic(kN, 0.7, dests, Rng(seed));
-    case Workload::kHotspot:
-      // Half of all cells converge on output 0 at aggregate load 0.6.
-      return SlotTraffic(kN, 0.6, dests, Rng(seed));
-    case Workload::kBursty:
-      // Heavy-tailed (shape 1.5) bursts, mean 16 cells, uniform dests.
-      return SlotTraffic::bursty_pareto(kN, 0.8, 16.0, 1.5, dests, Rng(seed));
-  }
-  PMSB_CHECK(false, "unreachable");
-  return SlotTraffic(1, 0.5, dests, Rng(seed));
-}
-
-std::unique_ptr<DestPattern> make_dests(Workload w) {
-  switch (w) {
-    case Workload::kIncast: return std::make_unique<IncastDest>(kN, 0, 8);
-    case Workload::kHotspot: return std::make_unique<HotspotDest>(kN, 0, 0.5);
-    case Workload::kBursty: return std::make_unique<UniformDest>(kN);
-  }
-  return nullptr;
+std::unique_ptr<DestPattern> make_dests(const Workload& w, std::uint64_t seed) {
+  Rng rng(seed);  // Consumed by permutation specs only.
+  return traffic::GeneratorSpec::parse(w.spec).make_dest(kN, rng);
 }
 
 struct PolicyPoint {
@@ -81,10 +73,10 @@ struct PolicyPoint {
   std::uint64_t policy_reject = 0;
 };
 
-PolicyPoint run_point(Workload w, const char* policy_name, double param,
+PolicyPoint run_point(const Workload& w, const char* policy_name, double param,
                       std::unique_ptr<AdmissionPolicy> policy, std::uint64_t seed) {
   SharedBufferModel model(kN, kPool, std::move(policy));
-  std::unique_ptr<DestPattern> dests = make_dests(w);
+  std::unique_ptr<DestPattern> dests = make_dests(w, seed);
   SlotTraffic traffic = make_traffic(w, dests.get(), seed);
   const Cycle warmup = static_cast<Cycle>(static_cast<double>(kSlots) * kWarmupFraction);
   run_slot_sim(model, traffic, kSlots, warmup);
@@ -246,7 +238,7 @@ int main(int argc, char** argv) {
         const double static_params[] = {2, 4, 8, 16};
         const double dt_params[] = {0.25, 0.5, 1.0, 2.0};
         const double delay_params[] = {4, 8, 16, 32};
-        for (const Workload w : {Workload::kIncast, Workload::kHotspot, Workload::kBursty}) {
+        for (const Workload& w : kWorkloads) {
           for (const double v : static_params) specs.push_back({w, "static_cap", v});
           for (const double v : dt_params) specs.push_back({w, "dynamic_threshold", v});
           for (const double v : delay_params) specs.push_back({w, "queue_delay", v});
@@ -263,7 +255,7 @@ int main(int argc, char** argv) {
         const std::vector<PolicyPoint> points = runner.run(std::move(jobs));
 
         std::size_t idx = 0;
-        for (const Workload w : {Workload::kIncast, Workload::kHotspot, Workload::kBursty}) {
+        for (const Workload& w : kWorkloads) {
           Table t({"policy", "param", "loss", "throughput", "p50", "p99", "pool-full",
                    "output-cap", "policy-reject"});
           for (std::size_t k = 0; k < 12; ++k, ++idx) {
@@ -276,15 +268,15 @@ int main(int argc, char** argv) {
                        Table::integer(static_cast<long long>(p.output_cap)),
                        Table::integer(static_cast<long long>(p.policy_reject))});
           }
-          std::printf("\n-- %s --\n", workload_name(w));
+          std::printf("\n-- %s --\n", w.tag);
           t.print();
-          bj.add_table(std::string(workload_name(w)) + " loss/p99 frontier", t);
+          bj.add_table(std::string(w.tag) + " loss/p99 frontier", t);
         }
 
         // Headline per-(workload, policy) metrics at each policy's midpoint
         // parameter, so the frontier is diffable as flat keys too.
         idx = 0;
-        for (const Workload w : {Workload::kIncast, Workload::kHotspot, Workload::kBursty}) {
+        for (const Workload& w : kWorkloads) {
           for (std::size_t k = 0; k < 12; ++k, ++idx) {
             const PolicyPoint& p = points[idx];
             const bool headline =
@@ -292,7 +284,7 @@ int main(int argc, char** argv) {
                 (p.policy == "dynamic_threshold" && p.param == 1.0) ||
                 (p.policy == "queue_delay" && p.param == 16);
             if (!headline) continue;
-            const std::string prefix = std::string(workload_name(w)) + " " + p.policy;
+            const std::string prefix = std::string(w.tag) + " " + p.policy;
             bj.metric(prefix + " loss", p.loss);
             bj.metric(prefix + " p99", static_cast<double>(p.p99));
           }

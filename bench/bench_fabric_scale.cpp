@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,11 @@ struct Run {
 constexpr Cycle kCycles = 6000;
 constexpr unsigned kLinkStages = 8;  // D: lookahead and per-link latency - 1.
 constexpr Cycle kFlightWarmup = 500;
+
+/// The one public construction path: Fabric::build(topology, config).
+std::unique_ptr<fabric::Fabric> make_fabric(const fabric::FabricConfig& cfg) {
+  return fabric::Fabric::build(cfg.topo, cfg);
+}
 
 fabric::FabricConfig make_config(const net::Topology& topo, std::uint64_t seed,
                                  unsigned threads) {
@@ -122,11 +128,11 @@ int main(int argc, char** argv) {
         for (const net::Topology& topo : topos) {
           std::vector<Run> runs;
           for (unsigned threads : thread_counts) {
-            fabric::Fabric fab(make_config(topo, ctx.seed, threads));
+            const auto fab = make_fabric(make_config(topo, ctx.seed, threads));
             const exp::WallTimer timer;
-            fab.run(kCycles);
-            runs.push_back(Run{fab.threads(), timer.seconds(), fab.stats(),
-                               flight_p99_of(fab.merged_flight())});
+            fab->run(kCycles);
+            runs.push_back(Run{fab->threads(), timer.seconds(), fab->stats(),
+                               flight_p99_of(fab->merged_flight())});
             add_simulated_units(static_cast<std::uint64_t>(kCycles) * topo.nodes());
           }
 
@@ -196,12 +202,12 @@ int main(int argc, char** argv) {
         // sampler + flight recorders -- and is the bench's Perfetto source.
         // 4 workers so the trace has real per-shard tracks; every published
         // stat is thread-count-invariant.
-        fabric::Fabric big(make_config(topos.back(), ctx.seed, 4));
+        const auto big = make_fabric(make_config(topos.back(), ctx.seed, 4));
         obs::MetricsRegistry metrics;  // Declared before the sampler (lifetime).
-        big.register_metrics(&metrics);
+        big->register_metrics(&metrics);
         obs::TimeSeriesSampler sampler(&metrics, /*capacity=*/256);
-        big.run(kCycles);
-        const fabric::FabricStats st = big.stats();
+        big->run(kCycles);
+        const fabric::FabricStats st = big->stats();
         Table hops({"hops", "cells", "mean latency"});
         for (const auto& row : st.by_hops) {
           if (row.cells == 0) continue;
@@ -226,7 +232,7 @@ int main(int argc, char** argv) {
 
         // Per-stage breakdown of the big fabric's node transit latency
         // (merged HDR histograms over all 64 switches, node order).
-        const obs::FlightRecorder big_flight = big.merged_flight();
+        const obs::FlightRecorder big_flight = big->merged_flight();
         Table stages({"stage", "samples", "mean", "p50", "p90", "p99", "p99.9"});
         for (unsigned s = 0; s < obs::kFlightStageCount; ++s) {
           const auto stage = static_cast<obs::FlightStage>(s);
@@ -249,7 +255,7 @@ int main(int argc, char** argv) {
         // Shard telemetry: wall-clock split per worker, and the transit-relay
         // share each shard carried. Timing-derived -> runtime object only.
         Table shard_t({"shard", "nodes", "active ms", "barrier ms", "rounds", "relayed"});
-        for (const fabric::ShardTelemetry& sh : big.shard_telemetry()) {
+        for (const fabric::ShardTelemetry& sh : big->shard_telemetry()) {
           shard_t.add_row({Table::integer(sh.shard), Table::integer(sh.nodes),
                            Table::num(static_cast<double>(sh.active_ns) / 1e6, 2),
                            Table::num(static_cast<double>(sh.barrier_wait_ns) / 1e6, 2),
@@ -265,12 +271,12 @@ int main(int argc, char** argv) {
                                   static_cast<double>(sh.cells_relayed));
         }
         ctx.json.runtime_metric("rounds_skipped",
-                                static_cast<double>(big.rounds_skipped()));
-        scheduler_block(ctx.json, "scheduler", big);
+                                static_cast<double>(big->rounds_skipped()));
+        scheduler_block(ctx.json, "scheduler", *big);
         std::printf("\nShard telemetry for the instrumented %s run (engine: %s; "
                     "wall clock; runtime object only):\n\n",
                     topos.back().describe().c_str(),
-                    fabric::to_string(big.engine()));
+                    fabric::to_string(big->engine()));
         shard_t.print();
 
         {
@@ -278,7 +284,7 @@ int main(int argc, char** argv) {
           if (!trace.empty()) {
             obs::PerfettoTrace tr;
             sampler.to_perfetto(tr);       // Component counter tracks.
-            big.telemetry_to_perfetto(tr); // Worker tracks (tid >= 1000).
+            big->telemetry_to_perfetto(tr); // Worker tracks (tid >= 1000).
             tr.write(trace);
             std::printf("\n[trace] wrote %s\n", trace.c_str());
           }
@@ -298,18 +304,18 @@ int main(int argc, char** argv) {
             cfg.idle_skip = idle_skip;
             return cfg;
           };
-          fabric::Fabric stepped(low_cfg(0));
+          const auto stepped = make_fabric(low_cfg(0));
           const exp::WallTimer t_off;
-          stepped.run(low_cycles);
+          stepped->run(low_cycles);
           const double wall_off = t_off.seconds();
-          fabric::Fabric skipping(low_cfg(1));
+          const auto skipping = make_fabric(low_cfg(1));
           const exp::WallTimer t_on;
-          skipping.run(low_cycles);
+          skipping->run(low_cycles);
           const double wall_on = t_on.seconds();
           add_simulated_units(2 * static_cast<std::uint64_t>(low_cycles) * topo.nodes());
 
-          const fabric::FabricStats a = stepped.stats();
-          const fabric::FabricStats b = skipping.stats();
+          const fabric::FabricStats a = stepped->stats();
+          const fabric::FabricStats b = skipping->stats();
           if (a.uid_digest != b.uid_digest || a.injected != b.injected ||
               a.delivered != b.delivered || a.dropped() != b.dropped() ||
               a.backlog != b.backlog || a.in_network != b.in_network ||
@@ -348,13 +354,13 @@ int main(int argc, char** argv) {
             cfg.fast_node = [](unsigned node) { return node % 2 == 1; };
             return cfg;
           };
-          fabric::Fabric m1(mixed_cfg(1));
-          fabric::Fabric m4(mixed_cfg(4));
-          m1.run(kCycles);
-          m4.run(kCycles);
+          const auto m1 = make_fabric(mixed_cfg(1));
+          const auto m4 = make_fabric(mixed_cfg(4));
+          m1->run(kCycles);
+          m4->run(kCycles);
           add_simulated_units(2 * static_cast<std::uint64_t>(kCycles) * topo.nodes());
-          const fabric::FabricStats a = m1.stats();
-          const fabric::FabricStats b = m4.stats();
+          const fabric::FabricStats a = m1->stats();
+          const fabric::FabricStats b = m4->stats();
           if (a.uid_digest != b.uid_digest || a.delivered != b.delivered ||
               a.dropped() != b.dropped() || a.mean_latency != b.mean_latency) {
             std::fprintf(stderr,
@@ -412,14 +418,14 @@ int main(int argc, char** argv) {
           Table hot_t({"run", "wall s", "delivered", "digest", "blocked/wait ms"});
           double wall_barrier4 = 0, wall_dataflow4 = 0;
           for (HotRun& r : hot_runs) {
-            fabric::Fabric fab(hot_cfg(r.engine, r.threads));
+            const auto fab = make_fabric(hot_cfg(r.engine, r.threads));
             const exp::WallTimer timer;
-            fab.run(hot_cycles);
+            fab->run(hot_cycles);
             r.wall_seconds = timer.seconds();
-            r.stats = fab.stats();
+            r.stats = fab->stats();
             add_simulated_units(static_cast<std::uint64_t>(hot_cycles) * topo.nodes());
             double stall_ms = 0;
-            for (const fabric::ShardTelemetry& sh : fab.shard_telemetry())
+            for (const fabric::ShardTelemetry& sh : fab->shard_telemetry())
               stall_ms += static_cast<double>(sh.barrier_wait_ns + sh.blocked_on_empty_ns +
                                               sh.blocked_on_full_ns) /
                           1e6;
@@ -434,11 +440,11 @@ int main(int argc, char** argv) {
             ctx.json.runtime_metric(tag + " stall_ms", stall_ms);
             if (r.engine == fabric::FabricEngine::kBarrier && r.threads == 4) {
               wall_barrier4 = r.wall_seconds;
-              scheduler_block(ctx.json, "scheduler_barrier", fab);
+              scheduler_block(ctx.json, "scheduler_barrier", *fab);
             }
             if (r.engine == fabric::FabricEngine::kDataflow && r.threads == 4) {
               wall_dataflow4 = r.wall_seconds;
-              scheduler_block(ctx.json, "scheduler_dataflow", fab);
+              scheduler_block(ctx.json, "scheduler_dataflow", *fab);
             }
           }
           const fabric::FabricStats& ref = hot_runs.front().stats;

@@ -23,6 +23,8 @@
 #include "core/switch.hpp"
 #include "core/testbench.hpp"
 #include "exp/sweep.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/engine.hpp"
 #include "obs/build_info.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
@@ -461,12 +463,29 @@ class BenchJson {
 };
 
 /// Everything a bench body gets from Main: the artifact under construction,
-/// the resolved seed, and the argv remainder (common flags consumed).
+/// the resolved seed, the resolved engine/skip/topology knobs, and the argv
+/// remainder (common flags consumed).
 struct BenchContext {
   BenchJson json;
   std::uint64_t seed = 1;
   int argc = 0;
   char** argv = nullptr;
+
+  /// Resolved fabric engine name ("barrier"/"dataflow"): --engine flag,
+  /// else PMSB_FABRIC_ENGINE, else barrier. Main has already installed it
+  /// process-wide (set_fabric_engine_override), so FabricConfigs built by
+  /// the bench body pick it up automatically.
+  std::string engine;
+  /// Resolved idle-skip switch (0/1): --idle-skip flag, else
+  /// PMSB_IDLE_SKIP, else on. Installed process-wide before the body runs.
+  int idle_skip = 1;
+  /// --fast-nodes N (else $PMSB_FAST_NODES): how many fabric nodes a bench
+  /// should mark fast (validated-model substitution), -1 = bench default.
+  /// Interpretation is per-bench; Main only resolves the value.
+  int fast_nodes = -1;
+  /// --lanes N (else $PMSB_LANES): virtual-channel count override for
+  /// wormhole benches, 0 = bench default (sweep or config value).
+  unsigned lanes = 0;
 };
 
 /// Banner + artifact identity of one bench binary.
@@ -496,7 +515,8 @@ struct BenchSpec {
 inline int Main(int argc, char** argv, const BenchSpec& spec,
                 const std::function<int(BenchContext&)>& body) {
   const exp::WallTimer timer;
-  BenchContext ctx{BenchJson(spec.json_name), spec.default_seed, 0, nullptr};
+  BenchContext ctx{BenchJson(spec.json_name), spec.default_seed, 0, nullptr,
+                   /*engine=*/{}, /*idle_skip=*/1, /*fast_nodes=*/-1, /*lanes=*/0};
 
   std::vector<char*> rest;
   if (argc > 0) rest.push_back(argv[0]);
@@ -515,12 +535,17 @@ inline int Main(int argc, char** argv, const BenchSpec& spec,
       }
       return false;
     };
+    const auto parse_long = [&](long lo, long hi, long* out) {
+      if (val == nullptr) return false;
+      char* end = nullptr;
+      const long v = std::strtol(val, &end, 10);
+      if (end == val || *end != '\0' || v < lo || v > hi) return false;
+      *out = v;
+      return true;
+    };
+    long v = 0;
     if (match("--threads")) {
-      if (val != nullptr) {
-        char* end = nullptr;
-        const long v = std::strtol(val, &end, 10);
-        if (end != val && *end == '\0' && v >= 1) exp::set_thread_override(static_cast<unsigned>(v));
-      }
+      if (parse_long(1, 1 << 20, &v)) exp::set_thread_override(static_cast<unsigned>(v));
     } else if (match("--json-out")) {
       if (val != nullptr) BenchJson::out_dir_override() = val;
     } else if (match("--trace-out")) {
@@ -528,15 +553,57 @@ inline int Main(int argc, char** argv, const BenchSpec& spec,
     } else if (match("--seed")) {
       if (val != nullptr) {
         char* end = nullptr;
-        const unsigned long long v = std::strtoull(val, &end, 10);
-        if (end != val && *end == '\0') ctx.seed = v;
+        const unsigned long long s = std::strtoull(val, &end, 10);
+        if (end != val && *end == '\0') ctx.seed = s;
       }
+    } else if (match("--engine")) {
+      if (val != nullptr && std::strcmp(val, "barrier") == 0) {
+        fabric::set_fabric_engine_override(fabric::FabricEngine::kBarrier);
+      } else if (val != nullptr && std::strcmp(val, "dataflow") == 0) {
+        fabric::set_fabric_engine_override(fabric::FabricEngine::kDataflow);
+      } else {
+        std::fprintf(stderr, "warning: --engine wants barrier|dataflow, got \"%s\"\n",
+                     val == nullptr ? "" : val);
+      }
+    } else if (match("--idle-skip")) {
+      if (parse_long(0, 1, &v)) Engine::set_idle_skip_override(static_cast<int>(v));
+    } else if (match("--fast-nodes")) {
+      if (parse_long(0, 1L << 30, &v)) ctx.fast_nodes = static_cast<int>(v);
+    } else if (match("--lanes")) {
+      if (parse_long(1, 32, &v)) ctx.lanes = static_cast<unsigned>(v);
     } else {
       rest.push_back(argv[i]);
     }
   }
   ctx.argc = static_cast<int>(rest.size());
   ctx.argv = rest.data();
+
+  // Environment fallbacks for flags that stayed at their "unset" value.
+  const auto env_long = [](const char* name, long lo, long hi, long* out) {
+    const char* e = std::getenv(name);
+    if (e == nullptr) return false;
+    char* end = nullptr;
+    const long v = std::strtol(e, &end, 10);
+    if (end == e || *end != '\0' || v < lo || v > hi) return false;
+    *out = v;
+    return true;
+  };
+  long ev = 0;
+  if (ctx.fast_nodes < 0 && env_long("PMSB_FAST_NODES", 0, 1L << 30, &ev))
+    ctx.fast_nodes = static_cast<int>(ev);
+  if (ctx.lanes == 0 && env_long("PMSB_LANES", 1, 32, &ev))
+    ctx.lanes = static_cast<unsigned>(ev);
+
+  // Resolve (flag beats env beats default) and echo the effective config.
+  // STDERR, not stdout: the determinism CI diffs stdout across thread
+  // counts, and --threads would otherwise perturb the byte stream.
+  ctx.engine = fabric::to_string(fabric::fabric_engine_env_default());
+  ctx.idle_skip = Engine::idle_skip_env_default() ? 1 : 0;
+  std::fprintf(stderr,
+               "[bench-config] engine=%s threads=%u idle_skip=%d fast_nodes=%d "
+               "lanes=%u seed=%llu\n",
+               ctx.engine.c_str(), exp::thread_count(), ctx.idle_skip, ctx.fast_nodes,
+               ctx.lanes, static_cast<unsigned long long>(ctx.seed));
 
   print_banner(spec.banner_id, spec.banner_title);
   const int rc = body(ctx);

@@ -18,6 +18,7 @@
 // digest bit for bit.
 
 #include <cstdio>
+#include <memory>
 
 #include "fabric/fabric.hpp"
 #include "net/topology.hpp"
@@ -27,6 +28,11 @@
 using namespace pmsb;
 
 namespace {
+
+/// The one public construction path: Fabric::build(topology, config).
+std::unique_ptr<fabric::Fabric> make_fabric(const fabric::FabricConfig& cfg) {
+  return fabric::Fabric::build(cfg.topo, cfg);
+}
 
 fabric::FabricConfig lan_config(unsigned threads) {
   fabric::FabricConfig cfg;
@@ -50,10 +56,10 @@ int main() {
               cfg.topo.describe().c_str(), cfg.node.describe().c_str(), cfg.load);
 
   obs::MetricsRegistry metrics;
-  fabric::Fabric lan(cfg);
-  lan.register_metrics(&metrics);
-  lan.run(kCycles);
-  const fabric::FabricStats st = lan.stats();
+  const auto lan = make_fabric(cfg);
+  lan->register_metrics(&metrics);
+  lan->run(kCycles);
+  const fabric::FabricStats st = lan->stats();
 
   Table t({"hops (switches)", "cells", "lat min possible", "lat mean"});
   for (const auto& row : st.by_hops) {
@@ -79,10 +85,10 @@ int main() {
 
   // Same LAN, sharded across two workers: the delivery record must be
   // bit-identical (conservative lookahead = link_pipe_stages).
-  fabric::Fabric sharded(lan_config(2));
-  sharded.run(kCycles);
-  const bool deterministic = sharded.stats().uid_digest == st.uid_digest &&
-                             sharded.stats().delivered == st.delivered;
+  const auto sharded = make_fabric(lan_config(2));
+  sharded->run(kCycles);
+  const bool deterministic = sharded->stats().uid_digest == st.uid_digest &&
+                             sharded->stats().delivered == st.delivered;
   std::printf("\nDeterminism: 2-thread rerun %s the single-thread digest %016llx.\n",
               deterministic ? "reproduces" : "DIVERGES FROM",
               static_cast<unsigned long long>(st.uid_digest));

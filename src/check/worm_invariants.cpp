@@ -1,0 +1,50 @@
+#include "check/worm_invariants.hpp"
+
+#include <string>
+
+#include "common/util.hpp"
+
+namespace pmsb::check {
+
+WormAuditor::WormAuditor(unsigned ports, unsigned lanes, unsigned lane_depth,
+                         unsigned message_flits)
+    : lanes_(lanes), lane_depth_(lane_depth), message_flits_(message_flits) {
+  in_lane_.resize(static_cast<std::size_t>(ports) * lanes);
+}
+
+void WormAuditor::on_push(unsigned in_port, unsigned lane, bool head, bool tail,
+                          std::uint64_t msg, std::uint32_t seq, std::size_t depth_after) {
+  PMSB_CHECK(depth_after <= lane_depth_,
+             "worm lane FIFO exceeds its credit allotment (port " +
+                 std::to_string(in_port) + " lane " + std::to_string(lane) + ")");
+  LaneState& st = in_lane_[static_cast<std::size_t>(in_port) * lanes_ + lane];
+  if (!st.mid) {
+    PMSB_CHECK(head && seq == 0, "worm lane received a body flit with no message open");
+    st.msg = msg;
+    st.next_seq = 0;
+  } else {
+    PMSB_CHECK(!head, "worm lane received a head flit mid-message (interleaving)");
+    PMSB_CHECK(msg == st.msg, "worm lane interleaved two messages");
+  }
+  PMSB_CHECK(seq == st.next_seq, "worm flit sequence gap within a message");
+  ++st.next_seq;
+  if (tail) {
+    PMSB_CHECK(st.next_seq == message_flits_, "worm tail flit at the wrong length");
+    st.mid = false;
+  } else {
+    st.mid = true;
+  }
+}
+
+void WormAuditor::on_credit(unsigned out_port, unsigned lane, unsigned credits_after) {
+  PMSB_CHECK(credits_after <= lane_depth_,
+             "worm credit overflow (port " + std::to_string(out_port) + " lane " +
+                 std::to_string(lane) + ")");
+}
+
+void WormAuditor::on_cycle_end(std::uint64_t flits_in, std::uint64_t flits_out,
+                               std::uint64_t held) const {
+  PMSB_CHECK(flits_in == flits_out + held, "worm router flit conservation violated");
+}
+
+}  // namespace pmsb::check

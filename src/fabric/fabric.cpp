@@ -13,10 +13,21 @@
 #include "fabric/task.hpp"
 #include "obs/perfetto.hpp"
 #include "sim/barrier.hpp"
+#include "traffic/spec.hpp"
 
 namespace pmsb::fabric {
+namespace {
+bool g_engine_overridden = false;
+FabricEngine g_engine_override = FabricEngine::kBarrier;
+}  // namespace
+
+void set_fabric_engine_override(FabricEngine e) {
+  g_engine_overridden = true;
+  g_engine_override = e;
+}
 
 FabricEngine fabric_engine_env_default() {
+  if (g_engine_overridden) return g_engine_override;
   static const FabricEngine e = [] {
     const char* v = std::getenv("PMSB_FABRIC_ENGINE");
     if (v != nullptr && std::string(v) == "dataflow") return FabricEngine::kDataflow;
@@ -30,10 +41,61 @@ const char* to_string(FabricEngine e) {
 }
 
 ConfigValidation FabricConfig::check() const {
+  // Multistage (wormhole) fabrics have no per-node switch; their geometry
+  // and transport parameters are validated here instead of node.check().
+  if (topo.multistage()) {
+    ConfigValidation v;
+    auto issue = [&v](ConfigIssue::Code c, std::string msg) {
+      v.issues.push_back(ConfigIssue{c, std::move(msg)});
+    };
+    if (topo.kind == net::TopologyKind::kClos) {
+      if (topo.radix < 2)
+        issue(ConfigIssue::Code::kBadTopology, "a Clos network needs radix >= 2");
+      else if (topo.width != topo.radix * topo.radix)
+        issue(ConfigIssue::Code::kBadTopology,
+              "a symmetric Clos C(k,k,k) needs width == radix * radix endpoints");
+    } else if (!is_pow2(topo.width) || topo.width < 4) {
+      issue(ConfigIssue::Code::kBadTopology,
+            "banyan/omega networks need a power-of-two width >= 4");
+    }
+    if (lanes < 1 || lanes > 32)
+      issue(ConfigIssue::Code::kBadPorts, "wormhole lanes must be in [1, 32]");
+    else if (buffer_flits < lanes || buffer_flits % lanes != 0)
+      issue(ConfigIssue::Code::kBadCapacity,
+            "buffer_flits must be a positive multiple of lanes");
+    if (message_flits < 1)
+      issue(ConfigIssue::Code::kBadCellWords, "wormhole messages need >= 1 flit");
+    if (link_pipe_stages < 1)
+      issue(ConfigIssue::Code::kBadLinkStages, "inter-stage links need >= 1 register stage");
+    if (!(load >= 0.0) || load > 1.0)
+      issue(ConfigIssue::Code::kBadLoad, "offered load must be in [0, 1]");
+    if (tasks_per_worker < 1)
+      issue(ConfigIssue::Code::kBadTopology, "tasks_per_worker must be >= 1");
+    try {
+      (void)traffic::GeneratorSpec::parse(traffic);
+    } catch (const std::invalid_argument& e) {
+      issue(ConfigIssue::Code::kBadLoad, e.what());
+    }
+    if (fast_node)
+      issue(ConfigIssue::Code::kBadTopology, "fast_node applies to cell fabrics only");
+    if (flight_recorder)
+      issue(ConfigIssue::Code::kBadTopology,
+            "flight_recorder applies to cell fabrics only");
+    return v;
+  }
+
   ConfigValidation v = node.check();
   auto issue = [&v](ConfigIssue::Code c, std::string msg) {
     v.issues.push_back(ConfigIssue{c, std::move(msg)});
   };
+  try {
+    const auto spec = traffic::GeneratorSpec::parse(traffic);
+    if (spec.kind != traffic::GeneratorSpec::Kind::kUniform)
+      issue(ConfigIssue::Code::kBadLoad,
+            "cell fabrics support uniform traffic only (got \"" + traffic + "\")");
+  } catch (const std::invalid_argument& e) {
+    issue(ConfigIssue::Code::kBadLoad, e.what());
+  }
   if (topo.nodes() < 2) issue(ConfigIssue::Code::kBadTopology, "fabric needs at least two nodes");
   if (topo.kind == net::TopologyKind::kRing) {
     if (topo.height != 1 || topo.width < 2)
@@ -99,12 +161,12 @@ struct Fabric::Dataflow {
     /// whichever worker holds the node's task.
     std::atomic<Cycle> done{0};
     struct In {
-      unsigned node;  ///< Upstream neighbor.
-      Channel* ch;    ///< The ring it writes and this node reads.
+      unsigned node;    ///< Upstream neighbor (in the dependency graph).
+      ChannelBase* ch;  ///< The ring it writes and this node reads.
     };
     std::vector<In> ins;
     std::vector<unsigned> out_nodes;  ///< Downstream neighbors.
-    std::vector<Channel*> out_chs;
+    std::vector<ChannelBase*> out_chs;
     Cycle credit = 0;  ///< min over out_chs of capacity() - D.
   };
 
@@ -204,9 +266,16 @@ struct Fabric::Dataflow {
   }
 };
 
+std::unique_ptr<Fabric> Fabric::build(const net::Topology& topo, const FabricConfig& cfg) {
+  FabricConfig c = cfg;
+  c.topo = topo;
+  return std::unique_ptr<Fabric>(new Fabric(c));
+}
+
 Fabric::Fabric(const FabricConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
-  codec_ = CellCodec{cfg_.node.cell_format(), bits_for(cfg_.topo.nodes())};
+  worm_ = cfg_.topo.multistage();
+  if (!worm_) codec_ = CellCodec{cfg_.node.cell_format(), bits_for(cfg_.topo.nodes())};
   ports_ = cfg_.topo.required_ports();
   build();
 }
@@ -256,13 +325,95 @@ void Fabric::wire_node(unsigned v, Engine& eng,
 }
 
 void Fabric::build() {
+  const unsigned n = cfg_.topo.nodes();
+  unsigned workers = cfg_.threads ? cfg_.threads : exp::thread_count();
+  workers_ = std::min(std::max(workers, 1u), n);
+  idle_skip_on_ = cfg_.idle_skip < 0 ? Engine::idle_skip_env_default() : cfg_.idle_skip != 0;
+  if (worm_)
+    build_worm();
+  else
+    build_cells();
+}
+
+void Fabric::build_worm() {
+  const net::Topology& topo = cfg_.topo;
+  const unsigned n = topo.nodes();
+  const auto spec = traffic::GeneratorSpec::parse(cfg_.traffic);
+
+  // One shared destination pattern: pick() is stateless (each caller passes
+  // its own Rng), so routers on different threads can share it. The rng here
+  // only seeds the permutation draw.
+  Rng drng(mix64(cfg_.seed ^ 0x517cc1b727220a95ULL));
+  wdests_ = spec.make_dest(topo.endpoints(), drng);
+
+  WormParams wp;
+  wp.lanes = cfg_.lanes;
+  wp.lane_depth = cfg_.buffer_flits / cfg_.lanes;
+  wp.message_flits = cfg_.message_flits;
+  wp.messages_per_cycle = spec.load_or(cfg_.load) / cfg_.message_flits;
+  wp.alloc = cfg_.alloc;
+
+  wrouters_.reserve(n);
+  for (unsigned v = 0; v < n; ++v)
+    wrouters_.push_back(std::make_unique<WormRouter>(&cfg_.topo, v, wp, wdests_.get()));
+
+  // Inter-stage links: a forward flit ring u->v plus a reverse credit ring
+  // v->u per link, identical wiring at every thread count and engine.
+  wdata_.resize(static_cast<std::size_t>(n) * ports_);
+  wcredit_.resize(static_cast<std::size_t>(n) * ports_);
+  for (unsigned u = 0; u < n; ++u) {
+    for (unsigned p = 0; p < ports_; ++p) {
+      const int v = topo.neighbor(u, p);
+      if (v < 0) continue;
+      const unsigned q = topo.peer_in_port(u, p);
+      auto& data = wdata_[u * ports_ + p];
+      auto& credit = wcredit_[static_cast<unsigned>(v) * ports_ + q];
+      data = std::make_unique<WormChannel>(cfg_.link_pipe_stages);
+      credit = std::make_unique<CreditChannel>(cfg_.link_pipe_stages);
+      wrouters_[u]->connect_out(p, data.get(), credit.get());
+      wrouters_[static_cast<unsigned>(v)]->connect_in(q, data.get(), credit.get());
+      wlinks_.push_back(WormLink{u, p, static_cast<unsigned>(v), q});
+    }
+  }
+
+  // Endpoints: sources on the first stage's inputs (per-endpoint RNG split
+  // from the seed, like the cell Injectors), sinks on the last stage's
+  // outputs.
+  for (unsigned e = 0; e < topo.endpoints(); ++e) {
+    const auto [v, q] = topo.ingress_of(e);
+    wrouters_[v]->add_source(q, e, Rng(mix64(cfg_.seed + 0x9e3779b97f4a7c15ULL * (e + 1))));
+  }
+  for (unsigned el = 0; el < topo.elements_per_stage(); ++el) {
+    const unsigned v = topo.node_id(topo.stages() - 1, el);
+    for (unsigned p = 0; p < ports_; ++p)
+      wrouters_[v]->add_sink(p, topo.egress_endpoint(v, p));
+  }
+
+  if (cfg_.engine == FabricEngine::kDataflow) {
+    build_worm_dataflow(workers_);
+    return;
+  }
+
+  shards_.reserve(workers_);
+  for (unsigned s = 0; s < workers_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const unsigned lo = s * n / workers_;
+    const unsigned hi = (s + 1) * n / workers_;
+    shard->engine.set_idle_skip(false);  // only maybe_skip may skip (rounds)
+    for (unsigned v = lo; v < hi; ++v) {
+      shard->node_ids.push_back(v);
+      shard->engine.add(wrouters_[v].get());
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void Fabric::build_cells() {
   const net::Topology& topo = cfg_.topo;
   const unsigned n = topo.nodes();
 
-  unsigned workers = cfg_.threads ? cfg_.threads : exp::thread_count();
-  workers_ = std::min(std::max(workers, 1u), n);
-
-  idle_skip_on_ = cfg_.idle_skip < 0 ? Engine::idle_skip_env_default() : cfg_.idle_skip != 0;
+  // A "uniform:LOAD" spec overrides cfg_.load, same as the worm fabrics.
+  const double load = traffic::GeneratorSpec::parse(cfg_.traffic).load_or(cfg_.load);
 
   nodes_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
@@ -273,7 +424,7 @@ void Fabric::build() {
       node->sw = std::make_unique<PipelinedSwitch>(cfg_.node);
     }
     node->injector.rng = Rng(mix64(cfg_.seed + 0x9e3779b97f4a7c15ULL * (i + 1)));
-    node->injector.cells_per_cycle = cfg_.load / cfg_.node.cell_words;
+    node->injector.cells_per_cycle = load / cfg_.node.cell_words;
     node->injector.self = i;
     node->injector.n_nodes = n;
     // The fabric's own accounting rides the multi-subscriber hub, leaving
@@ -372,9 +523,58 @@ void Fabric::build_dataflow(unsigned workers) {
   // Sampling-frame ring: clock skew between any two nodes is bounded by
   // diameter * D (each hop adds at most D), i.e. `diameter` boundaries, so
   // diameter + 4 in-flight boundary accumulators can never collide.
-  const unsigned rsize = cfg_.topo.diameter() + 4;
-  df.frames.reserve(rsize);
-  for (unsigned j = 0; j < rsize; ++j)
+  df_finish_build(workers, cfg_.topo.diameter() + 4);
+}
+
+void Fabric::build_worm_dataflow(unsigned workers) {
+  df_ = std::make_unique<Dataflow>();
+  Dataflow& df = *df_;
+  const unsigned n = nodes();
+  const Cycle stages = cfg_.link_pipe_stages;
+
+  df.scheduler = std::make_unique<Scheduler>(workers);
+  df.nodes.reserve(n);
+  for (unsigned v = 0; v < n; ++v) {
+    auto nd = std::make_unique<Dataflow::NodeRt>();
+    nd->engine.set_idle_skip(false);  // only df_advance_node may skip
+    nd->engine.add(wrouters_[v].get());
+    df.nodes.push_back(std::move(nd));
+  }
+  // Dependency edges from the link list: the forward flit ring makes v a
+  // downstream of u, and the reverse credit ring makes u a downstream of v
+  // -- same input/credit bounds, pointing both ways along every link.
+  for (const WormLink& l : wlinks_) {
+    WormChannel* data = wdata_[l.u * ports_ + l.p].get();
+    CreditChannel* credit = wcredit_[l.v * ports_ + l.q].get();
+    df.nodes[l.v]->ins.push_back(Dataflow::NodeRt::In{l.u, data});
+    df.nodes[l.u]->out_nodes.push_back(l.v);
+    df.nodes[l.u]->out_chs.push_back(data);
+    df.nodes[l.u]->ins.push_back(Dataflow::NodeRt::In{l.v, credit});
+    df.nodes[l.v]->out_nodes.push_back(l.u);
+    df.nodes[l.v]->out_chs.push_back(credit);
+  }
+  for (auto& nd : df.nodes) {
+    Cycle credit = kNeverWake;
+    for (ChannelBase* ch : nd->out_chs) {
+      const Cycle c = static_cast<Cycle>(ch->capacity()) - stages;
+      if (c < credit) credit = c;
+    }
+    if (credit == kNeverWake) credit = 1;  // isolated node (cannot happen)
+    PMSB_CHECK(credit > 0, "channel ring smaller than its own delay");
+    nd->credit = credit;
+  }
+
+  // The dependency graph is bidirectional along every link (credits flow
+  // upstream), so the skew bound is the *undirected* stage distance: at
+  // most 2 * (stages - 1) boundaries between the clocks of any two routers.
+  df_finish_build(workers, 2 * cfg_.topo.stages() + 4);
+}
+
+void Fabric::df_finish_build(unsigned workers, unsigned frame_ring) {
+  Dataflow& df = *df_;
+  const unsigned n = nodes();
+  df.frames.reserve(frame_ring);
+  for (unsigned j = 0; j < frame_ring; ++j)
     df.frames.push_back(std::make_unique<Dataflow::FrameSlot>());
 
   // Initial partition: contiguous blocks, tasks_per_worker tasks per worker
@@ -627,8 +827,8 @@ Fabric::NodeAdvance Fabric::df_advance_node(unsigned v) {
         }
       }
       if (rx_idle) {
-        // Stand in for the suppressed TxTap writes (see Channel::clear_range).
-        for (Channel* ch : nd.out_chs) ch->clear_range(d, limit);
+        // Stand in for the suppressed per-cycle writes (Channel::clear_range).
+        for (ChannelBase* ch : nd.out_chs) ch->clear_range(d, limit);
         nd.engine.skip_to(limit);
         rounds_skipped_.fetch_add(1, std::memory_order_relaxed);
         stepped = false;
@@ -667,15 +867,36 @@ void Fabric::df_contribute_sample(unsigned v, Cycle k) {
   // that boundary has all contributions by now, so this wait only covers
   // an in-flight completion call.
   while (slot.boundary.load(std::memory_order_acquire) != k) std::this_thread::yield();
-  const Node& n = *nodes_[v];
   // This worker holds node v exactly at the boundary cycle, so these reads
   // see the same per-node state the parked barrier engine would.
-  slot.injected.fetch_add(n.injector.generated, std::memory_order_relaxed);
-  slot.backlog.fetch_add(n.injector.backlog.size(), std::memory_order_relaxed);
-  slot.delivered.fetch_add(n.ejector.delivered, std::memory_order_relaxed);
-  slot.dropped.fetch_add(n.drop_no_addr + n.drop_no_slot + n.drop_out_limit,
-                         std::memory_order_relaxed);
-  slot.lat_sum.fetch_add(n.ejector.lat_sum, std::memory_order_relaxed);
+  if (worm_) {
+    const WormRouter& r = *wrouters_[v];
+    std::uint64_t inj = 0, bkl = 0, del = 0, lat = 0;
+    for (unsigned p = 0; p < ports_; ++p) {
+      if (r.has_source(p)) {
+        const auto ss = r.source_stats(p);
+        inj += ss.generated;
+        bkl += ss.backlog;
+      }
+      if (r.has_sink(p)) {
+        const auto ks = r.sink_stats(p);
+        del += ks.delivered;
+        lat += ks.lat_sum;
+      }
+    }
+    slot.injected.fetch_add(inj, std::memory_order_relaxed);
+    slot.backlog.fetch_add(bkl, std::memory_order_relaxed);
+    slot.delivered.fetch_add(del, std::memory_order_relaxed);
+    slot.lat_sum.fetch_add(lat, std::memory_order_relaxed);
+  } else {
+    const Node& n = *nodes_[v];
+    slot.injected.fetch_add(n.injector.generated, std::memory_order_relaxed);
+    slot.backlog.fetch_add(n.injector.backlog.size(), std::memory_order_relaxed);
+    slot.delivered.fetch_add(n.ejector.delivered, std::memory_order_relaxed);
+    slot.dropped.fetch_add(n.drop_no_addr + n.drop_no_slot + n.drop_out_limit,
+                           std::memory_order_relaxed);
+    slot.lat_sum.fetch_add(n.ejector.lat_sum, std::memory_order_relaxed);
+  }
   if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
 
   // Last contributor publishes, strictly in boundary order (sample_turn is
@@ -788,9 +1009,11 @@ void Fabric::maybe_skip() {
     if (!sp->engine.quiescent_at(cycles_run_, &w)) return;
     if (w < wake) wake = w;
   }
-  for (const auto& ch : channels_) {
-    if (ch && !ch->idle_at(cycles_run_)) return;
-  }
+  bool rings_idle = true;
+  for_each_ring([&](ChannelBase& ch) {
+    if (!ch.idle_at(cycles_run_)) rings_idle = false;
+  });
+  if (!rings_idle) return;
   // Advance whole rounds while they end at or before the earliest wake
   // (components must execute the wake cycle itself), keeping the metrics
   // cadence of stepped rounds.
@@ -804,29 +1027,38 @@ void Fabric::maybe_skip() {
     skipped = true;
     rounds_skipped_.fetch_add(1, std::memory_order_relaxed);
   }
-  // Skipping suppressed the TxTaps' per-cycle ring writes; drop the stale
+  // Skipping suppressed the producers' per-cycle ring writes; drop the stale
   // entries so they cannot resurface after a jump past the ring size. All
   // channels are empty here, so nothing live is lost.
-  if (skipped) {
-    for (const auto& ch : channels_) {
-      if (ch) ch->clear_for_skip();
-    }
-  }
+  if (skipped) for_each_ring([](ChannelBase& ch) { ch.clear_for_skip(); });
 }
 
 std::uint64_t Fabric::sum_injected() const {
   std::uint64_t s = 0;
+  if (worm_) {
+    for (const auto& r : wrouters_)
+      for (unsigned p = 0; p < ports_; ++p)
+        if (r->has_source(p)) s += r->source_stats(p).generated;
+    return s;
+  }
   for (const auto& n : nodes_) s += n->injector.generated;
   return s;
 }
 
 std::uint64_t Fabric::sum_delivered() const {
   std::uint64_t s = 0;
+  if (worm_) {
+    for (const auto& r : wrouters_)
+      for (unsigned p = 0; p < ports_; ++p)
+        if (r->has_sink(p)) s += r->sink_stats(p).delivered;
+    return s;
+  }
   for (const auto& n : nodes_) s += n->ejector.delivered;
   return s;
 }
 
 std::uint64_t Fabric::sum_dropped() const {
+  if (worm_) return 0;  // wormhole transport is lossless (credit-backpressured)
   std::uint64_t s = 0;
   for (const auto& n : nodes_) s += n->drop_no_addr + n->drop_no_slot + n->drop_out_limit;
   return s;
@@ -834,12 +1066,24 @@ std::uint64_t Fabric::sum_dropped() const {
 
 std::uint64_t Fabric::sum_backlog() const {
   std::uint64_t s = 0;
+  if (worm_) {
+    for (const auto& r : wrouters_)
+      for (unsigned p = 0; p < ports_; ++p)
+        if (r->has_source(p)) s += r->source_stats(p).backlog;
+    return s;
+  }
   for (const auto& n : nodes_) s += n->injector.backlog.size();
   return s;
 }
 
 std::uint64_t Fabric::sum_lat() const {
   std::uint64_t s = 0;
+  if (worm_) {
+    for (const auto& r : wrouters_)
+      for (unsigned p = 0; p < ports_; ++p)
+        if (r->has_sink(p)) s += r->sink_stats(p).lat_sum;
+    return s;
+  }
   for (const auto& n : nodes_) s += n->ejector.lat_sum;
   return s;
 }
@@ -848,6 +1092,46 @@ FabricStats Fabric::stats() const {
   FabricStats st;
   st.cycles = cycles_run_;
   bool have_lat = false;
+  if (worm_) {
+    // Merge sinks in (node, port) order -- a fixed order, so the digest and
+    // histogram are identical at any thread count and under either engine.
+    std::uint64_t lat_sum = 0;
+    for (const auto& rp : wrouters_) {
+      for (unsigned p = 0; p < ports_; ++p) {
+        if (rp->has_source(p)) {
+          const auto ss = rp->source_stats(p);
+          st.injected += ss.generated;
+          st.backlog += ss.backlog;
+        }
+        if (!rp->has_sink(p)) continue;
+        const auto ks = rp->sink_stats(p);
+        st.delivered += ks.delivered;
+        st.flits_delivered += ks.flits;
+        st.payload_errors += ks.payload_errors;
+        st.uid_digest = mix64(st.uid_digest ^ ks.digest);
+        st.latency.merge(*ks.lat_hist);
+        lat_sum += ks.lat_sum;
+        if (ks.delivered) {
+          const Cycle lo = static_cast<Cycle>(ks.lat_hist->min());
+          const Cycle hi = static_cast<Cycle>(ks.lat_hist->max());
+          if (!have_lat || lo < st.min_latency) st.min_latency = lo;
+          if (!have_lat || hi > st.max_latency) st.max_latency = hi;
+          have_lat = true;
+        }
+      }
+    }
+    st.mean_latency = st.delivered
+                          ? static_cast<double>(lat_sum) / static_cast<double>(st.delivered)
+                          : 0.0;
+    // Every endpoint pair crosses all stages() - 1 inter-stage links.
+    if (st.delivered)
+      st.by_hops.push_back(
+          FabricStats::HopRow{cfg_.topo.stages() - 1, st.delivered, st.mean_latency});
+    const auto accounted = st.backlog + st.delivered;
+    PMSB_CHECK(st.injected >= accounted, "worm fabric conservation violated");
+    st.in_network = st.injected - accounted;
+    return st;
+  }
   for (const auto& np : nodes_) {
     const Node& n = *np;
     st.injected += n.injector.generated;
@@ -910,8 +1194,13 @@ std::vector<ShardTelemetry> Fabric::shard_telemetry() const {
       t.blocked_on_full_ns = task.blocked_on_full_ns.load(std::memory_order_relaxed);
       t.steals = task.steals.load(std::memory_order_relaxed);
       t.rounds = task.rounds.load(std::memory_order_relaxed);
-      for (unsigned v : task.node_ids)
-        for (const auto& b : df.nodes[v]->bridges) t.cells_relayed += b->relayed();
+      for (unsigned v : task.node_ids) {
+        if (worm_) {
+          t.cells_relayed += wrouters_[v]->flits_forwarded();
+        } else {
+          for (const auto& b : df.nodes[v]->bridges) t.cells_relayed += b->relayed();
+        }
+      }
       out.push_back(t);
     }
     return out;
@@ -925,7 +1214,11 @@ std::vector<ShardTelemetry> Fabric::shard_telemetry() const {
     t.active_ns = sh.active_ns;
     t.barrier_wait_ns = sh.barrier_wait_ns;
     t.rounds = sh.rounds;
-    for (const auto& b : sh.bridges) t.cells_relayed += b->relayed();
+    if (worm_) {
+      for (unsigned v : sh.node_ids) t.cells_relayed += wrouters_[v]->flits_forwarded();
+    } else {
+      for (const auto& b : sh.bridges) t.cells_relayed += b->relayed();
+    }
     out.push_back(t);
   }
   return out;

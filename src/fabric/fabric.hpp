@@ -51,6 +51,7 @@
 #include "exp/thread_pool.hpp"
 #include "fabric/bridge.hpp"
 #include "fabric/channel.hpp"
+#include "fabric/worm.hpp"
 #include "net/topology.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -76,13 +77,20 @@ enum class FabricEngine {
 /// both engines without touching configs.
 FabricEngine fabric_engine_env_default();
 
+/// Process-wide override for the default above (bench --engine flag). Only
+/// affects FabricConfigs constructed after the call; call from startup code
+/// before any simulation threads exist.
+void set_fabric_engine_override(FabricEngine e);
+
 const char* to_string(FabricEngine e);
 
 struct FabricConfig {
   net::Topology topo;
-  /// Per-node switch geometry. Needs n_ports >= topo.required_ports(),
-  /// word_bits >= 16 and cell_words >= 4 (fabric wire format), and a head
-  /// tag wide enough for a node id. SwitchConfig::for_ports() qualifies.
+  /// Per-node switch geometry (direct topologies only; multistage kinds run
+  /// flit-level WormRouters and ignore this). Needs n_ports >=
+  /// topo.required_ports(), word_bits >= 16 and cell_words >= 4 (fabric wire
+  /// format), and a head tag wide enough for a node id.
+  /// SwitchConfig::for_ports() qualifies.
   SwitchConfig node = SwitchConfig::for_ports(4);
   /// D: register stages on every inter-node link (latency D + 1 cycles).
   /// Doubles as the engines' synchronization lookahead.
@@ -123,6 +131,23 @@ struct FabricConfig {
   /// Cells whose head arrived before this cycle are excluded from the
   /// flight recorders.
   Cycle flight_warmup = 0;
+
+  // --- Wormhole transport (multistage topologies only) --------------------
+  /// Virtual channels (lanes) per router port, 1..32; must divide
+  /// buffer_flits.
+  unsigned lanes = 1;
+  /// Flit buffering per router input port, split evenly across lanes
+  /// (lane_depth = buffer_flits / lanes = per-lane credits).
+  unsigned buffer_flits = 16;
+  /// Flits per message (head..tail).
+  unsigned message_flits = 8;
+  /// Lane allocation / switch arbitration policy.
+  WormAlloc alloc = WormAlloc::kRoundRobin;
+  /// Workload spec (traffic::GeneratorSpec grammar, e.g. "uniform:0.8",
+  /// "hotspot:0.25"). Multistage fabrics honor every destination kind;
+  /// direct (cell) fabrics support "uniform" only. A spec-embedded load
+  /// overrides `load`.
+  std::string traffic = "uniform";
 
   ConfigValidation check() const;
   void validate() const;
@@ -168,10 +193,13 @@ struct FabricSchedulerStats {
 };
 
 /// Aggregated end-of-run accounting, merged over nodes in index order.
+/// Cell fabrics count cells; wormhole fabrics count messages (and report
+/// flits_delivered besides).
 struct FabricStats {
   Cycle cycles = 0;
-  std::uint64_t injected = 0;   ///< Cells generated (incl. still queued).
+  std::uint64_t injected = 0;   ///< Cells/messages generated (incl. still queued).
   std::uint64_t delivered = 0;
+  std::uint64_t flits_delivered = 0;  ///< Wormhole fabrics only.
   std::uint64_t payload_errors = 0;
   std::uint64_t dropped_no_addr = 0;
   std::uint64_t dropped_no_slot = 0;
@@ -200,7 +228,13 @@ struct FabricStats {
 
 class Fabric {
  public:
-  explicit Fabric(const FabricConfig& cfg);
+  /// THE construction path: build a fabric of `topo`'s shape with the given
+  /// configuration (cfg.topo is overridden by `topo`). Direct topologies
+  /// (mesh/torus/ring) get cell-granular PipelinedSwitch nodes; multistage
+  /// topologies (banyan/omega/clos) get flit-level wormhole routers. Throws
+  /// std::invalid_argument on an invalid configuration.
+  static std::unique_ptr<Fabric> build(const net::Topology& topo, const FabricConfig& cfg);
+
   ~Fabric();
 
   Fabric(const Fabric&) = delete;
@@ -211,14 +245,26 @@ class Fabric {
   FabricEngine engine() const { return cfg_.engine; }
   Cycle now() const { return cycles_run_; }
   const FabricConfig& config() const { return cfg_; }
-  bool node_is_fast(unsigned i) const { return nodes_[i]->fast != nullptr; }
+  /// True when this fabric runs flit-level wormhole transport (multistage
+  /// topology); the node_*switch accessors below are cell-fabric-only.
+  bool wormhole() const { return worm_; }
+  bool node_is_fast(unsigned i) const {
+    PMSB_CHECK(!worm_, "wormhole fabrics have no switch nodes");
+    return nodes_[i]->fast != nullptr;
+  }
   const PipelinedSwitch& node_switch(unsigned i) const {
+    PMSB_CHECK(!worm_, "wormhole fabrics have no switch nodes");
     PMSB_CHECK(nodes_[i]->sw != nullptr, "node runs the fast model (see node_is_fast)");
     return *nodes_[i]->sw;
   }
   const FastSwitch& node_fast_switch(unsigned i) const {
+    PMSB_CHECK(!worm_, "wormhole fabrics have no switch nodes");
     PMSB_CHECK(nodes_[i]->fast != nullptr, "node runs the cycle-accurate switch");
     return *nodes_[i]->fast;
+  }
+  const WormRouter& node_router(unsigned i) const {
+    PMSB_CHECK(worm_, "cell fabrics have no wormhole routers");
+    return *wrouters_[i];
   }
 
   /// Register live gauges (fabric.injected/delivered/dropped/backlog/
@@ -259,6 +305,8 @@ class Fabric {
   void telemetry_to_perfetto(obs::PerfettoTrace& out) const;
 
  private:
+  explicit Fabric(const FabricConfig& cfg);
+
   struct Node {
     std::unique_ptr<PipelinedSwitch> sw;  ///< Exactly one of sw / fast is set.
     std::unique_ptr<FastSwitch> fast;
@@ -300,8 +348,21 @@ class Fabric {
   };
 
   void build();
+  void build_cells();
+  void build_worm();
   void wire_node(unsigned v, Engine& eng, std::vector<std::unique_ptr<PortBridge>>& bridges,
                  std::vector<std::unique_ptr<TxTap>>& taps);
+  /// Every channel ring of either transport (cell link rings, or worm data
+  /// + reverse credit rings).
+  template <typename Fn>
+  void for_each_ring(Fn&& fn) const {
+    for (const auto& ch : channels_)
+      if (ch) fn(*ch);
+    for (const auto& ch : wdata_)
+      if (ch) fn(*ch);
+    for (const auto& ch : wcredit_)
+      if (ch) fn(*ch);
+  }
   void end_of_round();
   /// Round-granularity idle skip, run inside the barrier completion while
   /// every worker is parked: if all shards are quiescent and all channels
@@ -327,6 +388,10 @@ class Fabric {
     kNodeDone,       ///< Reached the run target.
   };
   void build_dataflow(unsigned workers);
+  void build_worm_dataflow(unsigned workers);
+  /// Common dataflow tail: sampling-frame ring of `frame_ring` slots plus
+  /// the initial contiguous task partition.
+  void df_finish_build(unsigned workers, unsigned frame_ring);
   void run_dataflow(Cycle cycles);
   NodeAdvance df_advance_node(unsigned v);
   bool df_node_ready(unsigned v) const;
@@ -340,8 +405,22 @@ class Fabric {
   CellCodec codec_;
   unsigned ports_ = 0;    ///< Router ports in use (topology degree).
   unsigned workers_ = 1;  ///< Resolved worker-thread count.
-  std::vector<std::unique_ptr<Node>> nodes_;
+  bool worm_ = false;     ///< Wormhole transport (multistage topology).
+  std::vector<std::unique_ptr<Node>> nodes_;        ///< Cell fabrics only.
   std::vector<std::unique_ptr<Channel>> channels_;  ///< [node * ports_ + out_port]
+
+  // --- Wormhole transport state (worm_ == true) ---------------------------
+  /// Shared destination pattern (stateless per pick; see traffic/spec.hpp).
+  std::unique_ptr<DestPattern> wdests_;
+  std::vector<std::unique_ptr<WormRouter>> wrouters_;    ///< [node]
+  std::vector<std::unique_ptr<WormChannel>> wdata_;      ///< [u * ports_ + out_port]
+  std::vector<std::unique_ptr<CreditChannel>> wcredit_;  ///< [v * ports_ + in_port]
+  /// Directed inter-stage links (u, out p) -> (v, in q); drives both the
+  /// ring wiring and the dataflow dependency edges (data u->v, credit v->u).
+  struct WormLink {
+    unsigned u, p, v, q;
+  };
+  std::vector<WormLink> wlinks_;
   std::vector<std::unique_ptr<Shard>> shards_;      ///< kBarrier only.
   std::unique_ptr<Dataflow> df_;                    ///< kDataflow only.
   std::unique_ptr<exp::ThreadPool> pool_;  ///< Lazily built when needed.

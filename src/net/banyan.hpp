@@ -1,3 +1,12 @@
+// DEPRECATED -- compatibility shim, kept for one release.
+//
+// BanyanNetwork is superseded by the unified construction path
+// fabric::Fabric::build(net::Topology, fabric::FabricConfig): a
+// net::Topology of kind kBanyan / kOmega / kClos builds the flit-level
+// wormhole multistage fabric (src/fabric/worm.*), sharded and deterministic
+// under both engines. New code must build through fabric::Fabric::build;
+// this header will be removed in the release after next.
+//
 // Multistage (delta/banyan) network of pipelined-memory switches.
 //
 // "Such switches can be used by themselves, or they can be the building
@@ -37,7 +46,9 @@ struct BanyanConfig {
   bool cut_through = true;
 };
 
-class BanyanNetwork {
+class [[deprecated(
+    "use fabric::Fabric::build with a multistage net::Topology "
+    "(kBanyan/kOmega/kClos); this shim is removed next release")]] BanyanNetwork {
  public:
   explicit BanyanNetwork(const BanyanConfig& cfg);
 

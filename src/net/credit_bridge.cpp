@@ -1,3 +1,5 @@
 // Header-only definitions live in credit_bridge.hpp; this translation unit
 // exists so the build exercises the header standalone.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include "net/credit_bridge.hpp"

@@ -1,3 +1,12 @@
+// DEPRECATED -- compatibility shim, kept for one release.
+//
+// CreditBridge is superseded by the fabric engine's built-in credit
+// backpressure: fabric::Fabric::build wires lossless credit loops (cell
+// fabrics) and per-lane flit credits (wormhole fabrics) itself, so no
+// hand-assembled bridge is needed. New code must build through
+// fabric::Fabric::build; this header will be removed in the release after
+// next.
+//
 // Credit-based flow control between two cycle-accurate switches.
 //
 // Telegraphos links are flow-controlled with credits (the outgoing-link
@@ -34,7 +43,9 @@
 
 namespace pmsb::net {
 
-class CreditBridge : public Component {
+class [[deprecated(
+    "fabric::Fabric::build wires credit backpressure itself; this shim is "
+    "removed next release")]] CreditBridge : public Component {
  public:
   CreditBridge(WireLink* from, WireLink* to, unsigned credits)
       : from_(from), to_(to), max_credits_(credits), credits_(credits) {

@@ -1,3 +1,6 @@
+// This translation unit *implements* the deprecated shim.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include "net/wormhole.hpp"
 
 namespace pmsb::net {

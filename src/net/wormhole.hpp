@@ -1,3 +1,13 @@
+// DEPRECATED -- compatibility shim, kept for one release.
+//
+// WormholeNetwork is superseded by the unified construction path
+// fabric::Fabric::build(net::Topology, fabric::FabricConfig) with a
+// multistage topology kind (kBanyan / kOmega / kClos), which runs the same
+// flit-level virtual-channel wormhole transport (src/fabric/worm.*) under
+// both the barrier and dataflow engines, deterministically at any thread
+// count. New code must build through fabric::Fabric::build; this header
+// will be removed in the release after next.
+//
 // WormholeNetwork: a full network of single-lane wormhole routers with
 // credit flow control, used to reproduce the paper's bursty-traffic citation
 // (section 2.1, [Dally90 fig. 8, 1 lane]: 20-flit messages, 16-flit buffers,
@@ -31,7 +41,9 @@ struct WormholeConfig {
   std::uint64_t seed = 1;
 };
 
-class WormholeNetwork {
+class [[deprecated(
+    "use fabric::Fabric::build with a multistage net::Topology "
+    "(kBanyan/kOmega/kClos); this shim is removed next release")]] WormholeNetwork {
  public:
   explicit WormholeNetwork(const WormholeConfig& cfg);
 

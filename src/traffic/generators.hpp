@@ -74,6 +74,31 @@ class HotspotDest : public DestPattern {
   double frac_;
 };
 
+/// Hot senders (tree saturation, sender-resolved): a `frac` share of the
+/// inputs -- every round(1/frac)-th, never the hot output itself -- send
+/// *all* their traffic to the hot output; every other input sends uniform
+/// background over the non-hot outputs. Unlike HotspotDest, background
+/// sources never generate hot-destined traffic themselves, so their carried
+/// throughput isolates in-network head-of-line blocking behind the
+/// saturated hot tree -- the quantity virtual channels rescue.
+class HotSendersDest : public DestPattern {
+ public:
+  HotSendersDest(unsigned n, unsigned hot, double frac)
+      : n_(n), hot_(hot),
+        every_(frac >= 1.0 ? 1u : static_cast<unsigned>(1.0 / frac + 0.5)) {}
+  unsigned pick(unsigned src, Rng& rng) override {
+    if (src % every_ == every_ - 1 || n_ <= 1) return hot_;
+    unsigned d = static_cast<unsigned>(rng.next_below(n_ - 1));
+    if (d >= hot_) ++d;  // background: uniform over the non-hot outputs
+    return d;
+  }
+
+ private:
+  unsigned n_;
+  unsigned hot_;
+  unsigned every_;
+};
+
 /// Incast: inputs 0..fan_in-1 all converge on the `sink` output (the
 /// many-to-one datacenter pattern); the remaining inputs spread uniformly
 /// over the other outputs.

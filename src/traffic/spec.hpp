@@ -1,0 +1,62 @@
+// Textual workload specs -- one tiny grammar shared by benches, tests, the
+// fabric config and the fuzz corpus, so "uniform:0.8" means the same thing
+// everywhere instead of each bench growing its own flag parser:
+//
+//   uniform[:LOAD]               uniformly random destinations
+//   permutation[:LOAD]           a fixed random bijection (contention-free)
+//   hotspot:FRAC[,LOAD]          fraction FRAC of traffic to one hot output
+//   hotsenders:FRAC[,LOAD]       FRAC of the inputs send only to the hot
+//                                output; the rest send uniform background
+//                                over the non-hot outputs
+//   incast:FAN[,LOAD]            inputs 0..FAN-1 converge on one output
+//   bursty:LOAD[,MEAN_BURST]     geometric on/off bursts, uniform dests
+//   pareto:LOAD[,SHAPE[,MEAN_BURST]]  heavy-tailed bursts, uniform dests
+//
+// LOAD is optional everywhere it appears; when omitted, the consumer's own
+// load setting applies (GeneratorSpec::load_or). parse() throws
+// std::invalid_argument with a message naming the offending spec -- callers
+// that must not throw (config validation) wrap it.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "traffic/generators.hpp"
+
+namespace pmsb::traffic {
+
+struct GeneratorSpec {
+  enum class Kind { kUniform, kPermutation, kHotspot, kHotSenders, kIncast, kBursty, kPareto };
+
+  Kind kind = Kind::kUniform;
+  std::optional<double> load;  ///< Spec-embedded load, overrides the caller's.
+  double hot_fraction = 0.3;   ///< kHotspot / kHotSenders: hot share.
+  unsigned fan_in = 0;         ///< kIncast: converging inputs (0 = half of n).
+  double mean_burst = 8.0;     ///< kBursty / kPareto: mean burst length (cells).
+  double shape = 1.4;          ///< kPareto: tail index (> 1).
+
+  /// Parse the grammar above; throws std::invalid_argument on any error.
+  static GeneratorSpec parse(const std::string& text);
+
+  /// Canonical round-trippable form, e.g. "hotspot:0.25,0.9".
+  std::string describe() const;
+
+  /// The load to run at: the spec's own if present, else `fallback`.
+  double load_or(double fallback) const { return load.has_value() ? *load : fallback; }
+
+  /// Destination pattern over `n` endpoints. Bursty/pareto shape arrivals,
+  /// not destinations, so they yield uniform destinations here. `rng` seeds
+  /// the permutation draw only; the returned pattern itself is stateless
+  /// per pick() and safe to share across router threads.
+  std::unique_ptr<DestPattern> make_dest(unsigned n, Rng& rng) const;
+
+  /// Slot-level arrival process at `load_or(fallback_load)` (the only place
+  /// the bursty/pareto shapes take effect; other kinds are Bernoulli).
+  SlotTraffic make_slot_traffic(unsigned n_inputs, double fallback_load,
+                                DestPattern* dests, Rng rng) const;
+};
+
+}  // namespace pmsb::traffic

@@ -1,15 +1,186 @@
-// Tests of the multistage (delta/banyan) network of pipelined switches:
-// self-routing correctness for every (input, output) pair at two geometries,
-// payload integrity under load, and internal-drop accounting.
+// Tests of the multistage networks behind the unified construction path:
+// exact wiring/routing of the kBanyan / kOmega / kClos topology kinds, and
+// flit-level wormhole fabrics built through fabric::Fabric::build.
+//
+// One legacy test keeps the deprecated cell-level net::BanyanNetwork shim
+// covered until its removal next release.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
+#include <vector>
 
+#include "fabric/fabric.hpp"
 #include "net/banyan.hpp"
+#include "net/topology.hpp"
 
 namespace pmsb::net {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Topology kind exactness
+// ---------------------------------------------------------------------------
+
+TEST(MultistageTopology, BanyanGeometry) {
+  const Topology t{TopologyKind::kBanyan, 16, 1};
+  EXPECT_TRUE(t.multistage());
+  EXPECT_EQ(t.endpoints(), 16u);
+  EXPECT_EQ(t.stages(), 4u);            // log2(16)
+  EXPECT_EQ(t.elements_per_stage(), 8u);  // N/2
+  EXPECT_EQ(t.nodes(), 32u);
+  EXPECT_EQ(t.required_ports(), 2u);
+  EXPECT_EQ(t.hops(0, 15), t.stages() - 1);
+  EXPECT_EQ(t.hops(3, 3), t.stages() - 1);  // no local bypass
+  EXPECT_EQ(t.describe(), "banyan 16");
+}
+
+TEST(MultistageTopology, OmegaGeometry) {
+  const Topology t{TopologyKind::kOmega, 8, 1};
+  EXPECT_EQ(t.stages(), 3u);
+  EXPECT_EQ(t.elements_per_stage(), 4u);
+  EXPECT_EQ(t.nodes(), 12u);
+  EXPECT_EQ(t.describe(), "omega 8");
+}
+
+TEST(MultistageTopology, ClosGeometry) {
+  const Topology t{TopologyKind::kClos, 16, 1, /*radix=*/4};
+  EXPECT_EQ(t.stages(), 3u);
+  EXPECT_EQ(t.elements_per_stage(), 4u);  // k
+  EXPECT_EQ(t.nodes(), 12u);
+  EXPECT_EQ(t.required_ports(), 4u);
+  EXPECT_EQ(t.describe(), "clos 16 (radix 4)");
+}
+
+/// Banyan / omega per-stage routing is the classic single-bit test: stage s
+/// of a log2(N)-stage network corrects bit n-1-s of the destination,
+/// independent of where the flit currently is.
+TEST(MultistageTopology, BanyanAndOmegaRouteOnDestinationBits) {
+  for (const TopologyKind kind : {TopologyKind::kBanyan, TopologyKind::kOmega}) {
+    const Topology t{kind, 16, 1};
+    const unsigned n = 4;  // log2(16)
+    for (unsigned node = 0; node < t.nodes(); ++node) {
+      const unsigned s = t.stage_of(node);
+      for (unsigned in = 0; in < 2; ++in)
+        for (unsigned dest = 0; dest < 16; ++dest)
+          EXPECT_EQ(t.route_stage(node, in, dest), (dest >> (n - 1 - s)) & 1u);
+    }
+  }
+}
+
+/// The Clos wiring from the header: ingress j's output p reaches middle p's
+/// input j; middle m's output q reaches egress q's input m.
+TEST(MultistageTopology, ClosWiringExact) {
+  const Topology t{TopologyKind::kClos, 16, 1, /*radix=*/4};
+  const unsigned k = 4;
+  for (unsigned j = 0; j < k; ++j) {
+    for (unsigned p = 0; p < k; ++p) {
+      const unsigned ingress = t.node_id(0, j);
+      ASSERT_EQ(static_cast<unsigned>(t.neighbor(ingress, p)), t.node_id(1, p));
+      EXPECT_EQ(t.peer_in_port(ingress, p), j);
+      const unsigned middle = t.node_id(1, j);
+      ASSERT_EQ(static_cast<unsigned>(t.neighbor(middle, p)), t.node_id(2, p));
+      EXPECT_EQ(t.peer_in_port(middle, p), j);
+    }
+  }
+}
+
+/// Strongest exactness check, implementation-independent: walk every
+/// (source, destination) pair from its ingress port through route_stage /
+/// neighbor / peer_in_port and require arrival at exactly `dest` after
+/// exactly stages() - 1 inter-element links.
+void walk_every_pair(const Topology& t) {
+  const unsigned n = t.endpoints();
+  for (unsigned src = 0; src < n; ++src) {
+    for (unsigned dest = 0; dest < n; ++dest) {
+      auto [node, in_port] = t.ingress_of(src);
+      unsigned links = 0;
+      while (t.stage_of(node) + 1 < t.stages()) {
+        const unsigned out = t.route_stage(node, in_port, dest);
+        const int next = t.neighbor(node, out);
+        ASSERT_GE(next, 0);
+        in_port = t.peer_in_port(node, out);
+        node = static_cast<unsigned>(next);
+        ++links;
+      }
+      const unsigned out = t.route_stage(node, in_port, dest);
+      EXPECT_EQ(t.egress_endpoint(node, out), dest)
+          << t.describe() << ": " << src << " -> " << dest;
+      EXPECT_EQ(links, t.stages() - 1);
+    }
+  }
+}
+
+TEST(MultistageTopology, BanyanEveryPairReachesItsEgress) {
+  walk_every_pair(Topology{TopologyKind::kBanyan, 16, 1});
+  walk_every_pair(Topology{TopologyKind::kBanyan, 32, 1});
+}
+
+TEST(MultistageTopology, OmegaEveryPairReachesItsEgress) {
+  walk_every_pair(Topology{TopologyKind::kOmega, 16, 1});
+  walk_every_pair(Topology{TopologyKind::kOmega, 32, 1});
+}
+
+TEST(MultistageTopology, ClosEveryPairReachesItsEgress) {
+  walk_every_pair(Topology{TopologyKind::kClos, 16, 1, 4});
+  walk_every_pair(Topology{TopologyKind::kClos, 9, 1, 3});
+}
+
+// ---------------------------------------------------------------------------
+// Wormhole fabrics through the one public construction path
+// ---------------------------------------------------------------------------
+
+/// All fabrics go through the one public construction path,
+/// fabric::Fabric::build(topology, config).
+std::unique_ptr<fabric::Fabric> make_worm(const Topology& topo, const char* traffic,
+                                          unsigned lanes) {
+  fabric::FabricConfig cfg;
+  cfg.topo = topo;
+  cfg.link_pipe_stages = 1;
+  cfg.seed = 7;
+  cfg.lanes = lanes;
+  cfg.buffer_flits = 16;
+  cfg.message_flits = 4;
+  cfg.traffic = traffic;
+  return fabric::Fabric::build(topo, cfg);
+}
+
+/// Lossless flit transport: every kind delivers, verifies payloads end to
+/// end, and conserves messages (injected = delivered + backlog + in flight).
+TEST(WormFabric, AllKindsDeliverLosslessly) {
+  const std::vector<Topology> kinds = {
+      Topology{TopologyKind::kBanyan, 16, 1},
+      Topology{TopologyKind::kOmega, 16, 1},
+      Topology{TopologyKind::kClos, 16, 1, 4},
+  };
+  for (const Topology& topo : kinds) {
+    const auto fab = make_worm(topo, "uniform:0.4", 2);
+    fab->run(4000);
+    const fabric::FabricStats st = fab->stats();
+    EXPECT_GT(st.delivered, 0u) << topo.describe();
+    EXPECT_EQ(st.payload_errors, 0u) << topo.describe();
+    EXPECT_EQ(st.injected, st.delivered + st.backlog + st.in_network)
+        << topo.describe();
+  }
+}
+
+/// Permutation traffic is contention-light; the same seed must reproduce
+/// the same delivery digest on rebuilt fabrics (construction determinism).
+TEST(WormFabric, RebuildReproducesDigest) {
+  const Topology topo{TopologyKind::kBanyan, 16, 1};
+  const auto a = make_worm(topo, "permutation:0.5", 2);
+  const auto b = make_worm(topo, "permutation:0.5", 2);
+  a->run(3000);
+  b->run(3000);
+  EXPECT_GT(a->stats().delivered, 0u);
+  EXPECT_EQ(a->stats().uid_digest, b->stats().uid_digest);
+  EXPECT_EQ(a->stats().delivered, b->stats().delivered);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy cell-level shim (net::BanyanNetwork) -- kept until removal
+// ---------------------------------------------------------------------------
 
 /// One word of the cell `uid` -> endpoint `dest`; the head's VC field
 /// carries the destination, the dest_bits field starts as zero (the first
@@ -21,167 +192,37 @@ Word banyan_word(const BanyanNetwork& net, std::uint64_t uid, unsigned dest, uns
   return w;
 }
 
-struct DeliveryProbe {
-  // Per endpoint: sequence of (vc, body-ok) of completed cells.
-  struct Cell {
-    std::uint32_t vc;
-    std::uint64_t uid_tag;
-    bool body_ok;
-  };
-  std::map<unsigned, std::vector<Cell>> delivered;
-
-  void observe(BanyanNetwork& net, std::uint64_t expect_uid) {
-    const CellFormat fmt = net.cell_format();
-    for (unsigned o = 0; o < net.endpoints(); ++o) {
-      const Flit& f = net.out_link(o).now();
-      if (!f.valid) continue;
-      if (f.sop) {
-        state_[o] = State{head_vc(f.data, fmt, net.vc_bits()), 1, true};
-      } else {
-        State& st = state_[o];
-        st.body_ok &= (f.data == cell_word(expect_uid, 0, st.idx, fmt));
-        ++st.idx;
-        if (st.idx == fmt.length_words)
-          delivered[o].push_back(Cell{st.vc, expect_uid, st.body_ok});
-      }
-    }
-  }
-
- private:
-  struct State {
-    std::uint32_t vc = 0;
-    unsigned idx = 0;
-    bool body_ok = true;
-  };
-  std::map<unsigned, State> state_;
-};
-
-void route_every_pair(const BanyanConfig& cfg) {
+TEST(BanyanShim, Routes16x16EveryPairRadix4) {
+  BanyanConfig cfg;
+  cfg.radix = 4;
+  cfg.stages = 2;
   BanyanNetwork net(cfg);
   Engine eng;
   net.attach(eng);
   const unsigned n = net.endpoints();
+  const CellFormat fmt = net.cell_format();
   std::uint64_t uid = 1;
   for (unsigned i = 0; i < n; ++i) {
     for (unsigned d = 0; d < n; ++d) {
-      DeliveryProbe probe;
       const std::uint64_t this_uid = uid++;
-      const CellFormat fmt = net.cell_format();
       const int settle = 12 * static_cast<int>(cfg.stages * cfg.radix);
+      std::map<unsigned, unsigned> sop_seen;
       for (int k = 0; k < static_cast<int>(fmt.length_words) + settle; ++k) {
         if (k < static_cast<int>(fmt.length_words))
           net.in_link(i).drive_next(Flit{true, k == 0, banyan_word(net, this_uid, d, k)});
         eng.step();
-        probe.observe(net, this_uid);
+        for (unsigned o = 0; o < n; ++o)
+          if (net.out_link(o).now().sop) ++sop_seen[o];
       }
-      ASSERT_EQ(probe.delivered.size(), 1u) << "in " << i << " -> " << d;
-      ASSERT_TRUE(probe.delivered.count(d)) << "in " << i << " -> " << d;
-      const auto& cell = probe.delivered[d].front();
-      EXPECT_EQ(cell.vc, d);
-      EXPECT_TRUE(cell.body_ok);
+      ASSERT_EQ(sop_seen.size(), 1u) << "in " << i << " -> " << d;
+      ASSERT_TRUE(sop_seen.count(d)) << "in " << i << " -> " << d;
       ASSERT_TRUE(net.drained());
     }
   }
   EXPECT_EQ(net.total_drops(), 0u);
 }
 
-TEST(Banyan, Routes16x16EveryPairRadix4) {
-  BanyanConfig cfg;
-  cfg.radix = 4;
-  cfg.stages = 2;
-  route_every_pair(cfg);
-}
-
-TEST(Banyan, Routes8x8EveryPairRadix2ThreeStages) {
-  BanyanConfig cfg;
-  cfg.radix = 2;
-  cfg.stages = 3;
-  cfg.capacity_cells = 16;
-  route_every_pair(cfg);
-}
-
-TEST(Banyan, PermutationTrafficAllDelivered) {
-  // A full permutation injected simultaneously: internal blocking may queue
-  // cells in element buffers (banyans are blocking networks!), but nothing
-  // may be lost at this capacity, and everything must drain to the right
-  // endpoints.
-  BanyanConfig cfg;
-  cfg.radix = 4;
-  cfg.stages = 2;
-  cfg.capacity_cells = 64;
-  BanyanNetwork net(cfg);
-  Engine eng;
-  net.attach(eng);
-  const unsigned n = net.endpoints();
-  const CellFormat fmt = net.cell_format();
-
-  // dest = a fixed affine shuffle (worst-ish case for delta networks).
-  std::vector<unsigned> sop_seen(n, 0);
-  std::uint64_t heads_out = 0;
-  auto scan = [&] {
-    for (unsigned o = 0; o < n; ++o) {
-      if (net.out_link(o).now().sop) {
-        ++heads_out;
-        ++sop_seen[o];
-      }
-    }
-  };
-  for (unsigned k = 0; k < fmt.length_words; ++k) {
-    for (unsigned i = 0; i < n; ++i) {
-      const unsigned dest = (i * 5 + 3) % n;
-      Word w = cell_word(1000 + i, 0, k, fmt);
-      if (k == 0) w = make_translated_head(w, fmt, net.vc_bits(), 0, dest);
-      net.in_link(i).drive_next(Flit{true, k == 0, w});
-    }
-    eng.step();
-    scan();
-  }
-  for (int k = 0; k < 600; ++k) {
-    eng.step();
-    scan();
-  }
-  EXPECT_EQ(net.total_drops(), 0u);
-  EXPECT_EQ(heads_out, n);
-  for (unsigned o = 0; o < n; ++o) EXPECT_EQ(sop_seen[o], 1u) << "endpoint " << o;
-  EXPECT_TRUE(net.drained());
-}
-
-TEST(Banyan, HotspotDropsAreCountedPerStage) {
-  // Everyone floods endpoint 0 with tiny element buffers: the excess must
-  // show up in the per-stage drop counters, conservation intact.
-  BanyanConfig cfg;
-  cfg.radix = 4;
-  cfg.stages = 2;
-  cfg.capacity_cells = 8;
-  BanyanNetwork net(cfg);
-  Engine eng;
-  net.attach(eng);
-  const unsigned n = net.endpoints();
-  const CellFormat fmt = net.cell_format();
-  const unsigned kCellsPerInput = 20;
-  std::uint64_t heads_out = 0;
-  for (unsigned c = 0; c < kCellsPerInput; ++c) {
-    for (unsigned k = 0; k < fmt.length_words; ++k) {
-      for (unsigned i = 0; i < n; ++i) {
-        Word w = cell_word(5000 + i * 100 + c, 0, k, fmt);
-        if (k == 0) w = make_translated_head(w, fmt, net.vc_bits(), 0, 0);
-        net.in_link(i).drive_next(Flit{true, k == 0, w});
-      }
-      eng.step();
-      heads_out += net.out_link(0).now().sop;
-    }
-  }
-  for (int k = 0; k < 6000; ++k) {
-    eng.step();
-    heads_out += net.out_link(0).now().sop;
-  }
-  ASSERT_TRUE(net.drained());
-  EXPECT_GT(net.total_drops(), 0u);
-  EXPECT_EQ(heads_out + net.total_drops(),
-            static_cast<std::uint64_t>(n) * kCellsPerInput);
-}
-
-TEST(Banyan, InvalidGeometriesThrow) {
+TEST(BanyanShim, InvalidGeometriesThrow) {
   BanyanConfig cfg;
   cfg.radix = 1;
   EXPECT_THROW(BanyanNetwork{cfg}, std::invalid_argument);

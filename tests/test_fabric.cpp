@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +28,12 @@
 
 namespace pmsb {
 namespace {
+
+/// All fabrics go through the one public construction path,
+/// fabric::Fabric::build(topology, config).
+std::unique_ptr<fabric::Fabric> make_fabric(const fabric::FabricConfig& cfg) {
+  return fabric::Fabric::build(cfg.topo, cfg);
+}
 
 // ---------------------------------------------------------------------------
 // EventHub: ordering, RAII, and the deprecated shim.
@@ -220,9 +227,9 @@ TEST(FabricConfigCheck, RejectsBadGeometry) {
 }
 
 TEST(Fabric, DeliversAndConserves) {
-  fabric::Fabric fab(small_torus(1));
-  fab.run(2000);
-  const fabric::FabricStats st = fab.stats();
+  const auto fab = make_fabric(small_torus(1));
+  fab->run(2000);
+  const fabric::FabricStats st = fab->stats();
   EXPECT_EQ(st.cycles, 2000);
   EXPECT_GT(st.injected, 0u);
   EXPECT_GT(st.delivered, 0u);
@@ -230,7 +237,7 @@ TEST(Fabric, DeliversAndConserves) {
   EXPECT_EQ(st.injected, st.delivered + st.dropped() + st.backlog + st.in_network);
   // Minimum possible latency: one hop over a D+1-cycle link, plus cell
   // serialization and switch transit.
-  EXPECT_GE(st.min_latency, static_cast<Cycle>(fab.config().link_pipe_stages + 1));
+  EXPECT_GE(st.min_latency, static_cast<Cycle>(fab->config().link_pipe_stages + 1));
   EXPECT_GT(st.mean_latency, 0.0);
   // Every delivered cell took at least one link.
   ASSERT_GE(st.by_hops.size(), 2u);
@@ -238,9 +245,9 @@ TEST(Fabric, DeliversAndConserves) {
 }
 
 TEST(Fabric, HopAccountingMatchesTopology) {
-  fabric::Fabric fab(small_torus(1));
-  fab.run(1500);
-  const fabric::FabricStats st = fab.stats();
+  const auto fab = make_fabric(small_torus(1));
+  fab->run(1500);
+  const fabric::FabricStats st = fab->stats();
   // 4x4 torus diameter is 4: no route is longer.
   EXPECT_LE(st.by_hops.size(), 5u);
   std::uint64_t sum = 0;
@@ -250,18 +257,18 @@ TEST(Fabric, HopAccountingMatchesTopology) {
 
 // The headline contract: bit-identical results at any thread count.
 TEST(Fabric, DeterministicAcrossThreadCounts) {
-  fabric::Fabric f1(small_torus(1));
-  fabric::Fabric f2(small_torus(2));
-  fabric::Fabric f4(small_torus(4));
-  ASSERT_EQ(f1.threads(), 1u);
-  ASSERT_EQ(f2.threads(), 2u);
-  ASSERT_EQ(f4.threads(), 4u);
-  f1.run(2000);
-  f2.run(2000);
-  f4.run(2000);
-  const fabric::FabricStats a = f1.stats();
-  const fabric::FabricStats b = f2.stats();
-  const fabric::FabricStats c = f4.stats();
+  const auto f1 = make_fabric(small_torus(1));
+  const auto f2 = make_fabric(small_torus(2));
+  const auto f4 = make_fabric(small_torus(4));
+  ASSERT_EQ(f1->threads(), 1u);
+  ASSERT_EQ(f2->threads(), 2u);
+  ASSERT_EQ(f4->threads(), 4u);
+  f1->run(2000);
+  f2->run(2000);
+  f4->run(2000);
+  const fabric::FabricStats a = f1->stats();
+  const fabric::FabricStats b = f2->stats();
+  const fabric::FabricStats c = f4->stats();
 
   EXPECT_EQ(a.uid_digest, b.uid_digest);
   EXPECT_EQ(a.uid_digest, c.uid_digest);
@@ -284,9 +291,9 @@ TEST(Fabric, DeterministicAcrossThreadCounts) {
   }
 
   // Per-node switch statistics agree too (the partition is invisible).
-  for (unsigned i = 0; i < f1.nodes(); ++i) {
-    EXPECT_EQ(f1.node_switch(i).stats().accepted, f4.node_switch(i).stats().accepted) << i;
-    EXPECT_EQ(f1.node_switch(i).stats().read_grants, f4.node_switch(i).stats().read_grants)
+  for (unsigned i = 0; i < f1->nodes(); ++i) {
+    EXPECT_EQ(f1->node_switch(i).stats().accepted, f4->node_switch(i).stats().accepted) << i;
+    EXPECT_EQ(f1->node_switch(i).stats().read_grants, f4->node_switch(i).stats().read_grants)
         << i;
   }
 }
@@ -299,27 +306,27 @@ TEST(Fabric, DeterministicOnRing) {
   cfg.load = 0.4;
   cfg.seed = 5;
   cfg.threads = 1;
-  fabric::Fabric f1(cfg);
+  const auto f1 = make_fabric(cfg);
   cfg.threads = 3;  // Uneven shard sizes on purpose.
-  fabric::Fabric f3(cfg);
-  f1.run(1600);
-  f3.run(1600);
-  EXPECT_EQ(f1.stats().uid_digest, f3.stats().uid_digest);
-  EXPECT_EQ(f1.stats().delivered, f3.stats().delivered);
-  EXPECT_EQ(f1.stats().payload_errors, 0u);
-  EXPECT_GT(f1.stats().delivered, 0u);
+  const auto f3 = make_fabric(cfg);
+  f1->run(1600);
+  f3->run(1600);
+  EXPECT_EQ(f1->stats().uid_digest, f3->stats().uid_digest);
+  EXPECT_EQ(f1->stats().delivered, f3->stats().delivered);
+  EXPECT_EQ(f1->stats().payload_errors, 0u);
+  EXPECT_GT(f1->stats().delivered, 0u);
 }
 
 // Metric samples (taken at round barriers) follow the same contract: same
 // cadence, same values, any thread count.
 TEST(Fabric, MetricsSamplingIsThreadCountInvariant) {
   obs::MetricsRegistry m1, m4;
-  fabric::Fabric f1(small_torus(1));
-  fabric::Fabric f4(small_torus(4));
-  f1.register_metrics(&m1);
-  f4.register_metrics(&m4);
-  f1.run(1200);
-  f4.run(1200);
+  const auto f1 = make_fabric(small_torus(1));
+  const auto f4 = make_fabric(small_torus(4));
+  f1->register_metrics(&m1);
+  f4->register_metrics(&m4);
+  f1->run(1200);
+  f4->run(1200);
   for (const char* g : {"fabric.injected", "fabric.delivered", "fabric.dropped",
                         "fabric.backlog", "fabric.in_network", "fabric.latency.mean"}) {
     const obs::GaugeStats* a = m1.find_gauge(g);
@@ -334,22 +341,22 @@ TEST(Fabric, MetricsSamplingIsThreadCountInvariant) {
   }
   const obs::GaugeStats* delivered = m1.find_gauge("fabric.delivered");
   EXPECT_EQ(delivered->samples,
-            (1200 + f1.config().link_pipe_stages - 1) / f1.config().link_pipe_stages);
-  EXPECT_DOUBLE_EQ(delivered->last, static_cast<double>(f1.stats().delivered));
+            (1200 + f1->config().link_pipe_stages - 1) / f1->config().link_pipe_stages);
+  EXPECT_DOUBLE_EQ(delivered->last, static_cast<double>(f1->stats().delivered));
 }
 
 // Multiple run() calls continue the same simulation (rounds restart cleanly
 // at the boundary).
 TEST(Fabric, SplitRunMatchesSingleRun) {
-  fabric::Fabric whole(small_torus(2));
-  fabric::Fabric split(small_torus(2));
-  whole.run(1400);
-  split.run(500);
-  split.run(137);  // Deliberately not a multiple of the lookahead.
-  split.run(763);
-  EXPECT_EQ(whole.stats().uid_digest, split.stats().uid_digest);
-  EXPECT_EQ(whole.stats().delivered, split.stats().delivered);
-  EXPECT_EQ(whole.now(), split.now());
+  const auto whole = make_fabric(small_torus(2));
+  const auto split = make_fabric(small_torus(2));
+  whole->run(1400);
+  split->run(500);
+  split->run(137);  // Deliberately not a multiple of the lookahead.
+  split->run(763);
+  EXPECT_EQ(whole->stats().uid_digest, split->stats().uid_digest);
+  EXPECT_EQ(whole->stats().delivered, split->stats().delivered);
+  EXPECT_EQ(whole->now(), split->now());
 }
 
 // ---------------------------------------------------------------------------
@@ -407,15 +414,15 @@ TEST(SpinBarrierTest, ParkedWaitersWakeOnCompletion) {
 // machine's core count (same livelock regression, end to end).
 TEST(Fabric, DeterministicWhenOversubscribed) {
   fabric::FabricConfig cfg = small_torus(1);
-  fabric::Fabric f1(cfg);
+  const auto f1 = make_fabric(cfg);
   cfg.threads = std::max(4u, std::thread::hardware_concurrency() + 2);
-  fabric::Fabric fmany(cfg);
-  EXPECT_GE(fmany.threads(), 4u);
-  f1.run(1200);
-  fmany.run(1200);
-  EXPECT_EQ(f1.stats().uid_digest, fmany.stats().uid_digest);
-  EXPECT_EQ(f1.stats().delivered, fmany.stats().delivered);
-  EXPECT_EQ(f1.stats().dropped(), fmany.stats().dropped());
+  const auto fmany = make_fabric(cfg);
+  EXPECT_GE(fmany->threads(), 4u);
+  f1->run(1200);
+  fmany->run(1200);
+  EXPECT_EQ(f1->stats().uid_digest, fmany->stats().uid_digest);
+  EXPECT_EQ(f1->stats().delivered, fmany->stats().delivered);
+  EXPECT_EQ(f1->stats().dropped(), fmany->stats().dropped());
 }
 
 // ---------------------------------------------------------------------------
@@ -455,16 +462,16 @@ fabric::FabricConfig low_load_torus(int idle_skip, unsigned threads) {
 }
 
 TEST(FabricIdleSkip, EquivalentToSteppedRunSingleThread) {
-  fabric::Fabric stepped(low_load_torus(/*idle_skip=*/0, 1));
-  fabric::Fabric skipped(low_load_torus(/*idle_skip=*/1, 1));
+  const auto stepped = make_fabric(low_load_torus(/*idle_skip=*/0, 1));
+  const auto skipped = make_fabric(low_load_torus(/*idle_skip=*/1, 1));
   obs::MetricsRegistry ms, mk;
-  stepped.register_metrics(&ms);
-  skipped.register_metrics(&mk);
-  stepped.run(30000);
-  skipped.run(30000);
-  const fabric::FabricStats a = stepped.stats();
+  stepped->register_metrics(&ms);
+  skipped->register_metrics(&mk);
+  stepped->run(30000);
+  skipped->run(30000);
+  const fabric::FabricStats a = stepped->stats();
   EXPECT_GT(a.delivered, 0u);  // The run is not vacuous.
-  expect_same_stats(a, skipped.stats());
+  expect_same_stats(a, skipped->stats());
   // Metric sampling cadence and values survive the skips too.
   for (const char* g : {"fabric.injected", "fabric.delivered", "fabric.dropped",
                         "fabric.backlog", "fabric.in_network", "fabric.latency.mean"}) {
@@ -481,22 +488,22 @@ TEST(FabricIdleSkip, EquivalentToSteppedRunSingleThread) {
 }
 
 TEST(FabricIdleSkip, EquivalentToSteppedRunSharded) {
-  fabric::Fabric stepped(low_load_torus(/*idle_skip=*/0, 2));
-  fabric::Fabric skipped(low_load_torus(/*idle_skip=*/1, 2));
-  stepped.run(20000);
-  skipped.run(20000);
-  EXPECT_GT(stepped.stats().delivered, 0u);
-  expect_same_stats(stepped.stats(), skipped.stats());
+  const auto stepped = make_fabric(low_load_torus(/*idle_skip=*/0, 2));
+  const auto skipped = make_fabric(low_load_torus(/*idle_skip=*/1, 2));
+  stepped->run(20000);
+  skipped->run(20000);
+  EXPECT_GT(stepped->stats().delivered, 0u);
+  expect_same_stats(stepped->stats(), skipped->stats());
 }
 
 TEST(FabricIdleSkip, SplitRunsStillAlign) {
-  fabric::Fabric whole(low_load_torus(/*idle_skip=*/1, 1));
-  fabric::Fabric split(low_load_torus(/*idle_skip=*/1, 1));
-  whole.run(9000);
-  split.run(4100);  // Boundaries deliberately off the round grid.
-  split.run(4900);
-  EXPECT_EQ(whole.now(), split.now());
-  expect_same_stats(whole.stats(), split.stats());
+  const auto whole = make_fabric(low_load_torus(/*idle_skip=*/1, 1));
+  const auto split = make_fabric(low_load_torus(/*idle_skip=*/1, 1));
+  whole->run(9000);
+  split->run(4100);  // Boundaries deliberately off the round grid.
+  split->run(4900);
+  EXPECT_EQ(whole->now(), split->now());
+  expect_same_stats(whole->stats(), split->stats());
 }
 
 // ---------------------------------------------------------------------------
@@ -519,12 +526,12 @@ TEST(FabricFlight, MergedRecorderIsThreadCountInvariant) {
     c.flight_warmup = 200;
     return c;
   };
-  fabric::Fabric f1(cfg(1));
-  fabric::Fabric f4(cfg(4));
-  f1.run(2000);
-  f4.run(2000);
-  const obs::FlightRecorder a = f1.merged_flight();
-  const obs::FlightRecorder b = f4.merged_flight();
+  const auto f1 = make_fabric(cfg(1));
+  const auto f4 = make_fabric(cfg(4));
+  f1->run(2000);
+  f4->run(2000);
+  const obs::FlightRecorder a = f1->merged_flight();
+  const obs::FlightRecorder b = f4->merged_flight();
   EXPECT_GT(a.completed(), 0u);
   EXPECT_EQ(a.completed(), b.completed());
   EXPECT_EQ(a.heads(), b.heads());
@@ -541,19 +548,19 @@ TEST(FabricFlight, MergedRecorderIsThreadCountInvariant) {
                 a.stage(obs::FlightStage::kBuffer).sum() +
                 a.stage(obs::FlightStage::kSerialize).sum());
   // Per-node access works and recorders exist for every node.
-  for (unsigned i = 0; i < f1.nodes(); ++i) EXPECT_NE(f1.node_flight(i), nullptr);
+  for (unsigned i = 0; i < f1->nodes(); ++i) EXPECT_NE(f1->node_flight(i), nullptr);
 }
 
 TEST(FabricFlight, DisabledByDefault) {
-  fabric::Fabric fab(small_torus(1));
-  fab.run(500);
-  EXPECT_EQ(fab.node_flight(0), nullptr);
+  const auto fab = make_fabric(small_torus(1));
+  fab->run(500);
+  EXPECT_EQ(fab->node_flight(0), nullptr);
 }
 
 TEST(Fabric, LatencyHistogramMatchesScalarStats) {
-  fabric::Fabric fab(small_torus(2));
-  fab.run(2000);
-  const fabric::FabricStats st = fab.stats();
+  const auto fab = make_fabric(small_torus(2));
+  fab->run(2000);
+  const fabric::FabricStats st = fab->stats();
   ASSERT_GT(st.delivered, 0u);
   EXPECT_EQ(st.latency.samples(), st.delivered);
   EXPECT_EQ(st.latency.min(), static_cast<std::uint64_t>(st.min_latency));
@@ -567,9 +574,9 @@ TEST(Fabric, ShardTelemetryAccountsRoundsAndRelays) {
   // Round/relay accounting below is barrier-engine-specific (the dataflow
   // engine reports per-task chunks instead of lockstep rounds).
   cfg.engine = fabric::FabricEngine::kBarrier;
-  fabric::Fabric fab(cfg);
-  fab.run(1200);  // 400 rounds of D = 3.
-  const std::vector<fabric::ShardTelemetry> tel = fab.shard_telemetry();
+  const auto fab = make_fabric(cfg);
+  fab->run(1200);  // 400 rounds of D = 3.
+  const std::vector<fabric::ShardTelemetry> tel = fab->shard_telemetry();
   ASSERT_EQ(tel.size(), 2u);
   unsigned nodes = 0;
   std::uint64_t relayed = 0;
@@ -582,12 +589,12 @@ TEST(Fabric, ShardTelemetryAccountsRoundsAndRelays) {
     nodes += sh.nodes;
     relayed += sh.cells_relayed;
   }
-  EXPECT_EQ(nodes, fab.nodes());
+  EXPECT_EQ(nodes, fab->nodes());
   EXPECT_GT(relayed, 0u);  // Multi-hop routes relay through bridges.
-  EXPECT_EQ(fab.rounds_skipped(), 0u);
+  EXPECT_EQ(fab->rounds_skipped(), 0u);
 
   obs::PerfettoTrace tr;
-  fab.telemetry_to_perfetto(tr);
+  fab->telemetry_to_perfetto(tr);
   // Two worker tracks, each: thread_name metadata + active + barrier_wait
   // slices; plus the stall counter track: metadata + one sample per shard.
   EXPECT_EQ(tr.event_count(), 2u * 3u + 1u + 2u);
@@ -599,30 +606,30 @@ TEST(Fabric, ShardTelemetryAccountsRoundsAndRelays) {
 }
 
 TEST(FabricFastModel, MixedFabricDeliversAndConserves) {
-  fabric::Fabric fab(mixed_model_torus(1));
-  fab.run(2000);
-  const fabric::FabricStats st = fab.stats();
+  const auto fab = make_fabric(mixed_model_torus(1));
+  fab->run(2000);
+  const fabric::FabricStats st = fab->stats();
   EXPECT_GT(st.delivered, 0u);
   EXPECT_EQ(st.payload_errors, 0u);
   EXPECT_EQ(st.injected, st.delivered + st.dropped() + st.backlog + st.in_network);
-  EXPECT_TRUE(fab.node_is_fast(1));
-  EXPECT_FALSE(fab.node_is_fast(0));
-  EXPECT_GT(fab.node_fast_switch(1).stats().accepted, 0u);
-  EXPECT_GT(fab.node_switch(0).stats().accepted, 0u);
+  EXPECT_TRUE(fab->node_is_fast(1));
+  EXPECT_FALSE(fab->node_is_fast(0));
+  EXPECT_GT(fab->node_fast_switch(1).stats().accepted, 0u);
+  EXPECT_GT(fab->node_switch(0).stats().accepted, 0u);
 }
 
 TEST(FabricFastModel, MixedFabricDeterministicAcrossThreadCounts) {
-  fabric::Fabric f1(mixed_model_torus(1));
-  fabric::Fabric f4(mixed_model_torus(4));
-  f1.run(2000);
-  f4.run(2000);
-  expect_same_stats(f1.stats(), f4.stats());
-  for (unsigned i = 0; i < f1.nodes(); ++i) {
-    if (f1.node_is_fast(i)) {
-      EXPECT_EQ(f1.node_fast_switch(i).stats().accepted,
-                f4.node_fast_switch(i).stats().accepted) << i;
+  const auto f1 = make_fabric(mixed_model_torus(1));
+  const auto f4 = make_fabric(mixed_model_torus(4));
+  f1->run(2000);
+  f4->run(2000);
+  expect_same_stats(f1->stats(), f4->stats());
+  for (unsigned i = 0; i < f1->nodes(); ++i) {
+    if (f1->node_is_fast(i)) {
+      EXPECT_EQ(f1->node_fast_switch(i).stats().accepted,
+                f4->node_fast_switch(i).stats().accepted) << i;
     } else {
-      EXPECT_EQ(f1.node_switch(i).stats().accepted, f4.node_switch(i).stats().accepted)
+      EXPECT_EQ(f1->node_switch(i).stats().accepted, f4->node_switch(i).stats().accepted)
           << i;
     }
   }
@@ -635,12 +642,12 @@ TEST(FabricFastModel, AllFastIdleSkipEquivalence) {
   fabric::FabricConfig on = low_load_torus(/*idle_skip=*/1, 1);
   off.fast_node = [](unsigned) { return true; };
   on.fast_node = [](unsigned) { return true; };
-  fabric::Fabric stepped(off);
-  fabric::Fabric skipped(on);
-  stepped.run(20000);
-  skipped.run(20000);
-  EXPECT_GT(stepped.stats().delivered, 0u);
-  expect_same_stats(stepped.stats(), skipped.stats());
+  const auto stepped = make_fabric(off);
+  const auto skipped = make_fabric(on);
+  stepped->run(20000);
+  skipped->run(20000);
+  EXPECT_GT(stepped->stats().delivered, 0u);
+  expect_same_stats(stepped->stats(), skipped->stats());
 }
 
 // ---------------------------------------------------------------------------
@@ -660,24 +667,24 @@ TEST(FabricDataflow, MatchesBarrierAcrossThreadCounts) {
   fabric::FabricConfig base = small_torus(1);
   base.flight_recorder = true;
   base.flight_warmup = 200;
-  fabric::Fabric ref(with_engine(base, fabric::FabricEngine::kBarrier, 1));
-  ref.run(2000);
-  const fabric::FabricStats want = ref.stats();
+  const auto ref = make_fabric(with_engine(base, fabric::FabricEngine::kBarrier, 1));
+  ref->run(2000);
+  const fabric::FabricStats want = ref->stats();
   ASSERT_GT(want.delivered, 0u);
-  const obs::FlightRecorder want_flight = ref.merged_flight();
+  const obs::FlightRecorder want_flight = ref->merged_flight();
 
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
-    fabric::Fabric df(with_engine(base, fabric::FabricEngine::kDataflow, threads));
-    EXPECT_EQ(df.engine(), fabric::FabricEngine::kDataflow);
-    df.run(2000);
-    const fabric::FabricStats got = df.stats();
+    const auto df = make_fabric(with_engine(base, fabric::FabricEngine::kDataflow, threads));
+    EXPECT_EQ(df->engine(), fabric::FabricEngine::kDataflow);
+    df->run(2000);
+    const fabric::FabricStats got = df->stats();
     expect_same_stats(want, got);
     // Merged HDR latency distribution, down in the tail.
     EXPECT_EQ(want.latency.samples(), got.latency.samples()) << threads;
     EXPECT_EQ(want.latency.p50(), got.latency.p50()) << threads;
     EXPECT_EQ(want.latency.p999(), got.latency.p999()) << threads;
     // Flight-recorder per-stage sums survive the engine change.
-    const obs::FlightRecorder got_flight = df.merged_flight();
+    const obs::FlightRecorder got_flight = df->merged_flight();
     EXPECT_EQ(want_flight.completed(), got_flight.completed()) << threads;
     for (unsigned s = 0; s < obs::kFlightStageCount; ++s) {
       const auto st = static_cast<obs::FlightStage>(s);
@@ -691,12 +698,12 @@ TEST(FabricDataflow, MatchesBarrierAcrossThreadCounts) {
 
 TEST(FabricDataflow, MetricsSamplingMatchesBarrier) {
   obs::MetricsRegistry mb, md;
-  fabric::Fabric fb(with_engine(small_torus(1), fabric::FabricEngine::kBarrier, 1));
-  fabric::Fabric fd(with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 4));
-  fb.register_metrics(&mb);
-  fd.register_metrics(&md);
-  fb.run(1200);
-  fd.run(1200);
+  const auto fb = make_fabric(with_engine(small_torus(1), fabric::FabricEngine::kBarrier, 1));
+  const auto fd = make_fabric(with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 4));
+  fb->register_metrics(&mb);
+  fd->register_metrics(&md);
+  fb->run(1200);
+  fd->run(1200);
   for (const char* g : {"fabric.injected", "fabric.delivered", "fabric.dropped",
                         "fabric.backlog", "fabric.in_network", "fabric.latency.mean"}) {
     const obs::GaugeStats* a = mb.find_gauge(g);
@@ -717,52 +724,52 @@ TEST(FabricDataflow, MetricsSamplingMatchesBarrier) {
 TEST(FabricDataflow, SplitRunMatchesSingleRunWithRebalance) {
   fabric::FabricConfig cfg = with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 4);
   cfg.rebalance = true;
-  fabric::Fabric whole(cfg);
-  fabric::Fabric split(cfg);
-  whole.run(1400);
-  split.run(500);
-  split.run(137);  // Deliberately not a multiple of the lookahead.
-  split.run(763);
-  EXPECT_EQ(whole.now(), split.now());
-  expect_same_stats(whole.stats(), split.stats());
+  const auto whole = make_fabric(cfg);
+  const auto split = make_fabric(cfg);
+  whole->run(1400);
+  split->run(500);
+  split->run(137);  // Deliberately not a multiple of the lookahead.
+  split->run(763);
+  EXPECT_EQ(whole->now(), split->now());
+  expect_same_stats(whole->stats(), split->stats());
 }
 
 // Per-node idle skipping (the dataflow engine's chunk-granular variant)
 // changes nothing, including against the barrier planner's round-granular
 // skipping, and across a mid-run split.
 TEST(FabricDataflow, IdleSkipEquivalentAcrossEnginesAndSplits) {
-  fabric::Fabric barrier_skip(
+  const auto barrier_skip = make_fabric(
       with_engine(low_load_torus(/*idle_skip=*/1, 1), fabric::FabricEngine::kBarrier, 1));
-  fabric::Fabric df_step(
+  const auto df_step = make_fabric(
       with_engine(low_load_torus(/*idle_skip=*/0, 2), fabric::FabricEngine::kDataflow, 2));
-  fabric::Fabric df_skip(
+  const auto df_skip = make_fabric(
       with_engine(low_load_torus(/*idle_skip=*/1, 2), fabric::FabricEngine::kDataflow, 2));
-  fabric::Fabric df_skip_split(
+  const auto df_skip_split = make_fabric(
       with_engine(low_load_torus(/*idle_skip=*/1, 2), fabric::FabricEngine::kDataflow, 2));
-  barrier_skip.run(20000);
-  df_step.run(20000);
-  df_skip.run(20000);
-  df_skip_split.run(8100);  // Off the round grid on purpose.
-  df_skip_split.run(11900);
-  EXPECT_GT(df_step.stats().delivered, 0u);
-  expect_same_stats(barrier_skip.stats(), df_step.stats());
-  expect_same_stats(df_step.stats(), df_skip.stats());
-  expect_same_stats(df_skip.stats(), df_skip_split.stats());
-  EXPECT_GT(df_skip.rounds_skipped(), 0u);  // Skipping actually engaged.
+  barrier_skip->run(20000);
+  df_step->run(20000);
+  df_skip->run(20000);
+  df_skip_split->run(8100);  // Off the round grid on purpose.
+  df_skip_split->run(11900);
+  EXPECT_GT(df_step->stats().delivered, 0u);
+  expect_same_stats(barrier_skip->stats(), df_step->stats());
+  expect_same_stats(df_step->stats(), df_skip->stats());
+  expect_same_stats(df_skip->stats(), df_skip_split->stats());
+  EXPECT_GT(df_skip->rounds_skipped(), 0u);  // Skipping actually engaged.
 }
 
 TEST(FabricDataflow, MixedModelMatchesBarrier) {
-  fabric::Fabric fb(with_engine(mixed_model_torus(1), fabric::FabricEngine::kBarrier, 1));
-  fabric::Fabric fd(with_engine(mixed_model_torus(1), fabric::FabricEngine::kDataflow, 4));
-  fb.run(2000);
-  fd.run(2000);
-  expect_same_stats(fb.stats(), fd.stats());
-  for (unsigned i = 0; i < fb.nodes(); ++i) {
-    if (fb.node_is_fast(i)) {
-      EXPECT_EQ(fb.node_fast_switch(i).stats().accepted,
-                fd.node_fast_switch(i).stats().accepted) << i;
+  const auto fb = make_fabric(with_engine(mixed_model_torus(1), fabric::FabricEngine::kBarrier, 1));
+  const auto fd = make_fabric(with_engine(mixed_model_torus(1), fabric::FabricEngine::kDataflow, 4));
+  fb->run(2000);
+  fd->run(2000);
+  expect_same_stats(fb->stats(), fd->stats());
+  for (unsigned i = 0; i < fb->nodes(); ++i) {
+    if (fb->node_is_fast(i)) {
+      EXPECT_EQ(fb->node_fast_switch(i).stats().accepted,
+                fd->node_fast_switch(i).stats().accepted) << i;
     } else {
-      EXPECT_EQ(fb.node_switch(i).stats().accepted, fd.node_switch(i).stats().accepted)
+      EXPECT_EQ(fb->node_switch(i).stats().accepted, fd->node_switch(i).stats().accepted)
           << i;
     }
   }
@@ -770,13 +777,13 @@ TEST(FabricDataflow, MixedModelMatchesBarrier) {
 
 TEST(FabricDataflow, DeterministicWhenOversubscribed) {
   fabric::FabricConfig cfg = with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 1);
-  fabric::Fabric f1(cfg);
+  const auto f1 = make_fabric(cfg);
   cfg.threads = std::max(4u, std::thread::hardware_concurrency() + 2);
-  fabric::Fabric fmany(cfg);
-  EXPECT_GE(fmany.threads(), 4u);
-  f1.run(1200);
-  fmany.run(1200);
-  expect_same_stats(f1.stats(), fmany.stats());
+  const auto fmany = make_fabric(cfg);
+  EXPECT_GE(fmany->threads(), 4u);
+  f1->run(1200);
+  fmany->run(1200);
+  expect_same_stats(f1->stats(), fmany->stats());
 }
 
 TEST(FabricDataflow, RebalanceNeverChangesResults) {
@@ -784,20 +791,20 @@ TEST(FabricDataflow, RebalanceNeverChangesResults) {
   on.rebalance = true;
   fabric::FabricConfig off = on;
   off.rebalance = false;
-  fabric::Fabric fon(on);
-  fabric::Fabric foff(off);
+  const auto fon = make_fabric(on);
+  const auto foff = make_fabric(off);
   // Several runs so rebalance plans actually get applied in between.
   for (int r = 0; r < 4; ++r) {
-    fon.run(600);
-    foff.run(600);
+    fon->run(600);
+    foff->run(600);
   }
-  expect_same_stats(fon.stats(), foff.stats());
+  expect_same_stats(fon->stats(), foff->stats());
 }
 
 TEST(FabricDataflow, SchedulerStatsAndTelemetryShape) {
-  fabric::Fabric fab(with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 2));
-  fab.run(1200);
-  const fabric::FabricSchedulerStats sched = fab.scheduler_stats();
+  const auto fab = make_fabric(with_engine(small_torus(1), fabric::FabricEngine::kDataflow, 2));
+  fab->run(1200);
+  const fabric::FabricSchedulerStats sched = fab->scheduler_stats();
   EXPECT_STREQ(sched.engine, "dataflow");
   EXPECT_EQ(sched.workers, 2u);
   EXPECT_GE(sched.tasks, sched.workers);
@@ -806,7 +813,7 @@ TEST(FabricDataflow, SchedulerStatsAndTelemetryShape) {
   for (const auto& w : sched.per_worker) active += w.active_ns;
   EXPECT_GT(active, 0u);
 
-  const std::vector<fabric::ShardTelemetry> tel = fab.shard_telemetry();
+  const std::vector<fabric::ShardTelemetry> tel = fab->shard_telemetry();
   ASSERT_EQ(tel.size(), sched.tasks);
   unsigned nodes = 0;
   std::uint64_t relayed = 0;
@@ -817,12 +824,12 @@ TEST(FabricDataflow, SchedulerStatsAndTelemetryShape) {
     relayed += t.cells_relayed;
     chunks += t.rounds;
   }
-  EXPECT_EQ(nodes, fab.nodes());
+  EXPECT_EQ(nodes, fab->nodes());
   EXPECT_GT(relayed, 0u);
   EXPECT_GT(chunks, 0u);
 
   obs::PerfettoTrace tr;
-  fab.telemetry_to_perfetto(tr);
+  fab->telemetry_to_perfetto(tr);
   const std::string doc = tr.json();
   EXPECT_NE(doc.find("fabric worker 0"), std::string::npos);
   EXPECT_NE(doc.find("\"scheduler_idle\""), std::string::npos);
@@ -833,15 +840,107 @@ TEST(FabricDataflow, SchedulerStatsAndTelemetryShape) {
 // The barrier engine's scheduler block is shape-compatible (degenerate
 // pinned tasks), so BENCH JSON consumers need no engine-specific handling.
 TEST(FabricDataflow, BarrierSchedulerStatsShape) {
-  fabric::Fabric fab(with_engine(small_torus(2), fabric::FabricEngine::kBarrier, 2));
-  fab.run(600);
-  const fabric::FabricSchedulerStats sched = fab.scheduler_stats();
+  const auto fab = make_fabric(with_engine(small_torus(2), fabric::FabricEngine::kBarrier, 2));
+  fab->run(600);
+  const fabric::FabricSchedulerStats sched = fab->scheduler_stats();
   EXPECT_STREQ(sched.engine, "barrier");
   EXPECT_EQ(sched.workers, 2u);
   EXPECT_EQ(sched.tasks, 2u);
   EXPECT_EQ(sched.steals, 0u);
   ASSERT_EQ(sched.per_worker.size(), 2u);
   EXPECT_GT(sched.per_worker[0].active_ns + sched.per_worker[1].active_ns, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wormhole fabrics: the same determinism contract at flit granularity --
+// thread counts x engines x lane counts, run splits, and idle skipping.
+
+fabric::FabricConfig worm_banyan(fabric::FabricEngine engine, unsigned threads,
+                                 unsigned lanes, const char* traffic = "uniform:0.6") {
+  fabric::FabricConfig cfg;
+  cfg.topo = net::Topology{net::TopologyKind::kBanyan, 16, 1};
+  cfg.link_pipe_stages = 1;
+  cfg.seed = 11;
+  cfg.engine = engine;
+  cfg.threads = threads;
+  cfg.lanes = lanes;
+  cfg.buffer_flits = 16;
+  cfg.message_flits = 8;
+  cfg.traffic = traffic;
+  return cfg;
+}
+
+void expect_same_worm_stats(const fabric::FabricStats& a, const fabric::FabricStats& b) {
+  expect_same_stats(a, b);
+  EXPECT_EQ(a.flits_delivered, b.flits_delivered);
+  EXPECT_EQ(a.latency.samples(), b.latency.samples());
+  EXPECT_EQ(a.latency.p50(), b.latency.p50());
+  EXPECT_EQ(a.latency.p999(), b.latency.p999());
+}
+
+TEST(WormDeterminism, ThreadCountsTimesEnginesTimesLanes) {
+  for (const unsigned lanes : {1u, 4u}) {
+    const auto ref = make_fabric(worm_banyan(fabric::FabricEngine::kBarrier, 1, lanes));
+    ref->run(3000);
+    const fabric::FabricStats want = ref->stats();
+    ASSERT_GT(want.delivered, 0u);
+    ASSERT_EQ(want.payload_errors, 0u);
+    for (const auto engine :
+         {fabric::FabricEngine::kBarrier, fabric::FabricEngine::kDataflow}) {
+      for (const unsigned threads : {1u, 2u, 4u}) {
+        const auto fab = make_fabric(worm_banyan(engine, threads, lanes));
+        fab->run(3000);
+        expect_same_worm_stats(want, fab->stats());
+      }
+    }
+  }
+}
+
+TEST(WormDeterminism, SplitRunMatchesSingleRun) {
+  const auto whole = make_fabric(worm_banyan(fabric::FabricEngine::kDataflow, 4, 2));
+  const auto split = make_fabric(worm_banyan(fabric::FabricEngine::kDataflow, 4, 2));
+  whole->run(2400);
+  split->run(900);
+  split->run(137);  // Deliberately off any lookahead grid.
+  split->run(1363);
+  EXPECT_EQ(whole->now(), split->now());
+  expect_same_worm_stats(whole->stats(), split->stats());
+}
+
+/// Idle skipping must be invisible at flit granularity too: a sparse worm
+/// fabric (low load, long idle stretches) run with skipping forced on
+/// reproduces the stepped run bit for bit, on both engines.
+TEST(WormDeterminism, IdleSkipEquivalentOnBothEngines) {
+  for (const auto engine :
+       {fabric::FabricEngine::kBarrier, fabric::FabricEngine::kDataflow}) {
+    fabric::FabricConfig stepped_cfg = worm_banyan(engine, 2, 2, "uniform:0.002");
+    stepped_cfg.idle_skip = 0;
+    fabric::FabricConfig skipping_cfg = worm_banyan(engine, 2, 2, "uniform:0.002");
+    skipping_cfg.idle_skip = 1;
+    const auto stepped = make_fabric(stepped_cfg);
+    const auto skipping = make_fabric(skipping_cfg);
+    stepped->run(30000);
+    skipping->run(30000);
+    EXPECT_GT(stepped->stats().delivered, 0u);
+    expect_same_worm_stats(stepped->stats(), skipping->stats());
+    EXPECT_GT(skipping->rounds_skipped(), 0u);  // Skipping actually engaged.
+  }
+}
+
+/// The hotsenders pattern keeps background sources off the hot egress:
+/// with dedicated aggressors saturating endpoint 0, splitting each buffer
+/// into more lanes must raise carried throughput (the virtual-channel
+/// payoff the MW bench gates on).
+TEST(WormDeterminism, MoreLanesCarryMoreUnderTreeSaturation) {
+  std::uint64_t flits_by_lanes[2] = {};
+  const unsigned lane_opts[2] = {1u, 4u};
+  for (int i = 0; i < 2; ++i) {
+    const auto fab = make_fabric(worm_banyan(fabric::FabricEngine::kBarrier, 1,
+                                             lane_opts[i], "hotsenders:0.25,0.95"));
+    fab->run(6000);
+    flits_by_lanes[i] = fab->stats().flits_delivered;
+  }
+  EXPECT_GT(flits_by_lanes[1], flits_by_lanes[0]);
 }
 
 }  // namespace

@@ -1,6 +1,11 @@
 // Tests of the multi-switch wormhole substrate: topology arithmetic, router
 // invariants, delivery, flow control, deadlock freedom, and the qualitative
 // saturation behaviour the paper cites from [Dally90].
+//
+// WormholeNetwork and CreditBridge are deprecated shims (superseded by
+// fabric::Fabric::build); this file intentionally keeps them covered until
+// their removal next release.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
 

@@ -8,6 +8,7 @@
 #include "sim/wire.hpp"
 #include "traffic/generators.hpp"
 #include "traffic/messages.hpp"
+#include "traffic/spec.hpp"
 
 namespace pmsb {
 namespace {
@@ -214,6 +215,92 @@ TEST(Patterns, UniformCoversAllOutputs) {
   std::vector<int> counts(4, 0);
   for (int k = 0; k < 40000; ++k) ++counts[u.pick(0, rng)];
   for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Patterns, HotSendersSplitAggressorsFromBackground) {
+  Rng rng(19);
+  HotSendersDest d(16, /*hot=*/0, /*frac=*/0.25);
+  for (unsigned src = 0; src < 16; ++src) {
+    const bool aggressor = src % 4 == 3;  // every round(1/0.25)-th input
+    for (int k = 0; k < 200; ++k) {
+      const unsigned dest = d.pick(src, rng);
+      if (aggressor) {
+        EXPECT_EQ(dest, 0u) << src;
+      } else {
+        EXPECT_NE(dest, 0u) << src;  // background never hits the hot output
+        EXPECT_LT(dest, 16u);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GeneratorSpec: the one textual workload grammar shared by benches, tests
+// and the fabric config.
+
+TEST(GeneratorSpec, ParsesEveryKindAndRoundTrips) {
+  using traffic::GeneratorSpec;
+  const auto uni = GeneratorSpec::parse("uniform:0.8");
+  EXPECT_EQ(uni.kind, GeneratorSpec::Kind::kUniform);
+  EXPECT_DOUBLE_EQ(uni.load_or(0.1), 0.8);
+
+  const auto perm = GeneratorSpec::parse("permutation");
+  EXPECT_EQ(perm.kind, GeneratorSpec::Kind::kPermutation);
+  EXPECT_DOUBLE_EQ(perm.load_or(0.1), 0.1);  // no embedded load
+
+  const auto hot = GeneratorSpec::parse("hotspot:0.25,0.9");
+  EXPECT_EQ(hot.kind, GeneratorSpec::Kind::kHotspot);
+  EXPECT_DOUBLE_EQ(hot.hot_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(hot.load_or(0.1), 0.9);
+
+  const auto hs = GeneratorSpec::parse("hotsenders:0.25,0.95");
+  EXPECT_EQ(hs.kind, GeneratorSpec::Kind::kHotSenders);
+  EXPECT_DOUBLE_EQ(hs.hot_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(hs.load_or(0.1), 0.95);
+
+  const auto in = GeneratorSpec::parse("incast:16");
+  EXPECT_EQ(in.kind, GeneratorSpec::Kind::kIncast);
+  EXPECT_EQ(in.fan_in, 16u);
+
+  const auto par = GeneratorSpec::parse("pareto:0.6,1.4");
+  EXPECT_EQ(par.kind, GeneratorSpec::Kind::kPareto);
+  EXPECT_DOUBLE_EQ(par.load_or(0.1), 0.6);
+  EXPECT_DOUBLE_EQ(par.shape, 1.4);
+
+  // describe() is round-trippable: parse(describe(s)) == s, field for field.
+  for (const char* text : {"uniform:0.8", "permutation", "hotspot:0.25,0.9",
+                           "hotsenders:0.25,0.95", "incast:16,0.7", "bursty:0.5,12",
+                           "pareto:0.6,1.4,10"}) {
+    const auto a = GeneratorSpec::parse(text);
+    const auto b = GeneratorSpec::parse(a.describe());
+    EXPECT_EQ(a.kind, b.kind) << text;
+    EXPECT_EQ(a.load.has_value(), b.load.has_value()) << text;
+    if (a.load.has_value()) EXPECT_DOUBLE_EQ(*a.load, *b.load) << text;
+    EXPECT_DOUBLE_EQ(a.hot_fraction, b.hot_fraction) << text;
+    EXPECT_EQ(a.fan_in, b.fan_in) << text;
+    EXPECT_DOUBLE_EQ(a.mean_burst, b.mean_burst) << text;
+    EXPECT_DOUBLE_EQ(a.shape, b.shape) << text;
+  }
+}
+
+TEST(GeneratorSpec, RejectsMalformedSpecs) {
+  using traffic::GeneratorSpec;
+  for (const char* text :
+       {"", "nonsense", "uniform:", "uniform:1.5", "uniform:x", "hotspot",
+        "hotspot:0", "hotspot:1.5", "hotsenders", "hotsenders:0",
+        "incast:0.5", "incast", "bursty", "bursty:0.5,0.2", "pareto",
+        "pareto:0.5,0.9", "uniform:0.5,0.6"}) {
+    EXPECT_THROW(GeneratorSpec::parse(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(GeneratorSpec, MakeDestMatchesKind) {
+  using traffic::GeneratorSpec;
+  Rng rng(20);
+  const auto hs = GeneratorSpec::parse("hotsenders:0.25");
+  const auto dest = hs.make_dest(16, rng);
+  EXPECT_EQ(dest->pick(3, rng), 0u);   // aggressor input
+  EXPECT_NE(dest->pick(0, rng), 0u);   // background input
 }
 
 }  // namespace
